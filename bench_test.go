@@ -1,0 +1,331 @@
+// Benchmarks regenerating the paper's tables and figures (one benchmark
+// per experiment, quick-scale so `go test -bench=.` stays tractable; run
+// `cmd/experiments` without -quick for the full-scale sweeps), plus
+// micro-benchmarks and ablations for the design decisions DESIGN.md lists.
+package meshslice_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"meshslice/internal/autotune"
+	"meshslice/internal/calibrate"
+	"meshslice/internal/chipsim"
+	"meshslice/internal/cluster"
+	"meshslice/internal/collective"
+	"meshslice/internal/costmodel"
+	"meshslice/internal/experiments"
+	"meshslice/internal/gemm"
+	"meshslice/internal/hw"
+	"meshslice/internal/mesh"
+	"meshslice/internal/minitrain"
+	"meshslice/internal/model"
+	"meshslice/internal/moe"
+	"meshslice/internal/netsim"
+	"meshslice/internal/sched"
+	"meshslice/internal/tensor"
+	"meshslice/internal/topology"
+	"meshslice/internal/train"
+	"meshslice/internal/transformer"
+)
+
+var benchHW = hw.TPUv4()
+
+// --- One benchmark per paper table/figure ---
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Run(id, benchHW, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+func BenchmarkFig9WeakScaling(b *testing.B)        { benchExperiment(b, "fig9") }
+func BenchmarkFig10CommBreakdown(b *testing.B)     { benchExperiment(b, "fig10") }
+func BenchmarkFig11PerGeMM(b *testing.B)           { benchExperiment(b, "fig11") }
+func BenchmarkFig12StrongScaling(b *testing.B)     { benchExperiment(b, "fig12") }
+func BenchmarkTable2DataflowOpt(b *testing.B)      { benchExperiment(b, "table2") }
+func BenchmarkFig13MeshShapeModel(b *testing.B)    { benchExperiment(b, "fig13") }
+func BenchmarkFig14SliceCountModel(b *testing.B)   { benchExperiment(b, "fig14") }
+func BenchmarkTable3RealCluster(b *testing.B)      { benchExperiment(b, "table3") }
+func BenchmarkFig15CommModelAccuracy(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkSec7TrafficComparison(b *testing.B)  { benchExperiment(b, "sec7") }
+func BenchmarkEndToEndSpeedup(b *testing.B)        { benchExperiment(b, "endtoend") }
+
+// --- Simulator benchmarks: one 256-chip GeMM per algorithm (the paper's
+// headline comparison at full cluster scale) ---
+
+func benchSimulate256(b *testing.B, algo train.Algo) {
+	b.Helper()
+	cfg := model.GPT3()
+	prob := gemm.Problem{M: cfg.WeakScalingTokens(256), N: 3 * cfg.Hidden, K: cfg.Hidden, Dataflow: gemm.OS}
+	shape := topology.NewTorus(32, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, ok := train.EvaluateGeMMOnShape(prob, shape, 256, benchHW, algo, train.Options{})
+		if !ok || r.Time <= 0 {
+			b.Fatalf("%v failed", algo)
+		}
+	}
+}
+
+func BenchmarkSimulate256MeshSlice(b *testing.B)  { benchSimulate256(b, train.MeshSliceAlgo) }
+func BenchmarkSimulate256Collective(b *testing.B) { benchSimulate256(b, train.CollectiveAlgo) }
+func BenchmarkSimulate256Wang(b *testing.B)       { benchSimulate256(b, train.WangAlgo) }
+func BenchmarkSimulate256SUMMA(b *testing.B)      { benchSimulate256(b, train.SUMMAAlgo) }
+
+// --- Ablation: blocked (Algorithm 2) vs strided (B=1) slicing ---
+
+func benchSliceCol(b *testing.B, block int) {
+	b.Helper()
+	x := tensor.Random(512, 4096, rand.New(rand.NewSource(1)))
+	b.SetBytes(int64(512 * 4096 / 8 * 8)) // one sub-shard of float64s
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.SliceCol(x, 8, i%8, block)
+	}
+}
+
+func BenchmarkSliceColBlocked(b *testing.B) { benchSliceCol(b, 8) }
+func BenchmarkSliceColStrided(b *testing.B) { benchSliceCol(b, 1) }
+
+// --- Ablation: HBM contention model on/off ---
+
+func benchContention(b *testing.B, opts netsim.Options) {
+	b.Helper()
+	prob := gemm.Problem{M: 1 << 16, N: 12288, K: 12288, Dataflow: gemm.OS}
+	prog := sched.MeshSliceProgram(prob, topology.NewTorus(8, 8), benchHW, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		netsim.Simulate(prog, benchHW, opts)
+	}
+}
+
+func BenchmarkSimHBMContentionOn(b *testing.B) { benchContention(b, netsim.Options{}) }
+func BenchmarkSimHBMContentionOff(b *testing.B) {
+	benchContention(b, netsim.Options{NoHBMContention: true})
+}
+
+// --- Ablation: dataflow-choice heuristic vs exhaustive stationary search ---
+
+func BenchmarkAutotunePhase1Heuristic(b *testing.B) {
+	cfg := model.GPT3()
+	tokens := cfg.WeakScalingTokens(256)
+	for i := 0; i < b.N; i++ {
+		autotune.PlanModel(cfg, tokens, true)
+	}
+}
+
+func BenchmarkAutotuneFull256(b *testing.B) {
+	cfg := model.GPT3()
+	tokens := cfg.WeakScalingTokens(256)
+	for i := 0; i < b.N; i++ {
+		if _, err := autotune.Tune(cfg, tokens, 256, benchHW, autotune.Options{OptimizeDataflow: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Functional-runtime benchmarks (goroutine mesh + real collectives) ---
+
+func BenchmarkFunctionalMeshSlice4x4(b *testing.B) {
+	tor := topology.NewTorus(4, 4)
+	prob := gemm.Problem{M: 128, N: 128, K: 128, Dataflow: gemm.OS}
+	rng := rand.New(rand.NewSource(2))
+	a := tensor.Random(prob.M, prob.K, rng)
+	bm := tensor.Random(prob.K, prob.N, rng)
+	fn := gemm.MeshSlice(gemm.OS, gemm.MeshSliceConfig{S: 4, Block: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gemm.Multiply(tor, fn, a, bm)
+	}
+}
+
+func BenchmarkFunctionalCannon4x4(b *testing.B) {
+	tor := topology.NewTorus(4, 4)
+	rng := rand.New(rand.NewSource(3))
+	a := tensor.Random(128, 128, rng)
+	bm := tensor.Random(128, 128, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gemm.Multiply(tor, gemm.Cannon(), a, bm)
+	}
+}
+
+// --- Kernel benchmarks ---
+
+func BenchmarkMatMul256(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.Random(256, 256, rng)
+	y := tensor.Random(256, 256, rng)
+	b.SetBytes(2 * 256 * 256 * 256 * 8 / (1 << 20)) // flop-ish scale marker
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, y)
+	}
+}
+
+func BenchmarkCostModelEvaluation(b *testing.B) {
+	prob := gemm.Problem{M: 1 << 18, N: 49152, K: 12288, Dataflow: gemm.OS}
+	tor := topology.NewTorus(32, 8)
+	for i := 0; i < b.N; i++ {
+		costmodel.MeshSlice(prob, tor, benchHW, 8)
+	}
+}
+
+// Sanity: the benchmarks above must also run as tests (guards against
+// rotting benchmark-only code paths).
+func TestBenchmarkPathsSmoke(t *testing.T) {
+	for _, id := range []string{"sec7", "table3"} {
+		if _, err := experiments.Run(id, benchHW, true); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	if _, ok := train.EvaluateGeMMOnShape(
+		gemm.Problem{M: 4096, N: 4096, K: 4096, Dataflow: gemm.OS},
+		topology.NewTorus(4, 4), 16, benchHW, train.MeshSliceAlgo, train.Options{},
+	); !ok {
+		t.Fatalf("EvaluateGeMMOnShape failed")
+	}
+	fmt.Fprintln(discard{}, "ok")
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// --- Ablation: atomic vs step-level collective simulation ---
+
+func benchStepLevel(b *testing.B, opts netsim.Options) {
+	b.Helper()
+	prob := gemm.Problem{M: 1 << 16, N: 12288, K: 12288, Dataflow: gemm.OS}
+	prog := sched.MeshSliceProgram(prob, topology.NewTorus(8, 8), benchHW, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		netsim.Simulate(prog, benchHW, opts)
+	}
+}
+
+func BenchmarkSimAtomicCollectives(b *testing.B) { benchStepLevel(b, netsim.Options{}) }
+func BenchmarkSimStepLevelCollectives(b *testing.B) {
+	benchStepLevel(b, netsim.Options{StepLevel: true})
+}
+
+// --- Ablation: unidirectional vs bidirectional functional collectives ---
+
+func benchRingAG(b *testing.B, bidir bool) {
+	b.Helper()
+	tor := topology.NewTorus(1, 8)
+	m := mesh.New(tor)
+	shard := tensor.Random(64, 64, rand.New(rand.NewSource(9)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(func(c *mesh.Chip) {
+			if bidir {
+				collective.AllGatherBidir(c.RowComm(), shard)
+			} else {
+				collective.AllGather(c.RowComm(), shard)
+			}
+		})
+	}
+}
+
+func BenchmarkFunctionalAllGatherUni(b *testing.B)   { benchRingAG(b, false) }
+func BenchmarkFunctionalAllGatherBidir(b *testing.B) { benchRingAG(b, true) }
+
+// --- Extensions: MoE estimation and 3D cluster planning ---
+
+func BenchmarkMoEEstimateBlock(b *testing.B) {
+	cfg := moe.Config{Base: model.GPT3(), Experts: 16, TopK: 2}
+	plan := moe.Plan{EPDegree: 4, TPShape: topology.NewTorus(8, 8)}
+	for i := 0; i < b.N; i++ {
+		if _, err := moe.EstimateBlock(cfg, plan, 1<<17, benchHW); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterSearch2048(b *testing.B) {
+	cfg := model.MegatronNLG()
+	for i := 0; i < b.N; i++ {
+		if evs := cluster.Search(cfg, 2048, 512, benchHW, 8, cluster.Options{}); len(evs) == 0 {
+			b.Fatal("no feasible plan")
+		}
+	}
+}
+
+// --- End-to-end functional benchmarks: distributed training and the
+// distributed transformer block ---
+
+func BenchmarkMiniTrain2DTP(b *testing.B) {
+	cfg := minitrain.Config{Batch: 16, In: 16, Hidden: 32, Out: 8, LR: 0.05, S: 2, Block: 2}
+	data := minitrain.NewData(cfg, 1)
+	tor := topology.NewTorus(2, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := minitrain.TrainDistributed(cfg, tor, data, 5, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMiniTrain3D(b *testing.B) {
+	cfg := minitrain.Config{Batch: 16, In: 16, Hidden: 32, Out: 8, LR: 0.05, S: 2, Block: 2}
+	data := minitrain.NewData(cfg, 1)
+	tor := topology.NewTorus(2, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := minitrain.TrainDistributed3D(cfg, tor, 2, 2, data, 5, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransformerBlockDistributed(b *testing.B) {
+	c := transformer.Config{Batch: 4, Seq: 16, Heads: 4, HeadDim: 16, FFHidden: 256, S: 2, Block: 2}
+	w := transformer.NewWeights(c, 1)
+	x := tensor.Random(c.Tokens(), c.Hidden(), rand.New(rand.NewSource(2)))
+	tor := topology.NewTorus(2, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := transformer.Forward(c, tor, w, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Calibration and 3D simulation benchmarks ---
+
+func BenchmarkCalibrationFit(b *testing.B) {
+	samples := calibrate.Measure(benchHW, []int{2, 4}, []float64{8 << 10, 1 << 20, 64 << 20})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := calibrate.Fit(samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulate25D1024Chips(b *testing.B) {
+	prog := sched.TwoPointFiveDProgram(1<<20, 12288, 49152, gemm.Grid3D{P: 16, C: 4}, benchHW)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		netsim.Simulate(prog, benchHW, netsim.Options{})
+	}
+}
+
+func BenchmarkChipsimTiledGeMM(b *testing.B) {
+	core := chipsim.FromChip(benchHW)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GeMM(8192, 3072, 12288); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

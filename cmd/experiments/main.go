@@ -1,0 +1,106 @@
+// Command experiments regenerates the paper's tables and figures from the
+// simulator, cost models, and autotuner.
+//
+// Usage:
+//
+//	experiments [-run id[,id...]] [-quick] [-list]
+//
+// Without -run, every experiment runs in presentation order. -quick scales
+// the sweeps down to small clusters (seconds instead of minutes). -list
+// prints the known experiment IDs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"meshslice/internal/experiments"
+	"meshslice/internal/hw"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	quick := flag.Bool("quick", false, "small clusters for a fast smoke run")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	hwFile := flag.String("hw", "", "hardware calibration profile (JSON); default TPUv4")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	mdFile := flag.String("md", "", "also append every table as markdown to this file")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	chip := hw.TPUv4()
+	if *hwFile != "" {
+		var err error
+		chip, err = hw.LoadProfileFile(*hwFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	var md *os.File
+	if *mdFile != "" {
+		var err error
+		md, err = os.Create(*mdFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer md.Close()
+	}
+	ids := experiments.IDs()
+	if *run != "" {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		tables, err := experiments.Run(id, chip, *quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for i, t := range tables {
+			if _, err := t.WriteTo(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if *csvDir != "" {
+				name := fmt.Sprintf("%s_%d.csv", t.ID, i)
+				if err := writeCSV(*csvDir, name, t); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+			if md != nil {
+				if err := t.WriteMarkdown(md); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// writeCSV stores one table under dir, creating it if needed.
+func writeCSV(dir, name string, t *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}

@@ -1,0 +1,217 @@
+// Command meshslice runs individual simulations and the LLM autotuner from
+// the command line.
+//
+// Subcommands:
+//
+//	meshslice tune  -model gpt3 -chips 256 [-tokens N] [-no-dataflow-opt]
+//	    Run the LLM autotuner and print the chosen mesh shape, per-layer
+//	    dataflows and slice counts, and estimated block time.
+//
+//	meshslice sim   -model gpt3 -chips 256 -algo meshslice [-rows R -cols C]
+//	    Simulate one transformer block's FC GeMMs under an algorithm and
+//	    print the makespan, utilisation, and communication breakdown.
+//
+//	meshslice gemm  -m M -n N -k K -chips P -algo all [-dataflow os]
+//	    Simulate a single distributed GeMM under one or all algorithms.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"meshslice/internal/autotune"
+	"meshslice/internal/gemm"
+	"meshslice/internal/hw"
+	"meshslice/internal/model"
+	"meshslice/internal/topology"
+	"meshslice/internal/train"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "tune":
+		cmdTune(os.Args[2:])
+	case "sim":
+		cmdSim(os.Args[2:])
+	case "gemm":
+		cmdGeMM(os.Args[2:])
+	case "timeline":
+		cmdTimeline(os.Args[2:])
+	case "plan":
+		cmdPlan(os.Args[2:])
+	case "calibrate":
+		cmdCalibrate(os.Args[2:])
+	case "verify":
+		cmdVerify(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: meshslice {tune|sim|gemm|timeline|plan|calibrate|verify} [flags]  (run a subcommand with -h for its flags)")
+	os.Exit(2)
+}
+
+// modelByName resolves a built-in model alias or, failing that, loads the
+// argument as a JSON model-config path.
+func modelByName(name string) model.Config {
+	if c, ok := model.ByName(name); ok {
+		return c
+	}
+	if c, err := model.LoadFile(name); err == nil {
+		return c
+	}
+	known := []string{}
+	for _, c := range model.Builtins() {
+		known = append(known, c.Name)
+	}
+	fmt.Fprintf(os.Stderr, "unknown model %q (built-ins: %s; or pass a JSON config path)\n",
+		name, strings.Join(known, ", "))
+	os.Exit(2)
+	panic("unreachable")
+}
+
+func algoByName(name string) (train.Algo, bool) {
+	for _, a := range train.Algos {
+		if strings.EqualFold(a.String(), name) {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+func cmdTune(args []string) {
+	fs := flag.NewFlagSet("tune", flag.ExitOnError)
+	modelName := fs.String("model", "gpt3", "LLM: gpt3 or megatron")
+	chips := fs.Int("chips", 256, "cluster size")
+	tokens := fs.Int("tokens", 0, "tokens per step (default: weak-scaling batch = chips/2)")
+	noOpt := fs.Bool("no-dataflow-opt", false, "skip phase 1 (use Y-stn everywhere)")
+	fs.Parse(args)
+
+	cfg := modelByName(*modelName)
+	tk := *tokens
+	if tk == 0 {
+		tk = cfg.WeakScalingTokens(*chips)
+	}
+	choice, err := autotune.Tune(cfg, tk, *chips, hw.TPUv4(), autotune.Options{OptimizeDataflow: !*noOpt})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("model: %s   chips: %d   tokens: %d\n", cfg.Name, *chips, tk)
+	fmt.Printf("chosen mesh shape: %v\n", choice.Shape)
+	fmt.Printf("estimated FC time per block: %.3fms\n\n", choice.BlockTime*1e3)
+	fmt.Printf("%-8s  %-6s  %-22s  %s\n", "layer", "stn", "pass", "S / est time")
+	for _, lc := range choice.Layers {
+		for pass, pc := range lc.Passes {
+			fmt.Printf("%-8s  %-6v  %-22s  S=%-3d %.3fms\n",
+				lc.Plan.Layer.Name, lc.Plan.Stationary,
+				fmt.Sprintf("%v %v", model.Pass(pass), pc.Problem.Dataflow),
+				pc.S, pc.Estimate.Total()*1e3)
+		}
+	}
+}
+
+func cmdSim(args []string) {
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	modelName := fs.String("model", "gpt3", "LLM: gpt3 or megatron")
+	chips := fs.Int("chips", 256, "cluster size")
+	algoName := fs.String("algo", "meshslice", "algorithm (or 'all')")
+	rows := fs.Int("rows", 0, "fix the mesh rows (0 = search)")
+	cols := fs.Int("cols", 0, "fix the mesh cols (0 = search)")
+	noOverlap := fs.Bool("no-overlap", false, "forbid comm/compute overlap (real-TPU mode)")
+	stepLevel := fs.Bool("steplevel", false, "simulate collectives one ring step at a time")
+	fabric := fs.Float64("fabric", 0, "logical-mesh fabric contention factor (0/1 = physical mesh)")
+	bidir := fs.Bool("bidir", false, "drive both ICI directions for AG/RdS collectives")
+	tiled := fs.Bool("tiled", false, "use the tiled chip compute model")
+	fs.Parse(args)
+
+	cfg := modelByName(*modelName)
+	tk := cfg.WeakScalingTokens(*chips)
+	opts := train.Options{OptimizeDataflow: true}
+	opts.Sim.NoOverlap = *noOverlap
+	opts.Sim.StepLevel = *stepLevel
+	opts.Sim.FabricContention = *fabric
+	opts.Sim.BidirectionalRings = *bidir
+	opts.Sim.TiledCompute = *tiled
+	if *rows > 0 && *cols > 0 {
+		opts.Shapes = []topology.Torus{topology.NewTorus(*rows, *cols)}
+	}
+	chip := hw.TPUv4()
+
+	algos := train.Algos
+	if *algoName != "all" {
+		a, ok := algoByName(*algoName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algoName)
+			os.Exit(2)
+		}
+		algos = []train.Algo{a}
+	}
+	fmt.Printf("model: %s   chips: %d   tokens: %d\n\n", cfg.Name, *chips, tk)
+	fmt.Printf("%-11s  %-10s  %-10s  %-8s  %s\n", "algorithm", "shape", "block time", "util", "comm launch/transfer/sync (ms)")
+	for _, algo := range algos {
+		r, err := train.EvaluateFC(cfg, tk, *chips, chip, algo, opts)
+		if err != nil {
+			fmt.Printf("%-11s  %v\n", algo, err)
+			continue
+		}
+		fmt.Printf("%-11s  %-10v  %-10s  %-8s  %.3f / %.3f / %.3f\n",
+			algo, r.Shape, fmt.Sprintf("%.3fms", r.Time*1e3),
+			fmt.Sprintf("%.1f%%", 100*r.Utilization(chip)),
+			r.Comm.Launch*1e3, r.Comm.Transfer*1e3, r.Comm.Sync*1e3)
+	}
+}
+
+func cmdGeMM(args []string) {
+	fs := flag.NewFlagSet("gemm", flag.ExitOnError)
+	m := fs.Int("m", 1<<17, "result rows M")
+	n := fs.Int("n", 12288, "result cols N")
+	k := fs.Int("k", 12288, "inner dimension K")
+	chips := fs.Int("chips", 256, "cluster size")
+	algoName := fs.String("algo", "all", "algorithm (or 'all')")
+	dataflow := fs.String("dataflow", "os", "dataflow: os, ls, or rs")
+	fs.Parse(args)
+
+	var df gemm.Dataflow
+	switch strings.ToLower(*dataflow) {
+	case "os":
+		df = gemm.OS
+	case "ls":
+		df = gemm.LS
+	case "rs":
+		df = gemm.RS
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataflow %q\n", *dataflow)
+		os.Exit(2)
+	}
+	prob := gemm.Problem{M: *m, N: *n, K: *k, Dataflow: df}
+	chip := hw.TPUv4()
+
+	algos := train.TwoDAlgos
+	if *algoName != "all" {
+		a, ok := algoByName(*algoName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algoName)
+			os.Exit(2)
+		}
+		algos = []train.Algo{a}
+	}
+	fmt.Printf("GeMM M=%d N=%d K=%d (%v) on %d chips\n\n", *m, *n, *k, df, *chips)
+	fmt.Printf("%-11s  %-10s  %-10s  %s\n", "algorithm", "shape", "time", "util")
+	for _, algo := range algos {
+		r, err := train.EvaluateGeMM(prob, *chips, chip, algo, train.Options{})
+		if err != nil {
+			fmt.Printf("%-11s  %v\n", algo, err)
+			continue
+		}
+		fmt.Printf("%-11s  %-10v  %-10s  %.1f%%\n",
+			algo, r.Shape, fmt.Sprintf("%.3fms", r.Time*1e3), 100*r.Utilization(chip))
+	}
+}

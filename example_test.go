@@ -1,0 +1,68 @@
+package meshslice_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	meshslice "meshslice"
+	"meshslice/internal/tensor"
+)
+
+// ExampleMultiply runs the MeshSlice algorithm functionally on a 2×2 mesh
+// and verifies the result against a single-node multiplication.
+func ExampleMultiply() {
+	rng := rand.New(rand.NewSource(1))
+	a := tensor.Random(16, 16, rng)
+	b := tensor.Random(16, 16, rng)
+	p := meshslice.Problem{M: 16, N: 16, K: 16, Dataflow: meshslice.OS}
+
+	c, err := meshslice.Multiply(p, meshslice.NewTorus(2, 2),
+		meshslice.MeshSliceConfig{S: 2, Block: 2}, a, b)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("matches reference: %v\n", c.Equal(tensor.MatMul(a, b), 1e-9))
+	// Output: matches reference: true
+}
+
+// ExampleSimulate estimates a distributed GeMM's execution on the TPUv4
+// cluster model and reports how much communication slicing exposes.
+func ExampleSimulate() {
+	p := meshslice.Problem{M: 1 << 16, N: 12288, K: 12288, Dataflow: meshslice.OS}
+	tor := meshslice.NewTorus(8, 8)
+	chip := meshslice.TPUv4()
+
+	noSlice := meshslice.Simulate(p, tor, chip, 1, meshslice.SimOptions{})
+	sliced := meshslice.Simulate(p, tor, chip, 8, meshslice.SimOptions{})
+	fmt.Printf("slicing speeds up the GeMM: %v\n", sliced.Makespan < noSlice.Makespan)
+	fmt.Printf("slicing hides more communication: %v\n", sliced.ExposedComm < noSlice.ExposedComm)
+	// Output:
+	// slicing speeds up the GeMM: true
+	// slicing hides more communication: true
+}
+
+// ExampleTune runs the LLM autotuner for GPT-3 on 64 chips.
+func ExampleTune() {
+	cfg := meshslice.GPT3()
+	choice, err := meshslice.Tune(cfg, cfg.WeakScalingTokens(64), 64, meshslice.TPUv4())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("chosen mesh: %v\n", choice.Shape)
+	// Output: chosen mesh: 8x8 torus
+}
+
+// ExampleEstimateCost evaluates the analytical cost model's
+// prologue/steady-state/epilogue decomposition (paper §3.2.2).
+func ExampleEstimateCost() {
+	p := meshslice.Problem{M: 1 << 18, N: 49152, K: 12288, Dataflow: meshslice.OS}
+	e := meshslice.EstimateCost(p, meshslice.NewTorus(32, 8), meshslice.TPUv4(), 8)
+	fmt.Printf("iterations: %d\n", e.Iterations)
+	fmt.Printf("total = prologue + %d×steady + epilogue: %v\n",
+		e.Iterations, e.Total() == e.Prologue+float64(e.Iterations)*e.SteadyState+e.Epilogue)
+	// Output:
+	// iterations: 7
+	// total = prologue + 7×steady + epilogue: true
+}

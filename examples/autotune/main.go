@@ -1,0 +1,59 @@
+// Autotuner walkthrough: run both phases of the MeshSlice LLM autotuner on
+// Megatron-NLG for a 256-chip cluster and show how the mesh shape and
+// slice counts change the estimated FC time (the search of paper §3.2.2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"meshslice/internal/autotune"
+	"meshslice/internal/hw"
+	"meshslice/internal/model"
+	"meshslice/internal/topology"
+)
+
+func main() {
+	cfg := model.MegatronNLG()
+	chip := hw.TPUv4()
+	const chips = 256
+	tokens := cfg.WeakScalingTokens(chips)
+
+	// Phase 1: pick the dataflow keeping the largest matrix stationary.
+	fmt.Println("phase 1 — dataflows (largest matrix stationary):")
+	for _, plan := range autotune.PlanModel(cfg, tokens, true) {
+		fmt.Printf("  %-8s (%d→%d): %v  fwd=%v bwd-data=%v bwd-weight=%v\n",
+			plan.Layer.Name, plan.Layer.InDim, plan.Layer.OutDim, plan.Stationary,
+			plan.Passes[model.Forward].Dataflow,
+			plan.Passes[model.BackwardData].Dataflow,
+			plan.Passes[model.BackwardWeight].Dataflow)
+	}
+
+	// Phase 2: exhaustive mesh-shape × slice-count search on the cost
+	// models. Show the per-shape landscape, then the winner.
+	fmt.Println("\nphase 2 — mesh shape landscape (estimated FC block time):")
+	for _, shape := range topology.MeshShapes2D(chips) {
+		c, err := autotune.Tune(cfg, tokens, chips, chip, autotune.Options{
+			OptimizeDataflow: true, Shapes: []topology.Torus{shape},
+		})
+		if err != nil {
+			fmt.Printf("  %-12v unusable (%v)\n", shape, err)
+			continue
+		}
+		fmt.Printf("  %-12v %.3fms\n", shape, c.BlockTime*1e3)
+	}
+
+	best, err := autotune.Tune(cfg, tokens, chips, chip, autotune.Options{OptimizeDataflow: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nchosen: %v, estimated %.3fms per block\n", best.Shape, best.BlockTime*1e3)
+	fmt.Println("per-pass slice counts:")
+	for _, lc := range best.Layers {
+		fmt.Printf("  %-8s", lc.Plan.Layer.Name)
+		for pass, pc := range lc.Passes {
+			fmt.Printf("  %v:S=%-3d", model.Pass(pass), pc.S)
+		}
+		fmt.Println()
+	}
+}

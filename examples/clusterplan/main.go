@@ -1,0 +1,61 @@
+// Cluster planner: the arithmetic behind the paper's §2.2 argument for 2D
+// tensor parallelism. Given a model and per-chip HBM capacity, find the
+// minimum TP degree that fits, show how the per-chip data-parallel gradient
+// traffic shrinks as the TP degree grows, and reproduce the Llama-3
+// thought experiment (8-way 1D TP vs 128-way 2D TP).
+package main
+
+import (
+	"fmt"
+
+	"meshslice/internal/memory"
+	"meshslice/internal/model"
+)
+
+const hbmCapacity = 32 * float64(1<<30) // TPUv4: 32 GiB HBM
+
+func main() {
+	for _, cfg := range []model.Config{model.GPT3(), model.MegatronNLG()} {
+		fmt.Printf("=== %s (%.0fB params) ===\n", cfg.Name, float64(cfg.ParamCount())/1e9)
+		base := memory.Params{
+			PPDegree:         8,
+			TokensPerReplica: 2 * cfg.SeqLen,
+			BytesPerParam:    2,
+			SliceCount:       8,
+		}
+		fmt.Printf("%-10s  %-12s  %-12s  %-12s  %-8s  %s\n",
+			"TP degree", "weights+grad", "optimizer", "activations", "total", "fits 32GiB?")
+		for tp := 4; tp <= 256; tp *= 2 {
+			p := base
+			p.TPDegree = tp
+			f, err := memory.Estimate(cfg, p)
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			fmt.Printf("%-10d  %-12s  %-12s  %-12s  %-8s  %v\n",
+				tp,
+				gib(f.Weights+f.Gradients), gib(f.OptimizerState),
+				gib(f.Activations), gib(f.Total()),
+				memory.FitsHBM(f, hbmCapacity))
+		}
+		min := memory.MinTPDegree(cfg, base, hbmCapacity, 1024)
+		fmt.Printf("minimum TP degree at PP=8: %d-way", min)
+		if min > 8 {
+			fmt.Printf("  — beyond the 8-way cap of fully-connected 1D TP fabrics; 2D TP territory")
+		}
+		fmt.Println()
+
+		// §2.2: replacing 8-way 1D TP with 128-way 2D TP shrinks the
+		// per-chip DP gradient traffic 16x (each chip holds 1/128th of the
+		// weights instead of 1/8th).
+		dp8 := memory.DPTrafficPerChip(cfg, 8, 8, 4, 2)
+		dp128 := memory.DPTrafficPerChip(cfg, 128, 8, 4, 2)
+		fmt.Printf("per-chip DP gradient traffic: %-10s at 8-way TP → %-10s at 128-way 2D TP (%.0fx less)\n\n",
+			gib(dp8), gib(dp128), dp8/dp128)
+	}
+}
+
+func gib(v float64) string {
+	return fmt.Sprintf("%.2fGiB", v/(1<<30))
+}

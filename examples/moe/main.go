@@ -1,0 +1,54 @@
+// Mixture-of-experts planning: the §6 extension. Build a 16-expert MoE on
+// top of GPT-3's dimensions, and explore how the expert-parallel degree
+// trades all-to-all routing cost against per-group GeMM efficiency — the
+// new knob EP adds next to MeshSlice's mesh shape and slice count.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"meshslice/internal/hw"
+	"meshslice/internal/model"
+	"meshslice/internal/moe"
+	"meshslice/internal/topology"
+)
+
+func main() {
+	cfg := moe.Config{Base: model.GPT3(), Experts: 16, TopK: 2}
+	chip := hw.TPUv4()
+	const totalChips = 256
+	tokens := cfg.Base.WeakScalingTokens(totalChips)
+
+	fmt.Printf("MoE-GPT-3: %d experts, top-%d, %.2fT params (dense base: %.0fB)\n",
+		cfg.Experts, cfg.TopK,
+		float64(cfg.ParamCount())/1e12, float64(cfg.Base.ParamCount())/1e9)
+	fmt.Printf("%d chips, %d tokens per step\n\n", totalChips, tokens)
+
+	fmt.Printf("%-22s  %-10s  %-10s  %-10s  %-10s  %s\n",
+		"plan (EP × TP)", "dispatch", "experts", "combine", "attention", "block total")
+	for _, plan := range []moe.Plan{
+		{EPDegree: 1, TPShape: topology.NewTorus(32, 8)},
+		{EPDegree: 2, TPShape: topology.NewTorus(16, 8)},
+		{EPDegree: 4, TPShape: topology.NewTorus(8, 8)},
+		{EPDegree: 8, TPShape: topology.NewTorus(4, 8)},
+		{EPDegree: 16, TPShape: topology.NewTorus(4, 4)},
+	} {
+		if plan.Chips() != totalChips {
+			log.Fatalf("plan %v uses %d chips", plan, plan.Chips())
+		}
+		est, err := moe.EstimateBlock(cfg, plan, tokens, chip)
+		if err != nil {
+			fmt.Printf("EP=%-2d %v: %v\n", plan.EPDegree, plan.TPShape, err)
+			continue
+		}
+		fmt.Printf("EP=%-2d TP=%-12v  %-10s  %-10s  %-10s  %-10s  %s\n",
+			plan.EPDegree, plan.TPShape,
+			msStr(est.Dispatch), msStr(est.Expert), msStr(est.Combine),
+			msStr(est.Attention), msStr(est.Total()))
+	}
+	fmt.Println("\nsmall EP keeps experts wide (good GeMMs, little routing); large EP")
+	fmt.Println("localises experts but pays the all-to-all — the §6 trade-off in numbers.")
+}
+
+func msStr(v float64) string { return fmt.Sprintf("%.2fms", v*1e3) }

@@ -1,0 +1,53 @@
+// Quickstart: run the MeshSlice 2D GeMM algorithm on a functional 4×2 mesh
+// with real data, verify it against a single-node reference multiplication,
+// and estimate its execution time on a simulated TPUv4 cluster.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"meshslice/internal/costmodel"
+	"meshslice/internal/gemm"
+	"meshslice/internal/hw"
+	"meshslice/internal/netsim"
+	"meshslice/internal/sched"
+	"meshslice/internal/tensor"
+	"meshslice/internal/topology"
+)
+
+func main() {
+	// A 4×2 mesh of chips computing C = A·B with the output-stationary
+	// dataflow, slicing each collective into S=4 partial collectives.
+	tor := topology.NewTorus(4, 2)
+	prob := gemm.Problem{M: 64, N: 32, K: 64, Dataflow: gemm.OS}
+	cfg := gemm.MeshSliceConfig{S: 4, Block: 2}
+	if err := cfg.Validate(prob, tor); err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	a := tensor.Random(prob.M, prob.K, rng)
+	b := tensor.Random(prob.K, prob.N, rng)
+
+	// Functional run: every chip is a goroutine, the collectives move real
+	// sub-shards, and the assembled result must equal the reference.
+	got := gemm.Multiply(tor, gemm.MeshSlice(prob.Dataflow, cfg), a, b)
+	want := prob.Reference(a, b)
+	fmt.Printf("MeshSlice on %v, S=%d: max |Δ| vs reference = %.2e\n",
+		tor, cfg.S, got.MaxAbsDiff(want))
+
+	// Timing run: the same algorithm as a schedule on the TPUv4 cluster
+	// model, at LLM scale (a GPT-3 attention-projection GeMM, 8 chips).
+	chip := hw.TPUv4()
+	big := gemm.Problem{M: 1 << 14, N: 12288, K: 12288, Dataflow: gemm.OS}
+	for _, s := range []int{1, 2, 4, 8} {
+		prog := sched.MeshSliceProgram(big, tor, chip, s)
+		r := netsim.Simulate(prog, chip, netsim.Options{})
+		est := costmodel.MeshSlice(big, tor, chip, s)
+		fmt.Printf("S=%-2d simulated %.3fms (cost model %.3fms), exposed comm %.3fms\n",
+			s, r.Makespan*1e3, est.Total()*1e3, r.ExposedComm*1e3)
+	}
+	fmt.Println("slicing (S>1) hides communication under the partial GeMMs.")
+}

@@ -1,0 +1,58 @@
+// End-to-end distributed training demo: train a two-layer MLP with
+// MeshSlice 2D tensor parallelism on a functional 2×4 mesh — forward OS,
+// backward-data LS, backward-weight RS (Table 1's composition, with no
+// transposes or resharding between steps) — and verify every weight and
+// every loss value against serial training.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"meshslice/internal/minitrain"
+	"meshslice/internal/topology"
+)
+
+func main() {
+	cfg := minitrain.Config{
+		Batch: 32, In: 32, Hidden: 64, Out: 16,
+		LR: 0.05, S: 4, Block: 2,
+	}
+	tor := topology.NewTorus(2, 4)
+	const steps, seed = 25, 42
+	data := minitrain.NewData(cfg, seed)
+
+	fmt.Printf("training a %d→%d→%d MLP (batch %d) for %d steps\n",
+		cfg.In, cfg.Hidden, cfg.Out, cfg.Batch, steps)
+	fmt.Printf("distributed: %v mesh, MeshSlice S=%d — serial: one node\n\n", tor, cfg.S)
+
+	serial := minitrain.TrainSerial(cfg, data, steps, seed)
+	dist, err := minitrain.TrainDistributed(cfg, tor, data, steps, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-6s  %-14s  %-14s\n", "step", "serial loss", "distributed loss")
+	for s := 0; s < steps; s += 5 {
+		fmt.Printf("%-6d  %-14.6f  %-14.6f\n", s, serial.Losses[s], dist.Losses[s])
+	}
+	fmt.Printf("%-6d  %-14.6f  %-14.6f\n", steps-1, serial.Losses[steps-1], dist.Losses[steps-1])
+
+	fmt.Printf("\nfinal weight divergence: |ΔW1| = %.2e, |ΔW2| = %.2e\n",
+		dist.W1.MaxAbsDiff(serial.W1), dist.W2.MaxAbsDiff(serial.W2))
+	fmt.Println("the Table 1 dataflows (OS fwd, LS bwd-data, RS bwd-weight) compose exactly:")
+	fmt.Println("every tensor keeps its sharding across all three computations of every step.")
+
+	// The full 3D cluster of paper §2.1: 2 data-parallel replicas × 2
+	// pipeline stages (4 microbatches, gradient accumulation) × the 2×4
+	// tensor-parallel mesh = 32 chips, still exactly serial training.
+	d3, err := minitrain.TrainDistributed3D(cfg, tor, 2, 4, data, steps, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n3D cluster (DP=2 × PP=2 × TP=%v = %d chips):\n", tor, 2*2*tor.Size())
+	fmt.Printf("  final loss %.6f (serial %.6f), |ΔW1| = %.2e, |ΔW2| = %.2e\n",
+		d3.Losses[steps-1], serial.Losses[steps-1],
+		d3.W1.MaxAbsDiff(serial.W1), d3.W2.MaxAbsDiff(serial.W2))
+	fmt.Println("  data, pipeline, and tensor parallelism compose without approximation.")
+}

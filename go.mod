@@ -1,0 +1,3 @@
+module meshslice
+
+go 1.22

@@ -1,0 +1,63 @@
+package autotune
+
+import (
+	"math"
+
+	"meshslice/internal/hw"
+	"meshslice/internal/model"
+	"meshslice/internal/topology"
+)
+
+// The paper's phase 1 uses a per-layer heuristic because the exact search
+// over per-layer dataflow choices is exponential (§3.2.1). This file
+// implements the exhaustive search as an ablation baseline: every
+// combination of stationary choices across the FC layers is evaluated with
+// the phase-2 cost models, so tests can measure how close the heuristic
+// lands to the true optimum.
+
+// ExhaustiveDataflow searches all 3^L stationary-matrix assignments for the
+// model's FC layers on a fixed mesh shape, tuning each pass's slice count,
+// and returns the best choice. It is exponential in the layer count (L=4
+// for transformers, so 81 combinations) and exists to validate the
+// heuristic, not to replace it.
+func ExhaustiveDataflow(cfg model.Config, tokens int, shape topology.Torus, chip hw.Chip, maxS int) (Choice, bool) {
+	fcs := cfg.FCLayers()
+	options := []Stationary{YStn, XStn, WStn}
+	assignment := make([]Stationary, len(fcs))
+	best := Choice{Shape: shape, BlockTime: math.Inf(1)}
+	found := false
+
+	var recurse func(i int)
+	recurse = func(i int) {
+		if i == len(fcs) {
+			plans := make([]LayerPlan, len(fcs))
+			for j, fc := range fcs {
+				plans[j] = PlanFor(fc, tokens, assignment[j])
+			}
+			if c, ok := tuneShape(plans, shape, chip, maxS); ok && c.BlockTime < best.BlockTime {
+				best = c
+				found = true
+			}
+			return
+		}
+		for _, s := range options {
+			assignment[i] = s
+			recurse(i + 1)
+		}
+	}
+	recurse(0)
+	return best, found
+}
+
+// HeuristicGap evaluates the paper's heuristic against the exhaustive
+// search on one shape and returns (heuristicTime, exhaustiveTime). Both are
+// cost-model block times; ok is false when the model cannot shard at all.
+func HeuristicGap(cfg model.Config, tokens int, shape topology.Torus, chip hw.Chip) (heuristic, exhaustive float64, ok bool) {
+	plans := PlanModel(cfg, tokens, true)
+	h, hOK := tuneShape(plans, shape, chip, 0)
+	e, eOK := ExhaustiveDataflow(cfg, tokens, shape, chip, 0)
+	if !hOK || !eOK {
+		return 0, 0, false
+	}
+	return h.BlockTime, e.BlockTime, true
+}

@@ -1,0 +1,189 @@
+package autotune
+
+import (
+	"fmt"
+	"math"
+
+	"meshslice/internal/costmodel"
+	"meshslice/internal/gemm"
+	"meshslice/internal/hw"
+	"meshslice/internal/model"
+	"meshslice/internal/topology"
+)
+
+// PassChoice is the tuned configuration of one training GeMM.
+type PassChoice struct {
+	Problem gemm.Problem
+	S       int
+	// Estimate is the cost model's prediction for this choice.
+	Estimate costmodel.Estimate
+}
+
+// LayerChoice is the tuned configuration of one FC layer.
+type LayerChoice struct {
+	Plan   LayerPlan
+	Passes [3]PassChoice
+}
+
+// Time sums the estimated execution time of the three passes.
+func (l LayerChoice) Time() float64 {
+	var t float64
+	for _, p := range l.Passes {
+		t += p.Estimate.Total()
+	}
+	return t
+}
+
+// Choice is the autotuner's final output: the mesh shape and per-layer
+// slice counts minimising the estimated FC-layer time per block.
+type Choice struct {
+	Shape  topology.Torus
+	Layers []LayerChoice
+	// BlockTime is the estimated FC execution time of one transformer
+	// block (all four layers, all three passes).
+	BlockTime float64
+}
+
+// Options configures the search.
+type Options struct {
+	// MaxS caps the slice counts explored (0 means the default of 64; the
+	// paper notes the search space of S is small because only divisors of
+	// the sliced dimension qualify).
+	MaxS int
+	// OptimizeDataflow enables phase 1 (Table 2 compares both settings).
+	OptimizeDataflow bool
+	// Shapes overrides the candidate mesh shapes; nil enumerates every 2D
+	// factorisation of Chips.
+	Shapes []topology.Torus
+}
+
+// Tune runs the full autotuner for the model on a cluster of `chips`
+// accelerators: phase 1 fixes dataflows, phase 2 exhaustively co-optimises
+// the mesh shape and each pass's slice count using the analytical cost
+// models (paper §3.2.2).
+func Tune(cfg model.Config, tokens, chips int, chip hw.Chip, opts Options) (Choice, error) {
+	if err := cfg.Validate(); err != nil {
+		return Choice{}, err
+	}
+	if chips <= 0 || tokens <= 0 {
+		return Choice{}, fmt.Errorf("autotune: chips=%d tokens=%d", chips, tokens)
+	}
+	plans := PlanModel(cfg, tokens, opts.OptimizeDataflow)
+	shapes := opts.Shapes
+	if shapes == nil {
+		shapes = topology.MeshShapes2D(chips)
+	}
+	if len(shapes) == 0 {
+		return Choice{}, fmt.Errorf("autotune: no candidate mesh shapes for %d chips", chips)
+	}
+
+	best := Choice{BlockTime: math.Inf(1)}
+	for _, shape := range shapes {
+		c, ok := tuneShape(plans, shape, chip, opts.MaxS)
+		if ok && c.BlockTime < best.BlockTime {
+			best = c
+		}
+	}
+	if math.IsInf(best.BlockTime, 1) {
+		return Choice{}, fmt.Errorf("autotune: no shape can shard %s with %d tokens on %d chips", cfg.Name, tokens, chips)
+	}
+	return best, nil
+}
+
+// tuneShape tunes every pass's slice count on one candidate shape; ok is
+// false when some pass cannot be sharded on it at all. The per-layer S
+// values are independent, so each is optimised in isolation (§3.2.2).
+func tuneShape(plans []LayerPlan, shape topology.Torus, chip hw.Chip, maxS int) (Choice, bool) {
+	c := Choice{Shape: shape, Layers: make([]LayerChoice, len(plans))}
+	for i, plan := range plans {
+		lc := LayerChoice{Plan: plan}
+		for pass, prob := range plan.Passes {
+			pc, ok := TunePass(prob, shape, chip, maxS)
+			if !ok {
+				return Choice{}, false
+			}
+			lc.Passes[pass] = pc
+		}
+		c.Layers[i] = lc
+		c.BlockTime += lc.Time()
+	}
+	return c, true
+}
+
+// TunePass finds the best slice count for one GeMM problem on one shape.
+// ok is false if not even S=1 is valid (the problem does not shard).
+func TunePass(p gemm.Problem, shape topology.Torus, chip hw.Chip, maxS int) (PassChoice, bool) {
+	if maxS <= 0 {
+		maxS = 64
+	}
+	best := PassChoice{Problem: p}
+	found := false
+	for _, s := range ValidSliceCounts(p, shape, chip) {
+		if s > maxS {
+			break
+		}
+		est := costmodel.MeshSlice(p, shape, chip, s)
+		if !found || est.Total() < best.Estimate.Total() {
+			best.S, best.Estimate = s, est
+			found = true
+		}
+	}
+	return best, found
+}
+
+// ValidSliceCounts enumerates the slice counts S usable for the problem on
+// the shape: S·Block must divide both sliced local dimensions (paper
+// §3.1.2), and the operands must shard evenly at all. Results are in
+// increasing order; empty means the problem cannot run on this shape.
+func ValidSliceCounts(p gemm.Problem, shape topology.Torus, chip hw.Chip) []int {
+	if !shardable(p, shape) {
+		return nil
+	}
+	d1, d2 := slicedDims(p, shape)
+	b := chip.SliceBlock
+	if d1%b != 0 || d2%b != 0 {
+		// Fall back to element-granular slicing when the blocked layout
+		// does not fit (never the case on the evaluated shapes).
+		b = 1
+	}
+	g := gcd(d1/b, d2/b)
+	var out []int
+	for s := 1; s <= g; s++ {
+		if g%s == 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// slicedDims returns the two local dimensions MeshSlice slices for the
+// problem's dataflow (see gemm.MeshSliceConfig.Validate).
+func slicedDims(p gemm.Problem, t topology.Torus) (int, int) {
+	switch p.Dataflow {
+	case gemm.OS:
+		return p.K / t.Cols, p.K / t.Rows
+	case gemm.LS:
+		return p.N / t.Rows, p.N / t.Cols
+	case gemm.RS:
+		return p.M / t.Cols, p.M / t.Rows
+	default:
+		panic(fmt.Sprintf("autotune: unknown dataflow %d", int(p.Dataflow)))
+	}
+}
+
+func shardable(p gemm.Problem, t topology.Torus) bool {
+	aR, aC, bR, bC := p.OperandShapes()
+	for _, pair := range [][2]int{{aR, t.Rows}, {aC, t.Cols}, {bR, t.Rows}, {bC, t.Cols}, {p.M, t.Rows}, {p.N, t.Cols}} {
+		if pair[0]%pair[1] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,177 @@
+// Package calibrate implements the paper's cost-model calibration
+// methodology (§4.5): benchmark collective communication operations on
+// small clusters with a range of shard sizes, then recover the linear
+// model's parameters —
+//
+//	t = t_launch + (P-1) × (t_sync + bytes/bw)
+//
+// — by linear regression: for a fixed ring size P, time versus bytes is a
+// line whose slope is (P-1)/bw; comparing the intercepts of different ring
+// sizes separates t_launch from t_sync. The paper runs these benchmarks on
+// real 2- and 4-chip TPUv4 clusters; here the "hardware" is the cluster
+// simulator, closing the loop: parameters fed into the simulator must come
+// back out of the fit.
+package calibrate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"meshslice/internal/hw"
+	"meshslice/internal/netsim"
+	"meshslice/internal/sched"
+	"meshslice/internal/topology"
+)
+
+// Sample is one measured collective execution.
+type Sample struct {
+	// RingSize is the chip count P of the ring.
+	RingSize int
+	// ShardBytes is the per-step payload.
+	ShardBytes float64
+	// Time is the measured execution time.
+	Time float64
+}
+
+// FitResult holds the recovered model parameters.
+type FitResult struct {
+	Bandwidth      float64
+	SyncLatency    float64
+	LaunchOverhead float64
+	// MaxResidual is the largest relative deviation of a sample from the
+	// fitted model — the fit-quality figure the paper reports as average
+	// error in Fig. 15.
+	MaxResidual float64
+}
+
+// Measure benchmarks ring AllGathers on simulated clusters for every
+// (ring size, shard size) combination — the stand-in for the paper's
+// Google Cloud measurements.
+func Measure(chip hw.Chip, ringSizes []int, shardBytes []float64) []Sample {
+	var out []Sample
+	for _, p := range ringSizes {
+		for _, bytes := range shardBytes {
+			prog := &sched.Program{
+				Torus: topology.NewTorus(1, p),
+				Ops: []sched.Op{{
+					Kind: sched.AllGather, Name: "calibration AG",
+					Dir: topology.InterCol, Bytes: bytes, Steps: p - 1,
+				}},
+				Label: "calibration",
+			}
+			r := netsim.Simulate(prog, chip, netsim.Options{NoHBMContention: true})
+			out = append(out, Sample{RingSize: p, ShardBytes: bytes, Time: r.Makespan})
+		}
+	}
+	return out
+}
+
+// Fit recovers the linear communication model from samples. It needs at
+// least two distinct ring sizes (to separate launch from sync) and at
+// least two distinct shard sizes per ring size (to separate bandwidth from
+// the latency terms).
+func Fit(samples []Sample) (FitResult, error) {
+	byRing := map[int][]Sample{}
+	for _, s := range samples {
+		if s.RingSize < 2 {
+			return FitResult{}, fmt.Errorf("calibrate: ring size %d has no communication", s.RingSize)
+		}
+		byRing[s.RingSize] = append(byRing[s.RingSize], s)
+	}
+	if len(byRing) < 2 {
+		return FitResult{}, fmt.Errorf("calibrate: need ≥2 ring sizes to separate launch from sync, got %d", len(byRing))
+	}
+
+	// Per ring size: regress time on bytes.
+	type line struct {
+		p                int
+		slope, intercept float64
+	}
+	var lines []line
+	var bwEstimates []float64
+	for p, group := range byRing {
+		slope, intercept, err := linreg(group, func(s Sample) float64 { return s.ShardBytes })
+		if err != nil {
+			return FitResult{}, fmt.Errorf("calibrate: ring %d: %w", p, err)
+		}
+		if slope <= 0 {
+			return FitResult{}, fmt.Errorf("calibrate: ring %d has non-positive byte slope %v", p, slope)
+		}
+		lines = append(lines, line{p: p, slope: slope, intercept: intercept})
+		bwEstimates = append(bwEstimates, float64(p-1)/slope)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].p < lines[j].p })
+
+	// Intercepts versus (P-1): slope is t_sync, intercept is t_launch.
+	interceptSamples := make([]Sample, len(lines))
+	for i, l := range lines {
+		interceptSamples[i] = Sample{RingSize: l.p, ShardBytes: float64(l.p - 1), Time: l.intercept}
+	}
+	sync, launch, err := linreg(interceptSamples, func(s Sample) float64 { return s.ShardBytes })
+	if err != nil {
+		return FitResult{}, fmt.Errorf("calibrate: intercept fit: %w", err)
+	}
+
+	res := FitResult{
+		Bandwidth:      mean(bwEstimates),
+		SyncLatency:    math.Max(sync, 0),
+		LaunchOverhead: math.Max(launch, 0),
+	}
+	for _, s := range samples {
+		pred := res.LaunchOverhead + float64(s.RingSize-1)*(res.SyncLatency+s.ShardBytes/res.Bandwidth)
+		if s.Time > 0 {
+			if r := math.Abs(pred-s.Time) / s.Time; r > res.MaxResidual {
+				res.MaxResidual = r
+			}
+		}
+	}
+	return res, nil
+}
+
+// Apply writes the fitted parameters into a chip calibration.
+func (f FitResult) Apply(c hw.Chip) hw.Chip {
+	c.LinkBandwidth = f.Bandwidth
+	c.SyncLatency = f.SyncLatency
+	c.LaunchOverhead = f.LaunchOverhead
+	return c
+}
+
+// linreg is weighted least squares of Time on x(Sample) with 1/Time²
+// weights, i.e. it minimises RELATIVE errors. This matters for
+// calibration: shard sizes span 8 KB to 512 MB, so unweighted OLS would
+// let the absolute noise of millisecond-scale samples drown the
+// microsecond-scale intercept that t_launch and t_sync live in.
+func linreg(samples []Sample, x func(Sample) float64) (slope, intercept float64, err error) {
+	if len(samples) < 2 {
+		return 0, 0, fmt.Errorf("need ≥2 samples, got %d", len(samples))
+	}
+	var sw, sx, sy, sxx, sxy float64
+	for _, s := range samples {
+		w := 1.0
+		if s.Time > 0 {
+			w = 1 / (s.Time * s.Time)
+		}
+		xv := x(s)
+		sw += w
+		sx += w * xv
+		sy += w * s.Time
+		sxx += w * xv * xv
+		sxy += w * xv * s.Time
+	}
+	den := sw*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("degenerate regression: all x values equal")
+	}
+	slope = (sw*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / sw
+	return slope, intercept, nil
+}
+
+func mean(vs []float64) float64 {
+	var t float64
+	for _, v := range vs {
+		t += v
+	}
+	return t / float64(len(vs))
+}

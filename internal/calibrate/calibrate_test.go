@@ -1,0 +1,118 @@
+package calibrate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"meshslice/internal/hw"
+)
+
+// paperSetup mirrors §4.5: 2- and 4-chip clusters, shard sizes from 8 KB
+// to 512 MB.
+func paperSetup() ([]int, []float64) {
+	return []int{2, 4}, []float64{8 << 10, 1 << 20, 32 << 20, 512 << 20}
+}
+
+func TestFitRecoversSimulatorParameters(t *testing.T) {
+	chip := hw.TPUv4()
+	rings, shards := paperSetup()
+	fit, err := Fit(Measure(chip, rings, shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr := func(got, want float64) float64 { return math.Abs(got-want) / want }
+	if relErr(fit.Bandwidth, chip.LinkBandwidth) > 1e-6 {
+		t.Errorf("bandwidth %v, want %v", fit.Bandwidth, chip.LinkBandwidth)
+	}
+	if relErr(fit.SyncLatency, chip.SyncLatency) > 1e-6 {
+		t.Errorf("sync %v, want %v", fit.SyncLatency, chip.SyncLatency)
+	}
+	if relErr(fit.LaunchOverhead, chip.LaunchOverhead) > 1e-6 {
+		t.Errorf("launch %v, want %v", fit.LaunchOverhead, chip.LaunchOverhead)
+	}
+	if fit.MaxResidual > 1e-9 {
+		t.Errorf("clean measurements left residual %v", fit.MaxResidual)
+	}
+}
+
+func TestFitRobustToNoise(t *testing.T) {
+	chip := hw.TPUv4()
+	rings := []int{2, 4, 8}
+	shards := []float64{8 << 10, 256 << 10, 8 << 20, 64 << 20, 512 << 20}
+	samples := Measure(chip, rings, shards)
+	rng := rand.New(rand.NewSource(42))
+	for i := range samples {
+		samples[i].Time *= 1 + 0.02*(2*rng.Float64()-1) // ±2% measurement noise
+	}
+	fit, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Bandwidth-chip.LinkBandwidth)/chip.LinkBandwidth > 0.05 {
+		t.Errorf("noisy bandwidth %v off by >5%% from %v", fit.Bandwidth, chip.LinkBandwidth)
+	}
+	if fit.MaxResidual > 0.1 {
+		t.Errorf("residual %v too large for 2%% noise", fit.MaxResidual)
+	}
+}
+
+func TestFitAppliedChipReproducesMeasurements(t *testing.T) {
+	// Closing the §4.5 loop: a chip built from the fit predicts the same
+	// collective times as the measured one.
+	truth := hw.TPUv4()
+	truth.LinkBandwidth = 37e9
+	truth.SyncLatency = 2.5e-6
+	truth.LaunchOverhead = 9e-6
+	rings, shards := paperSetup()
+	fit, err := Fit(Measure(truth, rings, shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitted := fit.Apply(hw.TPUv4())
+	for _, s := range Measure(fitted, []int{8}, []float64{16 << 20}) {
+		want := Measure(truth, []int{8}, []float64{16 << 20})[0].Time
+		if math.Abs(s.Time-want)/want > 1e-6 {
+			t.Errorf("fitted chip predicts %v, truth %v", s.Time, want)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	chip := hw.TPUv4()
+	// Single ring size: cannot separate launch from sync.
+	if _, err := Fit(Measure(chip, []int{4}, []float64{1 << 20, 2 << 20})); err == nil {
+		t.Errorf("single ring size accepted")
+	}
+	// Single shard size per ring: degenerate regression.
+	if _, err := Fit(Measure(chip, []int{2, 4}, []float64{1 << 20})); err == nil {
+		t.Errorf("single shard size accepted")
+	}
+	// Ring of one chip communicates nothing.
+	if _, err := Fit([]Sample{{RingSize: 1, ShardBytes: 8, Time: 1}}); err == nil {
+		t.Errorf("ring of 1 accepted")
+	}
+	// Non-increasing time in bytes (nonsense data).
+	bad := []Sample{
+		{RingSize: 2, ShardBytes: 1e6, Time: 2}, {RingSize: 2, ShardBytes: 2e6, Time: 1},
+		{RingSize: 4, ShardBytes: 1e6, Time: 2}, {RingSize: 4, ShardBytes: 2e6, Time: 1},
+	}
+	if _, err := Fit(bad); err == nil {
+		t.Errorf("negative-slope data accepted")
+	}
+}
+
+func TestLinregKnownLine(t *testing.T) {
+	samples := []Sample{
+		{ShardBytes: 1, Time: 5},
+		{ShardBytes: 2, Time: 7},
+		{ShardBytes: 3, Time: 9},
+	}
+	slope, intercept, err := linreg(samples, func(s Sample) float64 { return s.ShardBytes })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-3) > 1e-12 {
+		t.Errorf("fit = %vx + %v, want 2x + 3", slope, intercept)
+	}
+}

@@ -1,0 +1,170 @@
+// Package collective implements the ring communication operations the 2D
+// GeMM algorithms are built from (paper §2.3, Fig. 3): AllGather and
+// ReduceScatter (used by Collective 2D GeMM and MeshSlice), Broadcast and
+// Reduce (used by SUMMA), and AllReduce (used by data-parallel gradient
+// synchronisation).
+//
+// All operations run over a mesh.Comm — one row or one column ring of the
+// functional mesh — and move real matrix data, following the actual ring
+// schedules: an AllGather performs P-1 neighbour steps each forwarding a
+// whole shard (Fig. 3 right); a Broadcast forwards from the root around the
+// ring. Timing is out of scope here (see package netsim); these primitives
+// exist so correctness of every distributed GeMM can be verified end to end.
+package collective
+
+import (
+	"fmt"
+
+	"meshslice/internal/mesh"
+	"meshslice/internal/tensor"
+)
+
+// AllGather gathers each ring member's local shard and returns all P shards
+// ordered by ring position. It uses the standard P-1 step ring schedule:
+// in step t every chip forwards the shard it received in step t-1 (its own
+// shard in step 0) to its downstream neighbour.
+func AllGather(cm *mesh.Comm, local *tensor.Matrix) []*tensor.Matrix {
+	p := cm.Size
+	out := make([]*tensor.Matrix, p)
+	out[cm.Pos] = local.Clone()
+	cur := local
+	for t := 0; t < p-1; t++ {
+		cm.SendTo(cm.Pos+1, cur)
+		cur = cm.RecvFrom(cm.Pos - 1)
+		origin := mod(cm.Pos-t-1, p)
+		out[origin] = cur
+	}
+	return out
+}
+
+// AllGatherRows gathers shards and concatenates them vertically in ring
+// order (the layout AG_row/AG_col produce when the gathered dimension is
+// the row dimension).
+func AllGatherRows(cm *mesh.Comm, local *tensor.Matrix) *tensor.Matrix {
+	return tensor.ConcatRows(AllGather(cm, local))
+}
+
+// AllGatherCols gathers shards and concatenates them horizontally in ring
+// order.
+func AllGatherCols(cm *mesh.Comm, local *tensor.Matrix) *tensor.Matrix {
+	return tensor.ConcatCols(AllGather(cm, local))
+}
+
+// ReduceScatter reduces element-wise across the ring and scatters: blocks
+// must hold one block per ring position (this chip's contribution to each
+// destination); the return value is the sum over all chips of their block
+// for this chip's position.
+//
+// It follows the classic ring schedule in which the block destined for
+// position d starts at chip d+1 and accumulates contributions as it travels
+// the ring, arriving fully reduced at chip d after P-1 steps.
+func ReduceScatter(cm *mesh.Comm, blocks []*tensor.Matrix) *tensor.Matrix {
+	p := cm.Size
+	if len(blocks) != p {
+		panic(fmt.Sprintf("collective: ReduceScatter got %d blocks for ring of %d", len(blocks), p))
+	}
+	cur := blocks[mod(cm.Pos-1, p)].Clone()
+	for t := 0; t < p-1; t++ {
+		cm.SendTo(cm.Pos+1, cur)
+		cur = cm.RecvFrom(cm.Pos - 1)
+		cur.Add(blocks[mod(cm.Pos-t-2, p)])
+	}
+	return cur
+}
+
+// ReduceScatterRows reduces a matrix whose rows are split evenly across the
+// ring: every chip contributes the full matrix m, and receives the reduced
+// horizontal strip for its ring position. m.Rows must divide by the ring
+// size.
+func ReduceScatterRows(cm *mesh.Comm, m *tensor.Matrix) *tensor.Matrix {
+	return ReduceScatter(cm, tensor.SplitRows(m, cm.Size))
+}
+
+// ReduceScatterCols is ReduceScatterRows for vertical strips: each chip
+// receives the reduced column strip for its ring position.
+func ReduceScatterCols(cm *mesh.Comm, m *tensor.Matrix) *tensor.Matrix {
+	return ReduceScatter(cm, tensor.SplitCols(m, cm.Size))
+}
+
+// Broadcast distributes root's matrix to every ring member and returns it.
+// Non-root chips pass nil (or any value; it is ignored). The shard is
+// forwarded around the ring from the root (the fine-grain packetisation of
+// Fig. 3 affects timing only, not the data movement modelled here).
+func Broadcast(cm *mesh.Comm, root int, m *tensor.Matrix) *tensor.Matrix {
+	p := cm.Size
+	root = mod(root, p)
+	if p == 1 {
+		return m.Clone()
+	}
+	dist := mod(cm.Pos-root, p) // hops from root to this chip
+	if dist == 0 {
+		cm.SendTo(cm.Pos+1, m)
+		return m.Clone()
+	}
+	got := cm.RecvFrom(cm.Pos - 1)
+	if dist < p-1 {
+		cm.SendTo(cm.Pos+1, got)
+	}
+	return got
+}
+
+// Reduce accumulates every ring member's matrix into the root and returns
+// the sum at the root; non-root chips receive nil. The partial sum travels
+// the ring from root+1 toward the root.
+func Reduce(cm *mesh.Comm, root int, m *tensor.Matrix) *tensor.Matrix {
+	p := cm.Size
+	root = mod(root, p)
+	if p == 1 {
+		return m.Clone()
+	}
+	dist := mod(cm.Pos-root, p)
+	switch dist {
+	case 1: // journey start
+		cm.SendTo(cm.Pos+1, m)
+		return nil
+	case 0: // root: last to accumulate
+		acc := cm.RecvFrom(cm.Pos - 1)
+		acc.Add(m)
+		return acc
+	default:
+		acc := cm.RecvFrom(cm.Pos - 1)
+		acc.Add(m)
+		cm.SendTo(cm.Pos+1, acc)
+		return nil
+	}
+}
+
+// AllToAll performs the personalised exchange of expert parallelism
+// (paper §6: MoE adds expert parallelism, whose dispatch/combine steps are
+// all-to-alls): blocks[d] is this chip's payload for ring position d; the
+// result holds, at index s, the block sent to this chip by position s.
+// Blocks may have heterogeneous shapes (real MoE routing is uneven).
+func AllToAll(cm *mesh.Comm, blocks []*tensor.Matrix) []*tensor.Matrix {
+	p := cm.Size
+	if len(blocks) != p {
+		panic(fmt.Sprintf("collective: AllToAll got %d blocks for ring of %d", len(blocks), p))
+	}
+	out := make([]*tensor.Matrix, p)
+	out[cm.Pos] = blocks[cm.Pos].Clone()
+	// Shifted exchange order avoids head-of-line blocking: at round t,
+	// talk to the peer t positions away in both directions of the rank
+	// space (classic pairwise exchange).
+	for t := 1; t < p; t++ {
+		cm.SendTo(cm.Pos+t, blocks[mod(cm.Pos+t, p)])
+		out[mod(cm.Pos-t, p)] = cm.RecvFrom(cm.Pos - t)
+	}
+	return out
+}
+
+// AllReduce returns the element-wise sum of every ring member's matrix on
+// all members, implemented as Reduce to position 0 followed by Broadcast —
+// the composition property the tests verify against ReduceScatter+AllGather.
+func AllReduce(cm *mesh.Comm, m *tensor.Matrix) *tensor.Matrix {
+	sum := Reduce(cm, 0, m)
+	if cm.Pos == 0 {
+		return Broadcast(cm, 0, sum)
+	}
+	return Broadcast(cm, 0, nil)
+}
+
+func mod(a, n int) int { return ((a % n) + n) % n }

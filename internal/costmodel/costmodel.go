@@ -1,0 +1,218 @@
+// Package costmodel implements the MeshSlice LLM autotuner's analytical
+// cost models (paper §3.2.2): a linear communication model
+//
+//	cost_op = t_launch + (P-1) × (t_sync + sizeof(shard)/bw)
+//
+// calibrated from the hardware description, a compute model dividing FLOPs
+// by effective throughput, and the prologue / steady-state / epilogue
+// composition that estimates a MeshSlice GeMM's execution time. It also
+// provides the traffic-cost formulas of §2.3.1 and the 2.5D-vs-MeshSlice+DP
+// traffic comparison of §7.
+package costmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"meshslice/internal/gemm"
+	"meshslice/internal/hw"
+	"meshslice/internal/topology"
+)
+
+// RingCollective returns the modelled execution time of an AllGather or
+// ReduceScatter over a ring of ringSize chips where each of the ringSize-1
+// steps transfers shardBytes per link.
+func RingCollective(c hw.Chip, ringSize int, shardBytes float64) float64 {
+	if ringSize <= 1 {
+		return 0
+	}
+	return c.LaunchOverhead + float64(ringSize-1)*(c.SyncLatency+shardBytes/c.LinkBandwidth)
+}
+
+// RingCollectiveBidir returns the modelled execution time of an AllGather
+// or ReduceScatter that drives both directions of the ring's bi-directional
+// links (collective.AllGatherBidir): two counter-rotating streams cover the
+// ring in ⌈(P-1)/2⌉ synchronised steps at the same per-link bandwidth.
+// Current Google Cloud TPU slices only drive one direction (paper §5.3.1),
+// which is why the mainline model uses RingCollective; this variant
+// quantifies the headroom.
+func RingCollectiveBidir(c hw.Chip, ringSize int, shardBytes float64) float64 {
+	if ringSize <= 1 {
+		return 0
+	}
+	steps := ringSize / 2 // ⌈(P-1)/2⌉
+	return c.LaunchOverhead + float64(steps)*(c.SyncLatency+shardBytes/c.LinkBandwidth)
+}
+
+// RingAllToAll returns the modelled time of a personalised all-to-all on a
+// unidirectional ring of ringSize chips where every ordered pair exchanges
+// pairBytes: each of the ringSize-1 rounds is synchronised, and the busiest
+// link carries P·(P-1)/2 pair-payloads in total (every payload crosses its
+// hop distance). Expert parallelism's dispatch/combine steps (§6) use this.
+func RingAllToAll(c hw.Chip, ringSize int, pairBytes float64) float64 {
+	if ringSize <= 1 {
+		return 0
+	}
+	p := float64(ringSize)
+	wire := pairBytes * p * (p - 1) / 2 / c.LinkBandwidth
+	return c.LaunchOverhead + (p-1)*c.SyncLatency + wire
+}
+
+// Estimate is the cost model's decomposition of one distributed GeMM.
+type Estimate struct {
+	// Prologue is the non-overlapped head (the first iteration's
+	// communications).
+	Prologue float64
+	// SteadyState is the per-iteration time of the software pipeline.
+	SteadyState float64
+	// Iterations is the number of steady-state iterations (S-1).
+	Iterations int
+	// Epilogue is the non-overlapped tail (the last iteration's
+	// operations after its communications).
+	Epilogue float64
+	// CommTime is the total communication time (overlapped plus exposed),
+	// the quantity validated against measurements in Fig. 15.
+	CommTime float64
+	// ComputeTime is the total local GeMM time.
+	ComputeTime float64
+}
+
+// Total returns prologue + iterations·steady-state + epilogue.
+func (e Estimate) Total() float64 {
+	return e.Prologue + float64(e.Iterations)*e.SteadyState + e.Epilogue
+}
+
+// MeshSlice estimates the execution time of the MeshSlice algorithm for
+// problem p on torus t with slice count S (paper §3.2.2): the prologue is
+// the longest first-iteration communication, the steady state is the
+// longest of the per-iteration operations (communications in the two
+// directions run in parallel with the computation), and the epilogue is
+// the remainder of the last iteration.
+func MeshSlice(p gemm.Problem, t topology.Torus, c hw.Chip, S int) Estimate {
+	if S <= 0 {
+		panic(fmt.Sprintf("costmodel: S=%d", S))
+	}
+	fS := float64(S)
+	bpe := c.BytesPerElement
+	pr, pc := float64(t.Rows), float64(t.Cols)
+	m, n, k := float64(p.M), float64(p.N), float64(p.K)
+
+	// Per-iteration compute uses the roofline: FLOPs at effective
+	// throughput against operand streaming at HBM bandwidth. Training
+	// GeMMs are compute-bound so this matches the paper's pure-FLOPs
+	// model; inference-decode GeMMs become memory-bound (§6).
+	var comm1, comm2, compute float64 // per-iteration costs
+	var commFirst, tailAfterCompute float64
+	switch p.Dataflow {
+	case gemm.OS:
+		comm1 = RingCollective(c, t.Cols, m/pr*k/pc/fS*bpe) // AG_col A_s
+		comm2 = RingCollective(c, t.Rows, k/pr*n/pc/fS*bpe) // AG_row B_s
+		hbm := (m/pr*k/fS + k/fS*n/pc + 2*m/pr*n/pc) * bpe
+		compute = c.RooflineTime(2*m/pr*n/pc*k/fS, hbm)
+		commFirst = maxf(comm1, comm2)
+		tailAfterCompute = 0
+	case gemm.LS:
+		comm1 = RingCollective(c, t.Rows, n/pr*k/pc/fS*bpe)   // AG_row B_s
+		comm2 = RingCollective(c, t.Cols, m/pr*(n/fS)/pc*bpe) // RdS_col C_s
+		hbm := (m/pr*k/pc + (n/fS)*k/pc + 2*m/pr*(n/fS)) * bpe
+		compute = c.RooflineTime(2*m/pr*(n/fS)*k/pc, hbm)
+		commFirst = comm1
+		tailAfterCompute = comm2
+	case gemm.RS:
+		comm1 = RingCollective(c, t.Cols, k/pr*m/pc/fS*bpe)   // AG_col A_s
+		comm2 = RingCollective(c, t.Rows, (m/fS)/pr*n/pc*bpe) // RdS_row C_s
+		hbm := (k/pr*(m/fS) + k/pr*n/pc + 2*(m/fS)*n/pc) * bpe
+		compute = c.RooflineTime(2*(m/fS)*n/pc*k/pr, hbm)
+		commFirst = comm1
+		tailAfterCompute = comm2
+	default:
+		panic(fmt.Sprintf("costmodel: unknown dataflow %d", int(p.Dataflow)))
+	}
+
+	steady := maxf(maxf(comm1, comm2), compute)
+	return Estimate{
+		Prologue:    commFirst,
+		SteadyState: steady,
+		Iterations:  S - 1,
+		Epilogue:    compute + tailAfterCompute,
+		CommTime:    fS * (comm1 + comm2),
+		ComputeTime: fS * compute,
+	}
+}
+
+// Collective estimates Collective 2D GeMM: MeshSlice with S=1, where
+// nothing overlaps by construction.
+func Collective(p gemm.Problem, t topology.Torus, c hw.Chip) Estimate {
+	return MeshSlice(p, t, c, 1)
+}
+
+// TrafficCost returns the §2.3.1 shard-transfer time for a mesh where the
+// matrices flowing inter-row and inter-column have the given global byte
+// sizes: the maximum of
+//
+//	(Pr-1)·size(Mr)/(Pr·Pc)/BW_row  and  (Pc-1)·size(Mc)/(Pr·Pc)/BW_col.
+func TrafficCost(t topology.Torus, rowBytes, colBytes, bwRow, bwCol float64) float64 {
+	chips := float64(t.Size())
+	vert := float64(t.Rows-1) * rowBytes / chips / bwRow
+	horz := float64(t.Cols-1) * colBytes / chips / bwCol
+	return maxf(vert, horz)
+}
+
+// PerChipTraffic2D returns the per-chip communication bytes of a 2D GeMM
+// on torus t where the inter-row-flowing matrix has rowBytes total and the
+// inter-column-flowing matrix colBytes total.
+func PerChipTraffic2D(t topology.Torus, rowBytes, colBytes float64) float64 {
+	chips := float64(t.Size())
+	return float64(t.Rows-1)*rowBytes/chips + float64(t.Cols-1)*colBytes/chips
+}
+
+// PerChipTraffic25D returns the per-chip communication bytes of the 2.5D
+// GeMM algorithm [28] computing an M×K by K×N product on a P×P×c torus:
+// each of the c layers performs P/c systolic shift steps moving both input
+// shards (the dominant term; skewing and the final inter-layer reduction
+// add to it, so this is a lower bound favouring 2.5D).
+func PerChipTraffic25D(m, n, k int64, p, c int, bytesPerElem float64) float64 {
+	if p <= 0 || c <= 0 || p%c != 0 {
+		panic(fmt.Sprintf("costmodel: invalid 2.5D shape P=%d c=%d", p, c))
+	}
+	aShard := float64(m) / float64(p) * float64(k) / float64(p) * bytesPerElem
+	bShard := float64(k) / float64(p) * float64(n) / float64(p) * bytesPerElem
+	return float64(p/c) * (aShard + bShard)
+}
+
+// PerChipTrafficMeshSliceDP returns the per-chip communication bytes of
+// MeshSlice+DP on a Pr×Pc×c torus computing the same product: the 2D GeMM
+// traffic of the best dataflow (the largest matrix stationary) plus the
+// ring AllReduce of the weight gradient across the DP dimension.
+func PerChipTrafficMeshSliceDP(m, n, k int64, t topology.Torus, c int, bytesPerElem float64) float64 {
+	if c <= 0 {
+		panic(fmt.Sprintf("costmodel: invalid DP degree %d", c))
+	}
+	// Per-DP-replica batch dimension.
+	mLocal := float64(m) / float64(c)
+	x := mLocal * float64(k) * bytesPerElem     // input
+	w := float64(k) * float64(n) * bytesPerElem // weight
+	y := mLocal * float64(n) * bytesPerElem     // output
+	// Largest matrix stationary; the two smallest flow, with the smaller
+	// one on the longer ring (traffic pairs size with ring length - 1, so
+	// the product is minimised by sorting them opposite ways).
+	sizes := []float64{x, w, y}
+	sort.Float64s(sizes)
+	small, large := sizes[0], sizes[1]
+	longDim, shortDim := t.Rows, t.Cols
+	if longDim < shortDim {
+		longDim, shortDim = shortDim, longDim
+	}
+	gemmTraffic := PerChipTraffic2D(topology.Torus{Rows: longDim, Cols: shortDim}, small, large)
+	// DP gradient ring AllReduce: 2·(c-1)/c of the per-chip weight shard.
+	wShard := w / float64(t.Size())
+	dpTraffic := 2 * float64(c-1) / float64(c) * wShard
+	return gemmTraffic + dpTraffic
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

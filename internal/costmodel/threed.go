@@ -1,0 +1,89 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+
+	"meshslice/internal/gemm"
+	"meshslice/internal/hw"
+	"meshslice/internal/topology"
+)
+
+// This file extends the §7 traffic comparison with execution-time
+// estimates: the 2.5D GeMM on a P×P×c torus versus MeshSlice composed with
+// c-way data parallelism on a Pr×Pc×c torus, both built from the same
+// linear communication model. Together with the per-chip traffic
+// calculators in costmodel.go this quantifies the paper's claim that
+// MeshSlice+DP beats the Cannon-based 2.5D algorithm because it can choose
+// a non-square base mesh and needs no skewing.
+
+// shiftCost is the linear model for a sequence of SendRecv ring steps.
+func shiftCost(c hw.Chip, steps int, bytes float64) float64 {
+	if steps <= 0 {
+		return 0
+	}
+	return c.LaunchOverhead + float64(steps)*(c.SyncLatency+bytes/c.LinkBandwidth)
+}
+
+// TwoPointFiveDTime estimates one M×K by K×N multiplication with the 2.5D
+// algorithm on a P×P×c torus: depth replication of both inputs, the skewing
+// prologue (⌊P/2⌋ worst-case torus hops per direction), P/c systolic
+// iterations whose shifts overlap the partial GeMMs, and the depth
+// reduction of the output.
+func TwoPointFiveDTime(m, n, k int64, p, cDepth int, c hw.Chip) float64 {
+	if p <= 0 || cDepth <= 0 || p%cDepth != 0 {
+		panic(fmt.Sprintf("costmodel: invalid 2.5D shape P=%d c=%d", p, cDepth))
+	}
+	fp := float64(p)
+	aBytes := float64(m) / fp * float64(k) / fp * c.BytesPerElement
+	bBytes := float64(k) / fp * float64(n) / fp * c.BytesPerElement
+	cBytes := float64(m) / fp * float64(n) / fp * c.BytesPerElement
+
+	// Depth replication: both inputs forwarded around the depth ring.
+	replicate := shiftCost(c, cDepth-1, aBytes) + shiftCost(c, cDepth-1, bBytes)
+	// Skew: the two directions proceed in parallel; the worst chip moves
+	// ⌊P/2⌋ hops.
+	skew := math.Max(shiftCost(c, p/2, aBytes), shiftCost(c, p/2, bBytes))
+	// Systolic loop: P/c iterations; each iteration's two shifts (parallel
+	// directions) overlap the next partial GeMM.
+	iters := p / cDepth
+	gemmPer := c.GeMMTime(2 * float64(m) / fp * float64(n) / fp * float64(k) / float64(iters) / float64(cDepth))
+	stepComm := math.Max(shiftCost(c, 1, aBytes), shiftCost(c, 1, bBytes))
+	steady := math.Max(stepComm, gemmPer)
+	loop := gemmPer + float64(iters-1)*steady
+	// Depth reduction of the partial outputs.
+	reduce := shiftCost(c, cDepth-1, cBytes)
+	return replicate + skew + loop + reduce
+}
+
+// MeshSliceDPTime estimates the same multiplication with MeshSlice plus
+// c-way data parallelism on a Pr×Pc×c torus: each replica runs MeshSlice on
+// its M/c slice of the batch with the best slice count, and the DP
+// dimension pays a ring AllReduce of the weight-gradient shard (reported
+// non-overlapped, which is conservative — training overlaps it with the
+// backward pass).
+func MeshSliceDPTime(m, n, k int64, t topology.Torus, cDepth int, c hw.Chip) float64 {
+	if cDepth <= 0 {
+		panic(fmt.Sprintf("costmodel: invalid DP degree %d", cDepth))
+	}
+	p := gemm.Problem{
+		M:        int(m) / cDepth,
+		N:        int(n),
+		K:        int(k),
+		Dataflow: gemm.OS,
+	}
+	best := math.Inf(1)
+	for _, s := range []int{1, 2, 4, 8, 16, 32, 64} {
+		if tot := MeshSlice(p, t, c, s).Total(); tot < best {
+			best = tot
+		}
+	}
+	// DP gradient AllReduce: ring allreduce of the per-chip weight shard,
+	// 2·(c-1) steps of shard/c bytes.
+	wShard := float64(k) * float64(n) / float64(t.Size()) * c.BytesPerElement
+	allReduce := 0.0
+	if cDepth > 1 {
+		allReduce = c.LaunchOverhead + 2*float64(cDepth-1)*(c.SyncLatency+wShard/float64(cDepth)/c.LinkBandwidth)
+	}
+	return best + allReduce
+}

@@ -1,0 +1,71 @@
+package costmodel
+
+import (
+	"testing"
+
+	"meshslice/internal/topology"
+)
+
+func TestTwoPointFiveDTimePositive(t *testing.T) {
+	got := TwoPointFiveDTime(1<<20, 12<<10, 48<<10, 16, 4, testHW)
+	if got <= 0 {
+		t.Fatalf("2.5D time = %v", got)
+	}
+}
+
+func TestTwoPointFiveDTimePanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("invalid shape should panic")
+		}
+	}()
+	TwoPointFiveDTime(8, 8, 8, 6, 4, testHW)
+}
+
+func TestMeshSliceDPTimePanicsOnBadDepth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("c=0 should panic")
+		}
+	}()
+	MeshSliceDPTime(8, 8, 8, topology.NewTorus(2, 2), 0, testHW)
+}
+
+// The §7 conclusion in time rather than traffic: on 1024 chips computing
+// the GPT-3 FC layer, MeshSlice+DP on its 32×8×4 shape beats 2.5D on the
+// only shape 2.5D supports (16×16×4).
+func TestSection7TimeComparison(t *testing.T) {
+	m, n, k := int64(1024)<<10, int64(12)<<10, int64(48)<<10
+	t25 := TwoPointFiveDTime(m, n, k, 16, 4, testHW)
+	tms := MeshSliceDPTime(m, n, k, topology.NewTorus(32, 8), 4, testHW)
+	if tms >= t25 {
+		t.Errorf("MeshSlice+DP (%v) should beat 2.5D (%v)", tms, t25)
+	}
+}
+
+// More replication (larger c) lowers 2.5D's intra-layer traffic: time must
+// not increase with c for a communication-bound problem.
+func TestTwoPointFiveDDepthTradeoff(t *testing.T) {
+	m, n, k := int64(1024)<<10, int64(12)<<10, int64(48)<<10
+	t1 := TwoPointFiveDTime(m, n, k, 16, 1, testHW)
+	t4 := TwoPointFiveDTime(m, n, k, 16, 4, testHW)
+	if t4 >= t1 {
+		t.Errorf("c=4 (%v) should beat c=1 (%v) on a comm-bound problem", t4, t1)
+	}
+}
+
+// DP AllReduce cost vanishes at c=1 and grows with the weight shard.
+func TestMeshSliceDPAllReduceTerm(t *testing.T) {
+	m, n, k := int64(1)<<18, int64(12)<<10, int64(12)<<10
+	tor := topology.NewTorus(16, 16)
+	noDP := MeshSliceDPTime(m, n, k, tor, 1, testHW)
+	// With DP=4 the per-replica GeMM has M/4 — less compute — but pays the
+	// AllReduce; both effects must be reflected (strictly different time).
+	dp4 := MeshSliceDPTime(m*4, n, k, tor, 4, testHW)
+	if dp4 == noDP {
+		t.Errorf("DP term had no effect")
+	}
+	if noDP <= 0 || dp4 <= 0 {
+		t.Errorf("degenerate times %v %v", noDP, dp4)
+	}
+}

@@ -1,0 +1,87 @@
+// Package des is a minimal discrete-event simulation kernel: a simulated
+// clock and a time-ordered event queue. The cluster simulator (package
+// netsim) drives chip compute engines, link controllers and ring barriers
+// on top of it, playing the role SST plays in the paper's evaluation
+// (§4.1).
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Simulator owns the clock and the pending event queue.
+type Simulator struct {
+	now   float64
+	queue eventHeap
+	seq   uint64
+}
+
+// New returns a simulator at time zero with no pending events.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulated time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Schedule enqueues fn to run at absolute simulated time at. Events at the
+// same time run in scheduling order (FIFO), which keeps runs deterministic.
+// Scheduling in the past is a programming error.
+func (s *Simulator) Schedule(at float64, fn func()) {
+	if at < s.now {
+		panic(fmt.Sprintf("des: scheduling at %g before now %g", at, s.now))
+	}
+	s.seq++
+	heap.Push(&s.queue, event{at: at, seq: s.seq, fn: fn})
+}
+
+// After enqueues fn to run delay seconds from now.
+func (s *Simulator) After(delay float64, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %g", delay))
+	}
+	s.Schedule(s.now+delay, fn)
+}
+
+// Run executes events in time order until the queue drains, and returns
+// the final simulated time.
+func (s *Simulator) Run() float64 {
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(event)
+		s.now = ev.at
+		ev.fn()
+	}
+	return s.now
+}
+
+// Pending returns the number of queued events (useful for detecting
+// deadlocked models in tests).
+func (s *Simulator) Pending() int { return s.queue.Len() }
+
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}

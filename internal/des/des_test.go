@@ -1,0 +1,194 @@
+package des
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(3, func() { order = append(order, 3) })
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(2, func() { order = append(order, 2) })
+	end := s.Run()
+	if !reflect.DeepEqual(order, []int{1, 2, 3}) {
+		t.Errorf("order = %v", order)
+	}
+	if end != 3 {
+		t.Errorf("end = %v, want 3", end)
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Schedule(1, func() { order = append(order, i) })
+	}
+	s.Run()
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3, 4}) {
+		t.Errorf("simultaneous events not FIFO: %v", order)
+	}
+}
+
+func TestNowAdvancesDuringRun(t *testing.T) {
+	s := New()
+	var seen []float64
+	s.Schedule(1.5, func() { seen = append(seen, s.Now()) })
+	s.Schedule(2.5, func() { seen = append(seen, s.Now()) })
+	s.Run()
+	if !reflect.DeepEqual(seen, []float64{1.5, 2.5}) {
+		t.Errorf("Now during events = %v", seen)
+	}
+}
+
+func TestEventsCanScheduleMoreEvents(t *testing.T) {
+	s := New()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 5 {
+			s.After(1, chain)
+		}
+	}
+	s.Schedule(0, chain)
+	end := s.Run()
+	if count != 5 || end != 4 {
+		t.Errorf("count = %d end = %v, want 5 and 4", count, end)
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	s := New()
+	var at float64
+	s.Schedule(10, func() {
+		s.After(2.5, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 12.5 {
+		t.Errorf("After fired at %v, want 12.5", at)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.Schedule(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("scheduling in the past should panic")
+			}
+		}()
+		s.Schedule(4, func() {})
+	})
+	s.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("negative delay should panic")
+		}
+	}()
+	New().After(-1, func() {})
+}
+
+func TestPending(t *testing.T) {
+	s := New()
+	if s.Pending() != 0 {
+		t.Errorf("fresh simulator has %d pending", s.Pending())
+	}
+	s.Schedule(1, func() {})
+	s.Schedule(2, func() {})
+	if s.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", s.Pending())
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Errorf("Pending after Run = %d", s.Pending())
+	}
+}
+
+func TestRunEmptyReturnsZero(t *testing.T) {
+	if end := New().Run(); end != 0 {
+		t.Errorf("empty Run = %v", end)
+	}
+}
+
+func TestResourceSerialisesFIFO(t *testing.T) {
+	s := New()
+	r := NewResource(s)
+	var starts []float64
+	use := func(d float64) {
+		r.Use(d, func(at float64) { starts = append(starts, at) })
+	}
+	s.Schedule(0, func() {
+		use(2) // [0,2)
+		use(3) // [2,5)
+		use(1) // [5,6)
+	})
+	end := s.Run()
+	if !reflect.DeepEqual(starts, []float64{0, 2, 5}) {
+		t.Errorf("starts = %v", starts)
+	}
+	if end != 6 {
+		t.Errorf("end = %v, want 6", end)
+	}
+}
+
+func TestResourceInterleavedRequests(t *testing.T) {
+	s := New()
+	r := NewResource(s)
+	var starts []float64
+	s.Schedule(0, func() {
+		r.Use(5, func(at float64) { starts = append(starts, at) })
+	})
+	s.Schedule(1, func() {
+		// Requested mid-hold: must wait until 5.
+		r.Use(2, func(at float64) { starts = append(starts, at) })
+		if !r.Busy() {
+			t.Errorf("resource should be busy at t=1")
+		}
+		if r.QueueLen() != 1 {
+			t.Errorf("queue length = %d", r.QueueLen())
+		}
+	})
+	s.Run()
+	if !reflect.DeepEqual(starts, []float64{0, 5}) {
+		t.Errorf("starts = %v", starts)
+	}
+}
+
+func TestResourceIdleGrantIsImmediate(t *testing.T) {
+	s := New()
+	r := NewResource(s)
+	granted := false
+	s.Schedule(3, func() {
+		r.Use(1, func(at float64) {
+			granted = true
+			if at != 3 {
+				t.Errorf("granted at %v, want 3", at)
+			}
+		})
+	})
+	s.Run()
+	if !granted {
+		t.Errorf("idle resource never granted")
+	}
+	if r.Busy() || r.QueueLen() != 0 {
+		t.Errorf("resource not released: busy=%v queue=%d", r.Busy(), r.QueueLen())
+	}
+}
+
+func TestResourceNegativeDurationPanics(t *testing.T) {
+	s := New()
+	r := NewResource(s)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("negative duration should panic")
+		}
+	}()
+	r.Use(-1, nil)
+}

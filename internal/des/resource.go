@@ -1,0 +1,59 @@
+package des
+
+import "container/list"
+
+// Resource is a serially-occupied facility (a link controller, a compute
+// engine): requests are granted FIFO, each holding the resource for its
+// stated duration. The cluster simulator keeps its own specialised
+// scheduling (program-order queues with ring barriers), but simpler models
+// — and tests of the kernel itself — use this directly.
+type Resource struct {
+	sim     *Simulator
+	busy    bool
+	waiters *list.List
+}
+
+// NewResource returns an idle resource bound to the simulator.
+func NewResource(s *Simulator) *Resource {
+	return &Resource{sim: s, waiters: list.New()}
+}
+
+type resourceRequest struct {
+	duration float64
+	start    func(startTime float64)
+}
+
+// Use requests the resource for duration seconds starting no earlier than
+// now; start (optional) runs when the request is granted, and the resource
+// frees itself after the duration elapses.
+func (r *Resource) Use(duration float64, start func(startTime float64)) {
+	if duration < 0 {
+		panic("des: negative resource duration")
+	}
+	req := resourceRequest{duration: duration, start: start}
+	if r.busy {
+		r.waiters.PushBack(req)
+		return
+	}
+	r.grant(req)
+}
+
+func (r *Resource) grant(req resourceRequest) {
+	r.busy = true
+	if req.start != nil {
+		req.start(r.sim.Now())
+	}
+	r.sim.After(req.duration, func() {
+		r.busy = false
+		if e := r.waiters.Front(); e != nil {
+			r.waiters.Remove(e)
+			r.grant(e.Value.(resourceRequest))
+		}
+	})
+}
+
+// Busy reports whether the resource is currently held.
+func (r *Resource) Busy() bool { return r.busy }
+
+// QueueLen reports the number of waiting requests.
+func (r *Resource) QueueLen() int { return r.waiters.Len() }

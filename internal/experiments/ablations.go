@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"meshslice/internal/calibrate"
+	"meshslice/internal/gemm"
+	"meshslice/internal/hw"
+	"meshslice/internal/netsim"
+	"meshslice/internal/sched"
+	"meshslice/internal/topology"
+)
+
+// Ablations runs MeshSlice's flagship configuration under every simulator
+// model variant, quantifying what each modelling choice contributes — the
+// design decisions DESIGN.md lists.
+func Ablations(chip hw.Chip, quick bool) []*Table {
+	tor := topology.NewTorus(32, 8)
+	prob := gemm.Problem{M: 1 << 18, N: 49152, K: 12288, Dataflow: gemm.OS}
+	if quick {
+		tor = topology.NewTorus(4, 4)
+		prob = gemm.Problem{M: 1 << 14, N: 8192, K: 8192, Dataflow: gemm.OS}
+	}
+	const s = 8
+	prog := sched.MeshSliceProgram(prob, tor, chip, s)
+
+	variants := []struct {
+		name string
+		opts netsim.Options
+	}{
+		{"baseline (atomic, HBM contention)", netsim.Options{}},
+		{"no HBM contention", netsim.Options{NoHBMContention: true}},
+		{"step-level collectives", netsim.Options{StepLevel: true}},
+		{"tiled chip compute", netsim.Options{TiledCompute: true}},
+		{"bidirectional ICI rings", netsim.Options{BidirectionalRings: true}},
+		{"logical mesh (2x fabric contention)", netsim.Options{FabricContention: 2}},
+		{"no overlap (real-TPU mode)", netsim.Options{NoOverlap: true}},
+	}
+	t := &Table{
+		ID:     "ablations",
+		Title:  fmt.Sprintf("Simulator model ablations — MeshSlice S=%d on %v (M=%d N=%d K=%d)", s, tor, prob.M, prob.N, prob.K),
+		Header: []string{"model variant", "makespan", "vs baseline", "exposed comm"},
+	}
+	var base float64
+	for i, v := range variants {
+		r := netsim.Simulate(prog, chip, v.opts)
+		if i == 0 {
+			base = r.Makespan
+		}
+		t.AddRow(v.name, ms(r.Makespan),
+			fmt.Sprintf("%+.1f%%", 100*(r.Makespan/base-1)),
+			ms(r.ExposedComm))
+	}
+	t.Notes = append(t.Notes,
+		"each row toggles one modelling choice; step-level equals atomic up to per-step contention sampling; bidirectional rings show the §5.3.1 headroom",
+	)
+	return []*Table{t}
+}
+
+// Calib reproduces the §4.5 calibration methodology as an experiment:
+// measure ring collectives on small simulated clusters across shard sizes,
+// fit the linear communication model, and compare the recovered parameters
+// to the ground truth the simulator was given.
+func Calib(chip hw.Chip, quick bool) []*Table {
+	rings := []int{2, 4}
+	shards := []float64{8 << 10, 256 << 10, 8 << 20, 64 << 20, 512 << 20}
+	if quick {
+		shards = shards[:3]
+	}
+	fit, err := calibrate.Fit(calibrate.Measure(chip, rings, shards))
+	t := &Table{
+		ID:     "calib",
+		Title:  "Communication-model calibration (§4.5): 2-/4-chip rings, 8KB–512MB shards",
+		Header: []string{"parameter", "ground truth", "fitted"},
+	}
+	if err != nil {
+		t.AddRow("error", err.Error(), "")
+		return []*Table{t}
+	}
+	t.AddRow("bandwidth", fmt.Sprintf("%.2f GB/s", chip.LinkBandwidth/1e9), fmt.Sprintf("%.2f GB/s", fit.Bandwidth/1e9))
+	t.AddRow("t_sync", fmt.Sprintf("%.2f µs", chip.SyncLatency*1e6), fmt.Sprintf("%.2f µs", fit.SyncLatency*1e6))
+	t.AddRow("t_launch", fmt.Sprintf("%.2f µs", chip.LaunchOverhead*1e6), fmt.Sprintf("%.2f µs", fit.LaunchOverhead*1e6))
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("max residual %.2g; the paper fits bw and t_launch by regression over shard sizes and t_sync by comparing chip counts", fit.MaxResidual),
+	)
+	return []*Table{t}
+}

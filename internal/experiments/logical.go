@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+
+	"meshslice/internal/hw"
+	"meshslice/internal/model"
+	"meshslice/internal/netsim"
+	"meshslice/internal/train"
+)
+
+// Sec6LogicalMesh quantifies the paper's §6 discussion: applying MeshSlice
+// to a LOGICAL mesh constructed on top of an existing network (GPU
+// clusters) instead of a physical 2D torus. On a logical mesh the AG/RdS
+// operations of the two directions contend for shared links; the
+// experiment compares each algorithm's FC utilisation with and without a
+// 2x fabric-contention factor.
+func Sec6LogicalMesh(chip hw.Chip, quick bool) []*Table {
+	chips := 64
+	if quick {
+		chips = 16
+	}
+	var tables []*Table
+	for _, cfg := range []model.Config{model.GPT3()} {
+		t := &Table{
+			ID:     "sec6",
+			Title:  fmt.Sprintf("Physical vs logical mesh (2x fabric contention), %d chips — %s", chips, cfg.Name),
+			Header: []string{"algorithm", "physical mesh", "logical mesh", "slowdown"},
+		}
+		tokens := cfg.WeakScalingTokens(chips)
+		for _, algo := range train.TwoDAlgos {
+			phys, err1 := train.EvaluateFC(cfg, tokens, chips, chip, algo,
+				train.Options{OptimizeDataflow: true})
+			logi, err2 := train.EvaluateFC(cfg, tokens, chips, chip, algo,
+				train.Options{OptimizeDataflow: true, Sim: netsim.Options{FabricContention: 2}})
+			if err1 != nil || err2 != nil {
+				t.AddRow(algo.String(), "n/a", "n/a", "n/a")
+				continue
+			}
+			t.AddRow(algo.String(),
+				pct(phys.Utilization(chip)),
+				pct(logi.Utilization(chip)),
+				fmt.Sprintf("%.2fx", logi.Time/phys.Time))
+		}
+		t.Notes = append(t.Notes,
+			"paper §6: on a logical mesh MeshSlice becomes less efficient because its bidirectional AG/RdS contend; the autotuner would need a contention-aware cost model",
+		)
+		tables = append(tables, t)
+	}
+	return tables
+}

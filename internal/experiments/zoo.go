@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"meshslice/internal/autotune"
+	"meshslice/internal/hw"
+	"meshslice/internal/memory"
+	"meshslice/internal/model"
+)
+
+// Zoo runs the MeshSlice LLM autotuner over the whole built-in model zoo —
+// the paper's two evaluation models plus Llama-3 (its §2.2 motivating
+// example) and PaLM — reporting the chosen mesh shape, the slice-count
+// range, the estimated FC utilisation, and the per-chip memory footprint
+// at 256-way 2D TP.
+func Zoo(chip hw.Chip, quick bool) []*Table {
+	chips := 256
+	if quick {
+		chips = 16
+	}
+	t := &Table{
+		ID:     "zoo",
+		Title:  fmt.Sprintf("Autotuner choices across the model zoo, %d chips", chips),
+		Header: []string{"model", "params", "mesh shape", "S range", "est. FC util", "mem/chip (PP=8)"},
+	}
+	for _, cfg := range model.Builtins() {
+		tokens := cfg.WeakScalingTokens(chips)
+		choice, err := autotune.Tune(cfg, tokens, chips, chip, autotune.Options{OptimizeDataflow: true})
+		if err != nil {
+			t.AddRow(cfg.Name, "n/a", "n/a", "n/a", "n/a", "n/a")
+			continue
+		}
+		minS, maxS := 1<<30, 0
+		var flops float64
+		for _, lc := range choice.Layers {
+			for _, pc := range lc.Passes {
+				if pc.S < minS {
+					minS = pc.S
+				}
+				if pc.S > maxS {
+					maxS = pc.S
+				}
+				flops += 2 * float64(pc.Problem.M) * float64(pc.Problem.N) * float64(pc.Problem.K)
+			}
+		}
+		util := flops / (choice.BlockTime * float64(chips) * chip.PeakFLOPS)
+		foot, ferr := memory.Estimate(cfg, memory.Params{
+			TPDegree: chips, PPDegree: 8, TokensPerReplica: tokens,
+			BytesPerParam: chip.BytesPerElement, SliceCount: maxS,
+			Recompute: memory.SelectiveRecompute,
+		})
+		mem := "n/a"
+		if ferr == nil {
+			mem = fmt.Sprintf("%.1fGiB", foot.Total()/(1<<30))
+		}
+		t.AddRow(cfg.Name,
+			fmt.Sprintf("%.0fB", float64(cfg.ParamCount())/1e9),
+			choice.Shape.String(),
+			fmt.Sprintf("%d–%d", minS, maxS),
+			pct(util), mem)
+	}
+	t.Notes = append(t.Notes,
+		"extension: the paper evaluates GPT-3 and Megatron-NLG; the autotuner generalises to any transformer config (Llama-3 is the paper's §2.2 motivating cluster)",
+	)
+	return []*Table{t}
+}

@@ -1,0 +1,55 @@
+package gemm
+
+import (
+	"fmt"
+
+	"meshslice/internal/mesh"
+	"meshslice/internal/tensor"
+	"meshslice/internal/topology"
+)
+
+// Cannon returns the ChipFunc for Cannon's algorithm (paper §2.3.2):
+// the matrix shards are first skewed — chip (i,j) acquires A_{i,(j+i)} and
+// B_{(i+j),j} — and then systolically shifted with SendRecv operations for
+// P iterations, accumulating one partial product per step. It computes the
+// OS product C = A·B and only supports square meshes, the two limitations
+// the paper charges it with.
+func Cannon() ChipFunc {
+	return func(c *mesh.Chip, aij, bij *tensor.Matrix) *tensor.Matrix {
+		row, col := c.RowComm(), c.ColComm()
+		if row.Size != col.Size {
+			panic(fmt.Sprintf("gemm: Cannon requires a square mesh, got %dx%d", col.Size, row.Size))
+		}
+		p := row.Size
+		i, j := col.Pos, row.Pos
+
+		// Skewing prologue: shift A left by i within the row and B up by j
+		// within the column (extra traffic unique to Cannon).
+		a := row.Shift(-i, aij) // now holds A_{i,(j+i) mod P}
+		b := col.Shift(-j, bij) // now holds B_{(i+j) mod P,j}
+
+		cij := tensor.New(aij.Rows, bij.Cols)
+		for t := 0; t < p; t++ {
+			tensor.MatMulAdd(cij, a, b)
+			if t < p-1 {
+				a = row.Shift(-1, a)
+				b = col.Shift(-1, b)
+			}
+		}
+		return cij
+	}
+}
+
+// CannonValidate reports whether Cannon can run the problem on the torus.
+func CannonValidate(p Problem, t topology.Torus) error {
+	if p.Dataflow != OS {
+		return fmt.Errorf("gemm: Cannon computes the OS dataflow only")
+	}
+	if !t.IsSquare() {
+		return fmt.Errorf("gemm: Cannon requires a square mesh, got %v", t)
+	}
+	if !divisible(p.K, t.Cols) || !divisible(p.K, t.Rows) {
+		return fmt.Errorf("gemm: Cannon needs K=%d divisible by both mesh dims of %v", p.K, t)
+	}
+	return nil
+}

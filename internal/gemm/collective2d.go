@@ -1,0 +1,51 @@
+package gemm
+
+import (
+	"fmt"
+
+	"meshslice/internal/collective"
+	"meshslice/internal/mesh"
+	"meshslice/internal/tensor"
+)
+
+// Collective2D returns the ChipFunc for Collective 2D GeMM (paper §2.3.4,
+// Fig. 2b): one monolithic AllGather per flowing input (and one
+// ReduceScatter for a flowing output), then a single local GeMM. It is the
+// approach used on TPU clusters via GSPMD; efficient, but (on real
+// hardware) unable to overlap communication with computation — which is a
+// timing property, so the functional result here is identical to MeshSlice.
+func Collective2D(df Dataflow) ChipFunc {
+	switch df {
+	case OS:
+		return collectiveOS
+	case LS:
+		return collectiveLS
+	case RS:
+		return collectiveRS
+	default:
+		panic(fmt.Sprintf("gemm: unknown dataflow %d", int(df)))
+	}
+}
+
+// collectiveOS: A_i* = AG_col(A_ij); B_*j = AG_row(B_ij); C_ij = A_i*·B_*j.
+func collectiveOS(c *mesh.Chip, aij, bij *tensor.Matrix) *tensor.Matrix {
+	aFull := collective.AllGatherCols(c.RowComm(), aij) // M/Pr × K
+	bFull := collective.AllGatherRows(c.ColComm(), bij) // K × N/Pc
+	return tensor.MatMul(aFull, bFull)
+}
+
+// collectiveLS: B_*j = AG_row(B_ij); C'_i* = A_ij·(B_*j)ᵀ;
+// C_ij = RdS_col(C'_i*).
+func collectiveLS(c *mesh.Chip, aij, bij *tensor.Matrix) *tensor.Matrix {
+	bFull := collective.AllGatherRows(c.ColComm(), bij) // N × K/Pc
+	cPartial := tensor.MatMulNT(aij, bFull)             // M/Pr × N
+	return collective.ReduceScatterCols(c.RowComm(), cPartial)
+}
+
+// collectiveRS: A_i* = AG_col(A_ij); C'_*j = (A_i*)ᵀ·B_ij;
+// C_ij = RdS_row(C'_*j).
+func collectiveRS(c *mesh.Chip, aij, bij *tensor.Matrix) *tensor.Matrix {
+	aFull := collective.AllGatherCols(c.RowComm(), aij) // K/Pr × M
+	cPartial := tensor.MatMulTN(aFull, bij)             // M × N/Pc
+	return collective.ReduceScatterRows(c.ColComm(), cPartial)
+}

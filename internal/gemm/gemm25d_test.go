@@ -1,0 +1,113 @@
+package gemm
+
+import (
+	"math/rand"
+	"testing"
+
+	"meshslice/internal/tensor"
+	"meshslice/internal/topology"
+)
+
+func TestGrid3DRankCoordRoundTrip(t *testing.T) {
+	g := Grid3D{P: 4, C: 2}
+	seen := map[int]bool{}
+	for l := 0; l < g.C; l++ {
+		for i := 0; i < g.P; i++ {
+			for j := 0; j < g.P; j++ {
+				r := g.Rank(i, j, l)
+				if seen[r] {
+					t.Fatalf("rank %d assigned twice", r)
+				}
+				seen[r] = true
+				gi, gj, gl := g.Coord(r)
+				if gi != i || gj != j || gl != l {
+					t.Errorf("Coord(Rank(%d,%d,%d)) = (%d,%d,%d)", i, j, l, gi, gj, gl)
+				}
+			}
+		}
+	}
+	if len(seen) != g.Size() {
+		t.Errorf("covered %d ranks, want %d", len(seen), g.Size())
+	}
+}
+
+func TestGrid3DValidate(t *testing.T) {
+	if err := (Grid3D{P: 4, C: 2}).Validate(); err != nil {
+		t.Errorf("valid grid rejected: %v", err)
+	}
+	for _, g := range []Grid3D{{P: 0, C: 1}, {P: 4, C: 0}, {P: 4, C: 3}} {
+		if err := g.Validate(); err == nil {
+			t.Errorf("invalid grid %+v accepted", g)
+		}
+	}
+}
+
+func TestTwoPointFiveDValidate(t *testing.T) {
+	if err := TwoPointFiveDValidate(8, 8, 8, Grid3D{P: 4, C: 2}); err != nil {
+		t.Errorf("valid setup rejected: %v", err)
+	}
+	if err := TwoPointFiveDValidate(9, 8, 8, Grid3D{P: 4, C: 2}); err == nil {
+		t.Errorf("indivisible M accepted")
+	}
+	if err := TwoPointFiveDValidate(8, 8, 8, Grid3D{P: 4, C: 3}); err == nil {
+		t.Errorf("bad depth accepted")
+	}
+}
+
+func TestTwoPointFiveDMatchesReference(t *testing.T) {
+	for _, g := range []Grid3D{
+		{P: 2, C: 1}, // degenerates to Cannon
+		{P: 2, C: 2},
+		{P: 4, C: 2},
+		{P: 4, C: 4},
+		{P: 3, C: 3},
+	} {
+		rng := rand.New(rand.NewSource(int64(g.P*10 + g.C)))
+		m, n, k := 4*g.P, 4*g.P, 4*g.P
+		a := makeRandom(m, k, rng)
+		b := makeRandom(k, n, rng)
+		got := TwoPointFiveD(g, a, b)
+		want := Problem{M: m, N: n, K: k, Dataflow: OS}.Reference(a, b)
+		if !got.Equal(want, tol) {
+			t.Errorf("2.5D on %dx%dx%d: max diff %g", g.P, g.P, g.C, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestTwoPointFiveDRectangularMatrices(t *testing.T) {
+	g := Grid3D{P: 4, C: 2}
+	rng := rand.New(rand.NewSource(99))
+	a := makeRandom(16, 8, rng)
+	b := makeRandom(8, 24, rng)
+	got := TwoPointFiveD(g, a, b)
+	want := Problem{M: 16, N: 24, K: 8, Dataflow: OS}.Reference(a, b)
+	if !got.Equal(want, tol) {
+		t.Errorf("rectangular 2.5D: max diff %g", got.MaxAbsDiff(want))
+	}
+}
+
+func TestTwoPointFiveDC1EqualsCannon(t *testing.T) {
+	// With c=1 the algorithm is exactly Cannon on a P×P mesh.
+	rng := rand.New(rand.NewSource(100))
+	a := makeRandom(12, 12, rng)
+	b := makeRandom(12, 12, rng)
+	g25 := TwoPointFiveD(Grid3D{P: 3, C: 1}, a, b)
+	cannon := Multiply(squareTorus(3), Cannon(), a, b)
+	if !g25.Equal(cannon, tol) {
+		t.Errorf("2.5D(c=1) != Cannon: max diff %g", g25.MaxAbsDiff(cannon))
+	}
+}
+
+func TestTwoPointFiveDPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("indivisible shapes should panic")
+		}
+	}()
+	rng := rand.New(rand.NewSource(101))
+	TwoPointFiveD(Grid3D{P: 4, C: 2}, makeRandom(6, 8, rng), makeRandom(8, 8, rng))
+}
+
+func makeRandom(r, c int, rng *rand.Rand) *tensor.Matrix { return tensor.Random(r, c, rng) }
+
+func squareTorus(p int) topology.Torus { return topology.NewTorus(p, p) }

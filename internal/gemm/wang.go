@@ -1,0 +1,122 @@
+package gemm
+
+import (
+	"fmt"
+
+	"meshslice/internal/collective"
+	"meshslice/internal/mesh"
+	"meshslice/internal/tensor"
+	"meshslice/internal/topology"
+)
+
+// Wang returns the ChipFunc for Wang et al.'s algorithm (paper §2.3.4,
+// [34]): the collective communication in ONE direction is decomposed into
+// multiple SendRecv operations that (on real hardware) overlap with partial
+// GeMMs, while the collective in the other direction remains monolithic and
+// non-overlapped.
+//
+// This implementation computes the OS product C = A·B: B is all-gathered
+// down the columns in a single collective; A circulates around each row via
+// Pc SendRecv steps, one partial product per step. Decomposing both
+// directions would require Cannon (and its square-mesh limitation), which
+// is exactly the gap MeshSlice closes.
+func Wang() ChipFunc {
+	return func(c *mesh.Chip, aij, bij *tensor.Matrix) *tensor.Matrix {
+		row, col := c.RowComm(), c.ColComm()
+		// Non-overlapped direction: one monolithic AllGather of B.
+		bFull := collective.AllGatherRows(col, bij) // K × N/Pc
+
+		// Overlapped direction: A shards circulate via SendRecv.
+		pc := row.Size
+		kLocal := aij.Cols // K/Pc columns per shard
+		cij := tensor.New(aij.Rows, bij.Cols)
+		a := aij
+		for t := 0; t < pc; t++ {
+			src := (row.Pos + t) % pc // column whose A shard we now hold
+			bPanel := bFull.SubMatrix(src*kLocal, 0, kLocal, bFull.Cols)
+			tensor.MatMulAdd(cij, a, bPanel)
+			if t < pc-1 {
+				a = row.Shift(-1, a) // pull the next shard from the right
+			}
+		}
+		return cij
+	}
+}
+
+// WangValidate reports whether Wang's algorithm can run the problem on the
+// torus.
+func WangValidate(p Problem, t topology.Torus) error {
+	switch p.Dataflow {
+	case OS:
+		if !divisible(p.K, t.Cols) || !divisible(p.K, t.Rows) {
+			return fmt.Errorf("gemm: Wang OS needs K=%d divisible by both mesh dims of %v", p.K, t)
+		}
+	case LS:
+		if !divisible(p.N, t.Rows) || !divisible(p.N, t.Cols) {
+			return fmt.Errorf("gemm: Wang LS needs N=%d divisible by both mesh dims of %v", p.N, t)
+		}
+	case RS:
+		if !divisible(p.M, t.Cols) || !divisible(p.M, t.Rows) {
+			return fmt.Errorf("gemm: Wang RS needs M=%d divisible by both mesh dims of %v", p.M, t)
+		}
+	default:
+		return fmt.Errorf("gemm: unknown dataflow %d", int(p.Dataflow))
+	}
+	return nil
+}
+
+// WangDataflow returns Wang's algorithm for any dataflow: the flowing
+// input's AllGather is decomposed into SendRecv shifts (one partial GeMM
+// per arriving shard); for LS/RS the trailing output ReduceScatter stays
+// monolithic, mirroring the timing schedule in package sched.
+func WangDataflow(df Dataflow) ChipFunc {
+	switch df {
+	case OS:
+		return Wang()
+	case LS:
+		return wangLS
+	case RS:
+		return wangRS
+	default:
+		panic(fmt.Sprintf("gemm: unknown dataflow %d", int(df)))
+	}
+}
+
+// wangLS streams B's shards down the column: at step t the chip holds the
+// shard originating from mesh row (i+t) mod Pr and fills the matching
+// column block of the partial product; the RdS along the row runs once at
+// the end.
+func wangLS(c *mesh.Chip, aij, bij *tensor.Matrix) *tensor.Matrix {
+	row, col := c.RowComm(), c.ColComm()
+	pr := col.Size
+	n := bij.Rows * pr
+	cPrime := tensor.New(aij.Rows, n)
+	b := bij
+	for t := 0; t < pr; t++ {
+		src := (col.Pos + t) % pr
+		block := tensor.MatMulNT(aij, b) // M/Pr × N/Pr, partial over K/Pc
+		cPrime.SetSubMatrix(0, src*bij.Rows, block)
+		if t < pr-1 {
+			b = col.Shift(-1, b)
+		}
+	}
+	return collective.ReduceScatterCols(row, cPrime)
+}
+
+// wangRS streams A's shards along the row; the RdS down the column trails.
+func wangRS(c *mesh.Chip, aij, bij *tensor.Matrix) *tensor.Matrix {
+	row, col := c.RowComm(), c.ColComm()
+	pc := row.Size
+	m := aij.Cols * pc
+	cPrime := tensor.New(m, bij.Cols)
+	a := aij
+	for t := 0; t < pc; t++ {
+		src := (row.Pos + t) % pc
+		block := tensor.MatMulTN(a, bij) // M/Pc × N/Pc, partial over K/Pr
+		cPrime.SetSubMatrix(src*aij.Cols, 0, block)
+		if t < pc-1 {
+			a = row.Shift(-1, a)
+		}
+	}
+	return collective.ReduceScatterRows(col, cPrime)
+}

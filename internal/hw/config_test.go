@@ -1,0 +1,75 @@
+package hw
+
+import "testing"
+
+func TestTPUv4Valid(t *testing.T) {
+	if err := TPUv4().Validate(); err != nil {
+		t.Fatalf("default TPUv4 config invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesEachField(t *testing.T) {
+	mutations := []func(*Chip){
+		func(c *Chip) { c.PeakFLOPS = 0 },
+		func(c *Chip) { c.EffFLOPS = 0 },
+		func(c *Chip) { c.EffFLOPS = c.PeakFLOPS * 2 },
+		func(c *Chip) { c.LinkBandwidth = -1 },
+		func(c *Chip) { c.SyncLatency = -1 },
+		func(c *Chip) { c.LaunchOverhead = -1 },
+		func(c *Chip) { c.HBMBandwidth = 0 },
+		func(c *Chip) { c.BytesPerElement = 0 },
+		func(c *Chip) { c.SliceBlock = 0 },
+		func(c *Chip) { c.BcastPackets = 0 },
+	}
+	for i, mutate := range mutations {
+		c := TPUv4()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d should fail validation", i)
+		}
+	}
+}
+
+func TestUniDirectionalHalvesLinkBandwidth(t *testing.T) {
+	c := TPUv4()
+	u := c.UniDirectional()
+	if u.LinkBandwidth != c.LinkBandwidth/2 {
+		t.Errorf("UniDirectional bw = %v, want %v", u.LinkBandwidth, c.LinkBandwidth/2)
+	}
+	if c.LinkBandwidth != TPUv4().LinkBandwidth {
+		t.Errorf("UniDirectional must not mutate the receiver")
+	}
+}
+
+func TestGeMMTime(t *testing.T) {
+	c := TPUv4()
+	c.EffFLOPS = 1e12
+	if got := c.GeMMTime(2e12); got != 2 {
+		t.Errorf("GeMMTime = %v, want 2", got)
+	}
+	if got := c.GeMMTime(0); got != 0 {
+		t.Errorf("GeMMTime(0) = %v, want 0", got)
+	}
+	if got := c.GeMMTime(-5); got != 0 {
+		t.Errorf("GeMMTime(neg) = %v, want 0", got)
+	}
+}
+
+func TestShardBytes(t *testing.T) {
+	c := TPUv4()
+	if got := c.ShardBytes(1024); got != 2048 {
+		t.Errorf("ShardBytes = %v, want 2048 (bf16)", got)
+	}
+}
+
+func TestRooflineTime(t *testing.T) {
+	c := TPUv4()
+	// Compute-bound: large FLOPs, tiny bytes.
+	if got := c.RooflineTime(c.EffFLOPS, 1); got != 1 {
+		t.Errorf("compute-bound roofline = %v, want 1s", got)
+	}
+	// Memory-bound: tiny FLOPs, HBM-bandwidth bytes.
+	if got := c.RooflineTime(1, 2*c.HBMBandwidth); got != 2 {
+		t.Errorf("memory-bound roofline = %v, want 2s", got)
+	}
+}

@@ -1,0 +1,104 @@
+package mesh
+
+import (
+	"sync"
+
+	"meshslice/internal/tensor"
+)
+
+// exchanger is the in-memory stand-in for the ICI fabric: an unbounded FIFO
+// mailbox per ordered (sender, receiver) pair. Sends never block — like a
+// DMA engine writing into the receiver's HBM — which makes the symmetric
+// send-then-receive patterns of ring algorithms deadlock-free without
+// requiring chips to agree on call ordering.
+type exchanger struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   map[pair][]*tensor.Matrix
+	poisoned bool
+
+	// Traffic accounting (elements, not bytes — the runtime is precision
+	// agnostic): per ordered chip pair, and totals.
+	pairElems map[pair]int64
+	messages  int64
+}
+
+type pair struct{ from, to int }
+
+// errPeerFailed is the sentinel panic value raised by receives that were
+// aborted because another chip failed; Run reports it only when no chip
+// carries an original failure.
+const errPeerFailed = "mesh: receive aborted because a peer chip failed"
+
+func newExchanger() *exchanger {
+	e := &exchanger{
+		queues:    make(map[pair][]*tensor.Matrix),
+		pairElems: make(map[pair]int64),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+func (e *exchanger) send(from, to int, m *tensor.Matrix) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	k := pair{from, to}
+	e.queues[k] = append(e.queues[k], m)
+	e.pairElems[k] += int64(m.Rows) * int64(m.Cols)
+	e.messages++
+	e.cond.Broadcast()
+}
+
+func (e *exchanger) recv(from, to int) *tensor.Matrix {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	k := pair{from, to}
+	for len(e.queues[k]) == 0 {
+		if e.poisoned {
+			// A peer chip panicked; give up instead of blocking forever.
+			panic(errPeerFailed)
+		}
+		e.cond.Wait()
+	}
+	q := e.queues[k]
+	m := q[0]
+	e.queues[k] = q[1:]
+	return m
+}
+
+// poison wakes every blocked receiver so a panicking SPMD run terminates.
+func (e *exchanger) poison() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.poisoned = true
+	e.cond.Broadcast()
+}
+
+// reset clears leftover state between SPMD runs on the same mesh; the
+// traffic counters survive so callers can read them after Run returns.
+func (e *exchanger) reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.queues = make(map[pair][]*tensor.Matrix)
+	e.poisoned = false
+}
+
+// stats snapshots the traffic counters.
+func (e *exchanger) stats() Traffic {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := Traffic{Messages: e.messages, PerSender: make(map[int]int64)}
+	for k, elems := range e.pairElems {
+		t.Elements += elems
+		t.PerSender[k.from] += elems
+	}
+	return t
+}
+
+// resetStats zeroes the traffic counters.
+func (e *exchanger) resetStats() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pairElems = make(map[pair]int64)
+	e.messages = 0
+}

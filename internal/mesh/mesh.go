@@ -1,0 +1,243 @@
+// Package mesh provides a functional SPMD runtime standing in for a real
+// accelerator mesh: one goroutine per chip, an in-memory exchanger standing
+// in for the ICI links, and row/column communicators over which the ring
+// collectives (package collective) and the distributed GeMM algorithms
+// (package gemm) move real matrix shards.
+//
+// This runtime is the correctness substrate of the reproduction — the paper
+// runs its implementation on Jax/TPUv4, we run ours here and verify every
+// distributed GeMM against a single-node reference multiplication.
+// Performance is modelled separately by the discrete-event simulator
+// (package netsim); nothing here keeps time.
+package mesh
+
+import (
+	"fmt"
+	"sync"
+
+	"meshslice/internal/tensor"
+	"meshslice/internal/topology"
+)
+
+// Mesh is a Pr×Pc grid of logical chips sharing an exchanger.
+type Mesh struct {
+	Torus topology.Torus
+	ex    *exchanger
+}
+
+// Traffic summarises the data movement of functional runs: total matrix
+// elements sent, total messages, and elements sent per chip. Tests use it
+// to verify the distributed algorithms against the paper's analytical
+// traffic formulas (§2.3.1).
+type Traffic struct {
+	Elements  int64
+	Messages  int64
+	PerSender map[int]int64
+}
+
+// Traffic returns the accumulated traffic counters since the last
+// ResetTraffic (counters survive across Run calls).
+func (m *Mesh) Traffic() Traffic { return m.ex.stats() }
+
+// ResetTraffic zeroes the traffic counters.
+func (m *Mesh) ResetTraffic() { m.ex.resetStats() }
+
+// New creates a mesh with the given torus shape.
+func New(t topology.Torus) *Mesh {
+	return &Mesh{Torus: t, ex: newExchanger()}
+}
+
+// Chip is the per-goroutine handle an SPMD function receives: its own
+// coordinate plus communicators for its row ring and column ring.
+type Chip struct {
+	Coord topology.Coord
+	Rank  int
+	mesh  *Mesh
+	// rowRing/colRing, when set, override the torus-derived ring
+	// memberships (see WithRings).
+	rowRing, colRing []int
+}
+
+// WithRings returns a view of the chip whose row and column communicators
+// use the given explicit member lists instead of the mesh torus — the hook
+// that lets 2D SPMD code (the distributed GeMM algorithms) run inside one
+// layer of a 3D arrangement, where the flat mesh's own torus does not
+// describe the layer's rings. The chip's rank must appear in both lists.
+func (c *Chip) WithRings(row, col []int) *Chip {
+	c2 := *c
+	c2.rowRing = append([]int(nil), row...)
+	c2.colRing = append([]int(nil), col...)
+	// Validate membership eagerly: CustomComm panics on violations.
+	c.CustomComm(row, topology.InterCol)
+	c.CustomComm(col, topology.InterRow)
+	return &c2
+}
+
+// Run executes fn once per chip, each on its own goroutine, and waits for
+// all of them. It panics (after all goroutines finish or deadlock is
+// avoided) with the first chip panic, preserving SPMD failure semantics.
+func (m *Mesh) Run(fn func(c *Chip)) {
+	n := m.Torus.Size()
+	var wg sync.WaitGroup
+	wg.Add(n)
+	panics := make([]any, n)
+	for r := 0; r < n; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+					// Unblock peers waiting on this chip forever.
+					m.ex.poison()
+				}
+			}()
+			fn(&Chip{Coord: m.Torus.Coord(rank), Rank: rank, mesh: m})
+		}(r)
+	}
+	wg.Wait()
+	m.ex.reset()
+	// Report the root cause: a chip that panicked on its own, not one that
+	// merely aborted a receive because a peer had already failed.
+	var fallback string
+	for rank, p := range panics {
+		if p == nil {
+			continue
+		}
+		msg := fmt.Sprintf("mesh: chip %d panicked: %v", rank, p)
+		if p == errPeerFailed {
+			fallback = msg
+			continue
+		}
+		panic(msg)
+	}
+	if fallback != "" {
+		panic(fallback)
+	}
+}
+
+// RowComm returns the communicator for c's horizontal ring (inter-column
+// direction: all chips in the same mesh row).
+func (c *Chip) RowComm() *Comm {
+	return c.comm(topology.InterCol)
+}
+
+// ColComm returns the communicator for c's vertical ring (inter-row
+// direction: all chips in the same mesh column).
+func (c *Chip) ColComm() *Comm {
+	return c.comm(topology.InterRow)
+}
+
+// CommFor returns the communicator moving data in the given direction.
+func (c *Chip) CommFor(d topology.Direction) *Comm {
+	return c.comm(d)
+}
+
+func (c *Chip) comm(d topology.Direction) *Comm {
+	if d == topology.InterCol && c.rowRing != nil {
+		return c.CustomComm(c.rowRing, d)
+	}
+	if d == topology.InterRow && c.colRing != nil {
+		return c.CustomComm(c.colRing, d)
+	}
+	t := c.mesh.Torus
+	return &Comm{
+		chip: c,
+		dir:  d,
+		Size: t.RingSize(d),
+		Pos:  t.RingPosition(c.Coord, d),
+	}
+}
+
+// Send delivers m to the chip with the given rank. It never blocks; matrix
+// contents are cloned so sender-side reuse of the buffer is safe, matching
+// the semantics of a DMA send out of HBM.
+func (c *Chip) Send(to int, m *tensor.Matrix) {
+	c.mesh.ex.send(c.Rank, to, m.Clone())
+}
+
+// Recv blocks until a matrix from the given rank arrives and returns it.
+// Messages from one sender arrive in the order they were sent.
+func (c *Chip) Recv(from int) *tensor.Matrix {
+	return c.mesh.ex.recv(from, c.Rank)
+}
+
+// Comm is a ring communicator: an ordered set of chips (one row or column
+// of the mesh, or any custom ring such as the depth dimension of a 3D
+// torus) this chip exchanges data with.
+type Comm struct {
+	chip *Chip
+	dir  topology.Direction
+	// members lists the ring's chip ranks in position order; nil means
+	// the ring is derived from the mesh torus (the common case).
+	members []int
+	// Size is the number of chips in the ring.
+	Size int
+	// Pos is this chip's position within the ring (0-based).
+	Pos int
+}
+
+// Direction returns the mesh direction this communicator's traffic uses.
+func (cm *Comm) Direction() topology.Direction { return cm.dir }
+
+// CustomComm builds a communicator over an explicit rank list, for rings
+// the 2D torus does not describe (e.g. the depth rings of a 2.5D GeMM on a
+// P×P×c cluster mapped onto this runtime's rank space). The chip's own
+// rank must appear in members exactly once; its index becomes Pos.
+func (c *Chip) CustomComm(members []int, dir topology.Direction) *Comm {
+	pos := -1
+	for i, r := range members {
+		if r == c.Rank {
+			if pos >= 0 {
+				panic(fmt.Sprintf("mesh: CustomComm lists rank %d twice", c.Rank))
+			}
+			pos = i
+		}
+	}
+	if pos < 0 {
+		panic(fmt.Sprintf("mesh: CustomComm members %v exclude own rank %d", members, c.Rank))
+	}
+	return &Comm{
+		chip:    c,
+		dir:     dir,
+		members: append([]int(nil), members...),
+		Size:    len(members),
+		Pos:     pos,
+	}
+}
+
+// rankAt returns the mesh rank of the ring member at position pos.
+func (cm *Comm) rankAt(pos int) int {
+	if cm.members != nil {
+		return cm.members[pos]
+	}
+	t := cm.chip.mesh.Torus
+	return t.Rank(t.RingPeer(cm.chip.Coord, cm.dir, pos))
+}
+
+// SendTo sends m to the ring member at position pos.
+func (cm *Comm) SendTo(pos int, m *tensor.Matrix) {
+	cm.chip.Send(cm.rankAt(mod(pos, cm.Size)), m)
+}
+
+// RecvFrom receives the next matrix from the ring member at position pos.
+func (cm *Comm) RecvFrom(pos int) *tensor.Matrix {
+	return cm.chip.Recv(cm.rankAt(mod(pos, cm.Size)))
+}
+
+// Shift performs a circular SendRecv: it sends m to the member `steps`
+// positions downstream and returns the matrix received from `steps`
+// positions upstream. steps may be negative or zero (zero returns a clone
+// of m without touching the network, the degenerate case Cannon hits on
+// its unskewed row/column).
+func (cm *Comm) Shift(steps int, m *tensor.Matrix) *tensor.Matrix {
+	steps = mod(steps, cm.Size)
+	if steps == 0 {
+		return m.Clone()
+	}
+	cm.SendTo(cm.Pos+steps, m)
+	return cm.RecvFrom(cm.Pos - steps)
+}
+
+func mod(a, n int) int {
+	return ((a % n) + n) % n
+}

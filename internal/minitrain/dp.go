@@ -1,0 +1,119 @@
+package minitrain
+
+import (
+	"fmt"
+	"sync"
+
+	"meshslice/internal/collective"
+	"meshslice/internal/gemm"
+	"meshslice/internal/mesh"
+	"meshslice/internal/tensor"
+	"meshslice/internal/topology"
+)
+
+// TrainDistributedDP trains the MLP on a full 3D cluster — `depth`
+// data-parallel replicas, each a Pr×Pc MeshSlice 2D-TP mesh (the
+// DP × 2D-TP composition of paper §2.2, minus pipelining). The batch
+// splits across replicas; every step each replica computes its weight
+// gradients with the Table 1 dataflows and the gradients are summed with a
+// ring AllReduce over the depth dimension before the SGD update, so the
+// result is exactly full-batch training: the weights match TrainSerial and
+// TrainDistributed bit-for-bit (up to float association).
+func TrainDistributedDP(c Config, t topology.Torus, depth int, data Data, steps int, seed int64) (Result, error) {
+	if depth <= 0 || c.Batch%depth != 0 {
+		return Result{}, fmt.Errorf("minitrain: batch %d does not split into %d replicas", c.Batch, depth)
+	}
+	replica := c
+	replica.Batch = c.Batch / depth
+	if err := replica.Validate(t); err != nil {
+		return Result{}, err
+	}
+
+	grid := topology.NewTorus3D(t.Rows, t.Cols, depth)
+	w1g, w2g := InitWeights(c, seed)
+	w1s := tensor.Partition(w1g, t.Rows, t.Cols) // replicated across layers
+	w2s := tensor.Partition(w2g, t.Rows, t.Cols)
+
+	// Batch rows split across replicas, then 2D-sharded within each.
+	xChunks := tensor.SplitRows(data.X, depth)
+	tChunks := tensor.SplitRows(data.T, depth)
+	xs := make([][]*tensor.Matrix, depth)
+	ts := make([][]*tensor.Matrix, depth)
+	for l := 0; l < depth; l++ {
+		xs[l] = tensor.Partition(xChunks[l], t.Rows, t.Cols)
+		ts[l] = tensor.Partition(tChunks[l], t.Rows, t.Cols)
+	}
+
+	cfg := gemm.MeshSliceConfig{S: c.S, Block: c.Block}
+	fwd := gemm.MeshSlice(gemm.OS, cfg)
+	bwdData := gemm.MeshSlice(gemm.LS, cfg)
+	bwdWeight := gemm.MeshSlice(gemm.RS, cfg)
+	// The loss gradient keeps the GLOBAL batch scale so that summing the
+	// per-replica weight gradients reproduces full-batch SGD exactly.
+	scale := 2 / float64(c.Batch*c.Out)
+
+	m := mesh.New(topology.NewTorus(1, grid.Size()))
+	var mu sync.Mutex
+	losses := make([]float64, steps)
+	finalW1 := make([]*tensor.Matrix, t.Size())
+	finalW2 := make([]*tensor.Matrix, t.Size())
+	m.Run(func(ch *mesh.Chip) {
+		i, j, l := grid.Coord(ch.Rank)
+		tp := ch.WithRings(
+			grid.RingMembers(ch.Rank, topology.InterCol),
+			grid.RingMembers(ch.Rank, topology.InterRow),
+		)
+		depthComm := ch.CustomComm(grid.RingMembers(ch.Rank, topology.InterDepth), topology.InterDepth)
+		shard := i*t.Cols + j
+		x := xs[l][shard]
+		tt := ts[l][shard]
+		w1 := w1s[shard].Clone()
+		w2 := w2s[shard].Clone()
+
+		for s := 0; s < steps; s++ {
+			h := fwd(tp, x, w1)
+			hAct := relu(h)
+			y := fwd(tp, hAct, w2)
+
+			dy := y.Clone()
+			for idx := range dy.Data {
+				dy.Data[idx] -= tt.Data[idx]
+			}
+			local := tensor.FromSlice(1, 1, []float64{sumSquares(dy)})
+			sum := collective.AllReduce(tp.RowComm(), local)
+			sum = collective.AllReduce(tp.ColComm(), sum)
+			sum = collective.AllReduce(depthComm, sum)
+			if ch.Rank == 0 {
+				mu.Lock()
+				losses[s] = sum.At(0, 0) / float64(c.Batch*c.Out)
+				mu.Unlock()
+			}
+			dy.Scale(scale)
+
+			dW2 := bwdWeight(tp, hAct, dy)
+			dH := bwdData(tp, dy, w2)
+			maskInto(dH, h)
+			dW1 := bwdWeight(tp, x, dH)
+
+			// DP gradient synchronisation: sum across the depth ring.
+			dW1 = collective.AllReduce(depthComm, dW1)
+			dW2 = collective.AllReduce(depthComm, dW2)
+
+			dW1.Scale(c.LR)
+			dW2.Scale(c.LR)
+			subInto(w1, dW1)
+			subInto(w2, dW2)
+		}
+		if l == 0 {
+			mu.Lock()
+			finalW1[shard] = w1
+			finalW2[shard] = w2
+			mu.Unlock()
+		}
+	})
+	return Result{
+		W1:     tensor.Assemble(finalW1, t.Rows, t.Cols),
+		W2:     tensor.Assemble(finalW2, t.Rows, t.Cols),
+		Losses: losses,
+	}, nil
+}

@@ -1,0 +1,118 @@
+package minitrain
+
+import (
+	"math"
+	"testing"
+
+	"meshslice/internal/topology"
+)
+
+// The 3D composition test: DP replicas × 2D TP reproduce serial full-batch
+// training exactly, for several replica counts and mesh shapes.
+func TestDPTimesTPMatchesSerial(t *testing.T) {
+	c := testConfig()
+	data := NewData(c, 23)
+	serial := TrainSerial(c, data, 15, 23)
+	cases := []struct {
+		tor   topology.Torus
+		depth int
+	}{
+		{topology.NewTorus(2, 2), 1},
+		{topology.NewTorus(2, 2), 2},
+		{topology.NewTorus(2, 2), 4},
+		{topology.NewTorus(1, 2), 2},
+	}
+	for _, cs := range cases {
+		dist, err := TrainDistributedDP(c, cs.tor, cs.depth, data, 15, 23)
+		if err != nil {
+			t.Fatalf("%v depth=%d: %v", cs.tor, cs.depth, err)
+		}
+		if !dist.W1.Equal(serial.W1, 1e-9) || !dist.W2.Equal(serial.W2, 1e-9) {
+			t.Errorf("%v depth=%d: weights diverged (|ΔW1|=%g, |ΔW2|=%g)",
+				cs.tor, cs.depth, dist.W1.MaxAbsDiff(serial.W1), dist.W2.MaxAbsDiff(serial.W2))
+		}
+		for i := range serial.Losses {
+			if math.Abs(dist.Losses[i]-serial.Losses[i]) > 1e-9 {
+				t.Errorf("%v depth=%d: loss[%d] = %v vs %v", cs.tor, cs.depth, i, dist.Losses[i], serial.Losses[i])
+				break
+			}
+		}
+	}
+}
+
+func TestDPRejectsIndivisibleBatch(t *testing.T) {
+	c := testConfig() // batch 16
+	data := NewData(c, 29)
+	if _, err := TrainDistributedDP(c, topology.NewTorus(2, 2), 3, data, 2, 29); err == nil {
+		t.Errorf("batch 16 over 3 replicas accepted")
+	}
+	if _, err := TrainDistributedDP(c, topology.NewTorus(2, 2), 0, data, 2, 29); err == nil {
+		t.Errorf("depth 0 accepted")
+	}
+}
+
+func TestDPEqualsPlainDistributedAtDepthOne(t *testing.T) {
+	c := testConfig()
+	data := NewData(c, 31)
+	tor := topology.NewTorus(2, 2)
+	plain, err := TrainDistributed(c, tor, data, 8, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := TrainDistributedDP(c, tor, 1, data, 8, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dp.W1.Equal(plain.W1, 1e-12) || !dp.W2.Equal(plain.W2, 1e-12) {
+		t.Errorf("depth-1 DP diverges from plain 2D TP")
+	}
+}
+
+// The complete §2.1 composition: DP × PP (2 stages, microbatched) × 2D TP
+// reproduces serial full-batch training exactly.
+func TestThreeDMatchesSerial(t *testing.T) {
+	c := testConfig() // batch 16
+	data := NewData(c, 37)
+	serial := TrainSerial(c, data, 12, 37)
+	cases := []struct {
+		tor       topology.Torus
+		dp, micro int
+	}{
+		{topology.NewTorus(2, 2), 1, 1},
+		{topology.NewTorus(2, 2), 1, 2},
+		{topology.NewTorus(2, 2), 2, 2},
+		{topology.NewTorus(1, 2), 2, 4},
+	}
+	for _, cs := range cases {
+		dist, err := TrainDistributed3D(c, cs.tor, cs.dp, cs.micro, data, 12, 37)
+		if err != nil {
+			t.Fatalf("%v dp=%d micro=%d: %v", cs.tor, cs.dp, cs.micro, err)
+		}
+		if !dist.W1.Equal(serial.W1, 1e-9) || !dist.W2.Equal(serial.W2, 1e-9) {
+			t.Errorf("%v dp=%d micro=%d: weights diverged (|ΔW1|=%g |ΔW2|=%g)",
+				cs.tor, cs.dp, cs.micro,
+				dist.W1.MaxAbsDiff(serial.W1), dist.W2.MaxAbsDiff(serial.W2))
+		}
+		for i := range serial.Losses {
+			if math.Abs(dist.Losses[i]-serial.Losses[i]) > 1e-9 {
+				t.Errorf("%v dp=%d micro=%d: loss[%d] = %v vs %v",
+					cs.tor, cs.dp, cs.micro, i, dist.Losses[i], serial.Losses[i])
+				break
+			}
+		}
+	}
+}
+
+func TestThreeDRejectsBadSplits(t *testing.T) {
+	c := testConfig()
+	data := NewData(c, 41)
+	if _, err := TrainDistributed3D(c, topology.NewTorus(2, 2), 3, 1, data, 2, 41); err == nil {
+		t.Errorf("batch 16 over 3 replicas accepted")
+	}
+	if _, err := TrainDistributed3D(c, topology.NewTorus(2, 2), 2, 16, data, 2, 41); err == nil {
+		t.Errorf("microbatch of half a row accepted")
+	}
+	if _, err := TrainDistributed3D(c, topology.NewTorus(2, 2), 0, 1, data, 2, 41); err == nil {
+		t.Errorf("dp=0 accepted")
+	}
+}

@@ -1,0 +1,128 @@
+package minitrain
+
+import (
+	"math"
+	"testing"
+
+	"meshslice/internal/topology"
+)
+
+func testConfig() Config {
+	return Config{Batch: 16, In: 16, Hidden: 32, Out: 8, LR: 0.05, S: 2, Block: 2}
+}
+
+func TestValidate(t *testing.T) {
+	tor := topology.NewTorus(2, 2)
+	if err := testConfig().Validate(tor); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := testConfig()
+	bad.LR = 0
+	if err := bad.Validate(tor); err == nil {
+		t.Errorf("LR=0 accepted")
+	}
+	bad = testConfig()
+	bad.Hidden = 30 // not divisible by S·Block on a 2x2 mesh
+	if err := bad.Validate(tor); err == nil {
+		t.Errorf("indivisible hidden accepted")
+	}
+	bad = testConfig()
+	bad.Batch = 0
+	if err := bad.Validate(tor); err == nil {
+		t.Errorf("batch=0 accepted")
+	}
+}
+
+func TestSerialLossDecreases(t *testing.T) {
+	c := testConfig()
+	data := NewData(c, 7)
+	res := TrainSerial(c, data, 30, 7)
+	if len(res.Losses) != 30 {
+		t.Fatalf("losses = %d", len(res.Losses))
+	}
+	if res.Losses[29] >= res.Losses[0] {
+		t.Errorf("loss did not decrease: %v → %v", res.Losses[0], res.Losses[29])
+	}
+	for i, l := range res.Losses {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			t.Fatalf("loss[%d] = %v", i, l)
+		}
+	}
+}
+
+// The headline integration test: T steps of MeshSlice-distributed training
+// reproduce serial training exactly — weights AND losses — on every mesh
+// shape, because the Table 1 dataflow composition is exact.
+func TestDistributedMatchesSerial(t *testing.T) {
+	c := testConfig()
+	data := NewData(c, 11)
+	serial := TrainSerial(c, data, 20, 11)
+	for _, tor := range []topology.Torus{
+		topology.NewTorus(1, 1),
+		topology.NewTorus(2, 2),
+		topology.NewTorus(2, 4),
+		topology.NewTorus(4, 2),
+	} {
+		dist, err := TrainDistributed(c, tor, data, 20, 11)
+		if err != nil {
+			t.Fatalf("%v: %v", tor, err)
+		}
+		if !dist.W1.Equal(serial.W1, 1e-9) {
+			t.Errorf("%v: W1 diverged by %g", tor, dist.W1.MaxAbsDiff(serial.W1))
+		}
+		if !dist.W2.Equal(serial.W2, 1e-9) {
+			t.Errorf("%v: W2 diverged by %g", tor, dist.W2.MaxAbsDiff(serial.W2))
+		}
+		for i := range serial.Losses {
+			if math.Abs(dist.Losses[i]-serial.Losses[i]) > 1e-9 {
+				t.Errorf("%v: loss[%d] = %v vs serial %v", tor, i, dist.Losses[i], serial.Losses[i])
+				break
+			}
+		}
+	}
+}
+
+func TestDistributedSliceCountInvariance(t *testing.T) {
+	// Training is exact for every valid slice count, not just S=2.
+	c := testConfig()
+	data := NewData(c, 13)
+	tor := topology.NewTorus(2, 2)
+	base, err := TrainDistributed(c, tor, data, 10, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []int{1, 4} {
+		cs := c
+		cs.S = s
+		got, err := TrainDistributed(cs, tor, data, 10, 13)
+		if err != nil {
+			t.Fatalf("S=%d: %v", s, err)
+		}
+		if !got.W1.Equal(base.W1, 1e-9) || !got.W2.Equal(base.W2, 1e-9) {
+			t.Errorf("S=%d diverged from S=%d", s, c.S)
+		}
+	}
+}
+
+func TestTrainDistributedRejectsBadMesh(t *testing.T) {
+	c := testConfig()
+	data := NewData(c, 17)
+	if _, err := TrainDistributed(c, topology.NewTorus(3, 2), data, 2, 17); err == nil {
+		t.Errorf("3-row mesh with indivisible dims accepted")
+	}
+}
+
+func TestProblemsCoverTableOne(t *testing.T) {
+	probs := testConfig().problems()
+	if len(probs) != 6 {
+		t.Fatalf("problems = %d, want 6", len(probs))
+	}
+	// Two layers × (OS forward, LS backward-data, RS backward-weight).
+	for i := 0; i < 6; i += 3 {
+		if probs[i].Dataflow.String() != "OS" ||
+			probs[i+1].Dataflow.String() != "LS" ||
+			probs[i+2].Dataflow.String() != "RS" {
+			t.Errorf("layer %d dataflows = %v %v %v", i/3, probs[i].Dataflow, probs[i+1].Dataflow, probs[i+2].Dataflow)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package minitrain
+
+import (
+	"fmt"
+	"sync"
+
+	"meshslice/internal/collective"
+	"meshslice/internal/gemm"
+	"meshslice/internal/mesh"
+	"meshslice/internal/tensor"
+	"meshslice/internal/topology"
+)
+
+// TrainDistributed3D trains the MLP on the full 3D cluster organisation of
+// paper §2.1 — data, pipeline, AND tensor parallelism together:
+//
+//   - dp data-parallel replicas, each owning a slice of the batch,
+//   - two pipeline stages per replica (layer 1 / layer 2), processing
+//     `micro` microbatches per step with gradient accumulation, activations
+//     and gradients crossing the stage boundary chip-to-chip,
+//   - a Pr×Pc MeshSlice 2D-TP mesh inside every stage, running the Table 1
+//     dataflows (OS forward, LS backward-data, RS backward-weight).
+//
+// Gradient accumulation over microbatches plus the DP AllReduce makes the
+// step mathematically identical to full-batch SGD, so the weights must
+// match TrainSerial exactly — the functional proof that all three
+// parallelism types compose.
+func TrainDistributed3D(c Config, t topology.Torus, dp, micro int, data Data, steps int, seed int64) (Result, error) {
+	if dp <= 0 || micro <= 0 || c.Batch%(dp*micro) != 0 {
+		return Result{}, fmt.Errorf("minitrain: batch %d does not split into %d replicas × %d microbatches", c.Batch, dp, micro)
+	}
+	mb := c // per-microbatch shapes must still shard onto the TP mesh
+	mb.Batch = c.Batch / dp / micro
+	if err := mb.Validate(t); err != nil {
+		return Result{}, err
+	}
+
+	const stages = 2
+	tpSize := t.Size()
+	chips := dp * stages * tpSize
+	rank := func(replica, stage, shard int) int {
+		return (replica*stages+stage)*tpSize + shard
+	}
+
+	w1g, w2g := InitWeights(c, seed)
+	w1s := tensor.Partition(w1g, t.Rows, t.Cols)
+	w2s := tensor.Partition(w2g, t.Rows, t.Cols)
+
+	// Batch → replicas → microbatches → 2D shards.
+	xParts := make([][][]*tensor.Matrix, dp) // [replica][micro][shard]
+	tParts := make([][][]*tensor.Matrix, dp)
+	for r, chunk := range tensor.SplitRows(data.X, dp) {
+		for _, m := range tensor.SplitRows(chunk, micro) {
+			xParts[r] = append(xParts[r], tensor.Partition(m, t.Rows, t.Cols))
+		}
+	}
+	for r, chunk := range tensor.SplitRows(data.T, dp) {
+		for _, m := range tensor.SplitRows(chunk, micro) {
+			tParts[r] = append(tParts[r], tensor.Partition(m, t.Rows, t.Cols))
+		}
+	}
+
+	cfg := gemm.MeshSliceConfig{S: c.S, Block: c.Block}
+	fwd := gemm.MeshSlice(gemm.OS, cfg)
+	bwdData := gemm.MeshSlice(gemm.LS, cfg)
+	bwdWeight := gemm.MeshSlice(gemm.RS, cfg)
+	scale := 2 / float64(c.Batch*c.Out)
+
+	// TP ring membership inside one stage of one replica.
+	tpRings := func(replica, stage, shard int) (row, col []int) {
+		i, j := shard/t.Cols, shard%t.Cols
+		for jj := 0; jj < t.Cols; jj++ {
+			row = append(row, rank(replica, stage, i*t.Cols+jj))
+		}
+		for ii := 0; ii < t.Rows; ii++ {
+			col = append(col, rank(replica, stage, ii*t.Cols+j))
+		}
+		return row, col
+	}
+
+	m := mesh.New(topology.NewTorus(1, chips))
+	var mu sync.Mutex
+	losses := make([]float64, steps)
+	finalW1 := make([]*tensor.Matrix, tpSize)
+	finalW2 := make([]*tensor.Matrix, tpSize)
+	m.Run(func(ch *mesh.Chip) {
+		shard := ch.Rank % tpSize
+		stage := (ch.Rank / tpSize) % stages
+		replica := ch.Rank / tpSize / stages
+		row, col := tpRings(replica, stage, shard)
+		tp := ch.WithRings(row, col)
+		var depthRing []int
+		for r := 0; r < dp; r++ {
+			depthRing = append(depthRing, rank(r, stage, shard))
+		}
+		depthComm := ch.CustomComm(depthRing, topology.InterDepth)
+		peer := rank(replica, 1-stage, shard) // stage-boundary counterpart
+
+		// Stage-resident weights.
+		var w *tensor.Matrix
+		if stage == 0 {
+			w = w1s[shard].Clone()
+		} else {
+			w = w2s[shard].Clone()
+		}
+
+		for s := 0; s < steps; s++ {
+			grad := tensor.New(w.Rows, w.Cols)
+			lossSum := 0.0
+			for u := 0; u < micro; u++ {
+				if stage == 0 {
+					x := xParts[replica][u][shard]
+					h := fwd(tp, x, w)
+					hAct := relu(h)
+					ch.Send(peer, hAct) // activation crosses the pipeline
+					dH := ch.Recv(peer) // gradient comes back
+					maskInto(dH, h)
+					grad.Add(bwdWeight(tp, x, dH))
+				} else {
+					hAct := ch.Recv(peer)
+					y := fwd(tp, hAct, w)
+					tt := tParts[replica][u][shard]
+					dy := y.Clone()
+					for idx := range dy.Data {
+						dy.Data[idx] -= tt.Data[idx]
+					}
+					lossSum += sumSquares(dy)
+					dy.Scale(scale)
+					grad.Add(bwdWeight(tp, hAct, dy))
+					ch.Send(peer, bwdData(tp, dy, w))
+				}
+			}
+			if stage == 1 {
+				// Loss: reduce over the TP mesh and the DP replicas.
+				local := tensor.FromSlice(1, 1, []float64{lossSum})
+				sum := collective.AllReduce(tp.RowComm(), local)
+				sum = collective.AllReduce(tp.ColComm(), sum)
+				sum = collective.AllReduce(depthComm, sum)
+				if replica == 0 && shard == 0 {
+					mu.Lock()
+					losses[s] = sum.At(0, 0) / float64(c.Batch*c.Out)
+					mu.Unlock()
+				}
+			}
+			// DP gradient synchronisation, then the SGD update.
+			grad = collective.AllReduce(depthComm, grad)
+			grad.Scale(c.LR)
+			subInto(w, grad)
+		}
+		if replica == 0 {
+			mu.Lock()
+			if stage == 0 {
+				finalW1[shard] = w
+			} else {
+				finalW2[shard] = w
+			}
+			mu.Unlock()
+		}
+	})
+	return Result{
+		W1:     tensor.Assemble(finalW1, t.Rows, t.Cols),
+		W2:     tensor.Assemble(finalW2, t.Rows, t.Cols),
+		Losses: losses,
+	}, nil
+}

@@ -1,0 +1,231 @@
+package model
+
+import (
+	"testing"
+
+	"meshslice/internal/hw"
+)
+
+func TestConfigsValid(t *testing.T) {
+	for _, c := range []Config{GPT3(), MegatronNLG()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Layers = 0 },
+		func(c *Config) { c.Hidden = -1 },
+		func(c *Config) { c.Heads = 0 },
+		func(c *Config) { c.Heads = 7 }, // does not divide hidden
+		func(c *Config) { c.FFHidden = 0 },
+		func(c *Config) { c.SeqLen = 0 },
+	}
+	for i, m := range mutations {
+		c := GPT3()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestParamCountsMatchPaper(t *testing.T) {
+	// The FC layers dominate: GPT-3 ≈ 175B, Megatron-NLG ≈ 530B.
+	gpt := GPT3().ParamCount()
+	if gpt < 170e9 || gpt > 180e9 {
+		t.Errorf("GPT-3 params = %.3g, want ≈175B", float64(gpt))
+	}
+	meg := MegatronNLG().ParamCount()
+	if meg < 510e9 || meg > 540e9 {
+		t.Errorf("Megatron params = %.3g, want ≈530B", float64(meg))
+	}
+}
+
+func TestFCLayerShapes(t *testing.T) {
+	c := GPT3()
+	fcs := c.FCLayers()
+	if len(fcs) != 4 {
+		t.Fatalf("FC layers = %d, want 4 (paper §4.4)", len(fcs))
+	}
+	byName := map[string]FCLayer{}
+	for _, fc := range fcs {
+		byName[fc.Name] = fc
+	}
+	if qkv := byName["QKV"]; qkv.InDim != c.Hidden || qkv.OutDim != 3*c.Hidden {
+		t.Errorf("QKV = %+v", qkv)
+	}
+	if ff1 := byName["FF1"]; ff1.OutDim != c.FFHidden {
+		t.Errorf("FF1 = %+v", ff1)
+	}
+	if ff2 := byName["FF2"]; ff2.InDim != c.FFHidden || ff2.OutDim != c.Hidden {
+		t.Errorf("FF2 = %+v", ff2)
+	}
+}
+
+func TestTrainingGeMMs(t *testing.T) {
+	c := GPT3()
+	tokens := 4096
+	gs := c.TrainingGeMMs(tokens)
+	if len(gs) != 12 {
+		t.Fatalf("training GeMMs = %d, want 12 (4 layers × 3 passes)", len(gs))
+	}
+	// All three passes of a layer perform the same FLOPs.
+	var fwd, bd, bw GeMMShape
+	for _, g := range gs {
+		if g.Layer == "FF1" {
+			switch g.Pass {
+			case Forward:
+				fwd = g
+			case BackwardData:
+				bd = g
+			case BackwardWeight:
+				bw = g
+			}
+		}
+	}
+	if fwd.FLOPs() != bd.FLOPs() || fwd.FLOPs() != bw.FLOPs() {
+		t.Errorf("passes disagree on FLOPs: %v %v %v", fwd.FLOPs(), bd.FLOPs(), bw.FLOPs())
+	}
+	// Forward FF1: tokens×FF gets produced from hidden.
+	if fwd.M != tokens || fwd.N != c.FFHidden || fwd.K != c.Hidden {
+		t.Errorf("FF1 fwd = %+v", fwd)
+	}
+	// Backward-weight swaps tokens into the inner dimension.
+	if bw.K != tokens {
+		t.Errorf("FF1 bwd-weight K = %d, want %d", bw.K, tokens)
+	}
+}
+
+func TestDistinctGeMMsCountMatchesPaper(t *testing.T) {
+	// §5.1.4: "there are eight distinct GeMM operations with different
+	// M,N,K shapes" per model.
+	for _, c := range []Config{GPT3(), MegatronNLG()} {
+		got := len(c.DistinctGeMMs(c.WeakScalingTokens(256)))
+		if got != 8 {
+			names := []string{}
+			for _, g := range c.DistinctGeMMs(c.WeakScalingTokens(256)) {
+				names = append(names, g.Name())
+			}
+			t.Errorf("%s distinct GeMMs = %d (%v), want 8", c.Name, got, names)
+		}
+	}
+}
+
+func TestTotalFCFLOPsScalesWithTokens(t *testing.T) {
+	c := GPT3()
+	if c.TotalFCFLOPs(2048)*2 != c.TotalFCFLOPs(4096) {
+		t.Errorf("FC FLOPs must scale linearly in tokens")
+	}
+	if c.TotalFCFLOPs(0) != 0 {
+		t.Errorf("zero tokens must cost nothing")
+	}
+}
+
+func TestNonFCTimePositiveAndScales(t *testing.T) {
+	c := GPT3()
+	chip := hw.TPUv4()
+	t64 := c.NonFCTime(c.WeakScalingTokens(64), 64, chip)
+	if t64 <= 0 {
+		t.Fatalf("NonFCTime = %v", t64)
+	}
+	// Weak scaling: tokens grow with chips, so per-chip time is constant.
+	t256 := c.NonFCTime(c.WeakScalingTokens(256), 256, chip)
+	if diff := (t256 - t64) / t64; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("weak-scaled non-FC time should be flat: %v vs %v", t64, t256)
+	}
+	if c.NonFCTime(0, 64, chip) != 0 || c.NonFCTime(1024, 0, chip) != 0 {
+		t.Errorf("degenerate inputs should cost nothing")
+	}
+}
+
+func TestScalingTokenHelpers(t *testing.T) {
+	c := GPT3()
+	if got := c.WeakScalingTokens(256); got != 128*2048 {
+		t.Errorf("WeakScalingTokens(256) = %d, want %d", got, 128*2048)
+	}
+	if got := c.StrongScalingTokens(); got != 32*2048 {
+		t.Errorf("StrongScalingTokens = %d, want %d", got, 32*2048)
+	}
+}
+
+func TestPassString(t *testing.T) {
+	if Forward.String() != "fwd" || BackwardData.String() != "bwd-data" || BackwardWeight.String() != "bwd-weight" {
+		t.Errorf("pass strings: %v %v %v", Forward, BackwardData, BackwardWeight)
+	}
+	if Pass(9).String() == "" {
+		t.Errorf("unknown pass must render")
+	}
+	g := GeMMShape{Layer: "FF1", Pass: Forward}
+	if g.Name() != "FF1 fwd" {
+		t.Errorf("Name = %q", g.Name())
+	}
+}
+
+func TestInferenceGeMMs(t *testing.T) {
+	c := GPT3()
+	gs := c.InferenceGeMMs(64)
+	if len(gs) != 4 {
+		t.Fatalf("inference GeMMs = %d, want 4 (one per FC layer)", len(gs))
+	}
+	for _, g := range gs {
+		if g.M != 64 {
+			t.Errorf("%s M = %d, want the batch size", g.Name(), g.M)
+		}
+		if g.Pass != Forward {
+			t.Errorf("%s is not a forward pass", g.Name())
+		}
+	}
+	// Decode GeMMs are memory-bound: arithmetic intensity (FLOPs per
+	// weight byte) is just 2·batch.
+	qkv := gs[0]
+	intensity := qkv.FLOPs() / (float64(qkv.K) * float64(qkv.N) * 2)
+	if intensity != 64 {
+		t.Errorf("decode arithmetic intensity = %v, want batch=64", intensity)
+	}
+}
+
+func TestBuiltinsValidAndParamCounts(t *testing.T) {
+	wantParams := map[string][2]float64{ // [min, max] in billions
+		"GPT-3":        {170, 180},
+		"Megatron-NLG": {510, 540},
+		// The 4-FC-layer template slightly undercounts GQA/SwiGLU models
+		// (grouped KV heads shrink QKV; SwiGLU adds a third FF matrix);
+		// the bands reflect the template's counts.
+		"Llama-3-70B":  {55, 75},
+		"Llama-3-405B": {330, 400},
+		"PaLM-540B":    {480, 560},
+	}
+	for _, c := range Builtins() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+			continue
+		}
+		band, ok := wantParams[c.Name]
+		if !ok {
+			t.Errorf("no param band for %s", c.Name)
+			continue
+		}
+		b := float64(c.ParamCount()) / 1e9
+		if b < band[0] || b > band[1] {
+			t.Errorf("%s params = %.0fB, want [%.0f, %.0f]", c.Name, b, band[0], band[1])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, alias := range []string{"gpt3", "GPT-3", "megatron", "llama3-70b", "PaLM-540B"} {
+		if _, ok := ByName(alias); !ok {
+			t.Errorf("alias %q unresolved", alias)
+		}
+	}
+	if _, ok := ByName("gpt5"); ok {
+		t.Errorf("unknown model resolved")
+	}
+	c, _ := ByName("llama-3-405b")
+	if c.Name != "Llama-3-405B" {
+		t.Errorf("alias resolved to %q", c.Name)
+	}
+}

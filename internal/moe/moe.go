@@ -1,0 +1,195 @@
+// Package moe extends the MeshSlice stack to mixture-of-experts models —
+// the combination the paper's §6 proposes: MoE replaces each feed-forward
+// network with E expert FFNs of which every token visits the top-k,
+// adding expert parallelism (EP) as a fourth parallelism dimension. An MoE
+// block's cost is the attention part (unchanged), the all-to-all dispatch
+// of tokens to their experts' chips, the expert FF GeMMs (run with
+// MeshSlice 2D TP inside each expert group), and the all-to-all combine.
+package moe
+
+import (
+	"fmt"
+
+	"meshslice/internal/costmodel"
+	"meshslice/internal/gemm"
+	"meshslice/internal/hw"
+	"meshslice/internal/model"
+	"meshslice/internal/topology"
+)
+
+// Config is a mixture-of-experts transformer.
+type Config struct {
+	// Base is the dense transformer the experts are grafted onto; its FF
+	// layers become per-expert FFNs.
+	Base model.Config
+	// Experts is the expert count E per MoE layer.
+	Experts int
+	// TopK is how many experts each token visits.
+	TopK int
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	if err := c.Base.Validate(); err != nil {
+		return err
+	}
+	if c.Experts <= 0 {
+		return fmt.Errorf("moe: %d experts", c.Experts)
+	}
+	if c.TopK <= 0 || c.TopK > c.Experts {
+		return fmt.Errorf("moe: top-%d of %d experts", c.TopK, c.Experts)
+	}
+	return nil
+}
+
+// ParamCount returns the total parameter count: attention parameters once,
+// FF parameters once per expert (the "significantly larger model" of §6).
+func (c Config) ParamCount() int64 {
+	var attn, ff int64
+	for _, fc := range c.Base.FCLayers() {
+		size := int64(fc.InDim) * int64(fc.OutDim)
+		if fc.Name == "FF1" || fc.Name == "FF2" {
+			ff += size
+		} else {
+			attn += size
+		}
+	}
+	return int64(c.Base.Layers) * (attn + ff*int64(c.Experts))
+}
+
+// Plan is a parallelisation of one MoE block: EPDegree expert groups, each
+// running the paper's 2D TP inside.
+type Plan struct {
+	// EPDegree is the expert-parallel group count; experts are divided
+	// among groups (Experts % EPDegree == 0).
+	EPDegree int
+	// TPShape is the 2D mesh of each expert group.
+	TPShape topology.Torus
+}
+
+// Chips returns the chips of one MoE layer's cluster.
+func (p Plan) Chips() int { return p.EPDegree * p.TPShape.Size() }
+
+// Estimate is the modelled per-block cost breakdown.
+type Estimate struct {
+	// Dispatch is the all-to-all routing tokens to their experts.
+	Dispatch float64
+	// Expert is the expert FF GeMM time (MeshSlice inside the group).
+	Expert float64
+	// Combine is the all-to-all returning expert outputs.
+	Combine float64
+	// Attention covers the block's non-expert FC layers (QKV and
+	// attention output, 2D TP over the full mesh).
+	Attention float64
+}
+
+// Total sums the components.
+func (e Estimate) Total() float64 { return e.Dispatch + e.Expert + e.Combine + e.Attention }
+
+// EstimateBlock models one MoE transformer block for `tokens` tokens under
+// the plan, with the autotuner-style best slice count per GeMM. Expert
+// load is assumed balanced (each expert receives tokens·TopK/E of the
+// work), the standard capacity-factor-1 approximation.
+func EstimateBlock(c Config, plan Plan, tokens int, chip hw.Chip) (Estimate, error) {
+	if err := c.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if plan.EPDegree <= 0 || c.Experts%plan.EPDegree != 0 {
+		return Estimate{}, fmt.Errorf("moe: %d experts do not divide into %d groups", c.Experts, plan.EPDegree)
+	}
+	if tokens <= 0 {
+		return Estimate{}, fmt.Errorf("moe: %d tokens", tokens)
+	}
+	var est Estimate
+
+	// Dispatch/combine: every token's activation (hidden wide) is routed
+	// to TopK experts. The exchange runs as TPShape.Size() parallel
+	// all-to-alls — each chip of a group talks to its counterpart in the
+	// other groups — so the per-chip-pair payload is the routed volume
+	// divided by EP² group pairs and by the group's chip count.
+	routed := float64(tokens) * float64(c.TopK)
+	pairBytes := routed / float64(plan.EPDegree) / float64(plan.EPDegree) /
+		float64(plan.TPShape.Size()) *
+		float64(c.Base.Hidden) * chip.BytesPerElement
+	est.Dispatch = costmodel.RingAllToAll(chip, plan.EPDegree, pairBytes)
+	est.Combine = est.Dispatch
+
+	// Expert FF GeMMs inside each group: per-group tokens on the group's
+	// 2D TP mesh, forward + both backward passes (training).
+	groupTokens := int(routed) / plan.EPDegree
+	for _, fc := range c.Base.FCLayers() {
+		if fc.Name != "FF1" && fc.Name != "FF2" {
+			continue
+		}
+		t, err := bestGeMMTime(groupTokens, fc, plan.TPShape, chip)
+		if err != nil {
+			return Estimate{}, err
+		}
+		est.Expert += t
+	}
+
+	// Attention FC layers: dense, over the whole cluster as one mesh when
+	// possible (fall back to the group mesh otherwise).
+	attnShape := fullShape(plan)
+	for _, fc := range c.Base.FCLayers() {
+		if fc.Name == "FF1" || fc.Name == "FF2" {
+			continue
+		}
+		t, err := bestGeMMTime(tokens, fc, attnShape, chip)
+		if err != nil {
+			return Estimate{}, err
+		}
+		est.Attention += t
+	}
+	return est, nil
+}
+
+// bestGeMMTime sums the tuned MeshSlice estimates of a layer's three
+// training passes on the shape.
+func bestGeMMTime(tokens int, fc model.FCLayer, shape topology.Torus, chip hw.Chip) (float64, error) {
+	total := 0.0
+	for _, prob := range trainingProblems(tokens, fc) {
+		best := -1.0
+		for _, s := range []int{1, 2, 4, 8, 16, 32} {
+			est := costmodel.MeshSlice(prob, shape, chip, s).Total()
+			if best < 0 || est < best {
+				best = est
+			}
+		}
+		if best < 0 {
+			return 0, fmt.Errorf("moe: no valid configuration for %s on %v", fc.Name, shape)
+		}
+		total += best
+	}
+	return total, nil
+}
+
+// trainingProblems is the Y-stn Table 1 row for the layer.
+func trainingProblems(tokens int, fc model.FCLayer) []gemm.Problem {
+	return []gemm.Problem{
+		{M: tokens, N: fc.OutDim, K: fc.InDim, Dataflow: gemm.OS},
+		{M: tokens, N: fc.InDim, K: fc.OutDim, Dataflow: gemm.LS},
+		{M: fc.InDim, N: fc.OutDim, K: tokens, Dataflow: gemm.RS},
+	}
+}
+
+// fullShape widens the TP mesh by the EP degree for the dense layers: EP
+// groups concatenate along the row dimension.
+func fullShape(p Plan) topology.Torus {
+	return topology.Torus{Rows: p.TPShape.Rows * p.EPDegree, Cols: p.TPShape.Cols}
+}
+
+// DenseEquivalentTime models the same block without MoE (one dense FFN)
+// on the same total chips, for the speedup comparison MoE motivates.
+func DenseEquivalentTime(c Config, plan Plan, tokens int, chip hw.Chip) (float64, error) {
+	shape := fullShape(plan)
+	var total float64
+	for _, fc := range c.Base.FCLayers() {
+		t, err := bestGeMMTime(tokens, fc, shape, chip)
+		if err != nil {
+			return 0, err
+		}
+		total += t
+	}
+	return total, nil
+}

@@ -1,0 +1,95 @@
+package netsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"meshslice/internal/topology"
+)
+
+// Chrome trace-event export: the traced chip's execution renders in any
+// Perfetto/chrome://tracing viewer, with one track per resource (compute,
+// inter-row, inter-col, inter-depth) — the interactive counterpart of the
+// ASCII timelines.
+
+// chromeEvent is one complete ("X" phase) trace event.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeThreadName labels a track.
+type chromeMeta struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// WriteChromeTrace serialises the trace as a Chrome trace-event JSON array
+// (loadable in Perfetto / chrome://tracing). Tracks: 0 compute, 1
+// inter-row, 2 inter-col, 3 inter-depth.
+func (t Trace) WriteChromeTrace(w io.Writer, label string) error {
+	var events []any
+	tracks := map[int]string{
+		0: "compute engine",
+		1: "inter-row links",
+		2: "inter-col links",
+		3: "inter-depth links",
+	}
+	used := map[int]bool{}
+	for _, e := range t {
+		tid := chromeTrack(e)
+		used[tid] = true
+		events = append(events, chromeEvent{
+			Name: e.Name,
+			Cat:  e.Kind.String(),
+			Ph:   "X",
+			TS:   e.Start * 1e6,
+			Dur:  (e.End - e.Start) * 1e6,
+			PID:  0,
+			TID:  tid,
+			Args: map[string]string{"kind": e.Kind.String()},
+		})
+	}
+	var out []any
+	out = append(out, chromeMeta{
+		Name: "process_name", Ph: "M", PID: 0,
+		Args: map[string]any{"name": fmt.Sprintf("chip 0 — %s", label)},
+	})
+	for tid, name := range tracks {
+		if !used[tid] {
+			continue
+		}
+		out = append(out, chromeMeta{
+			Name: "thread_name", Ph: "M", PID: 0, TID: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	out = append(out, events...)
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// chromeTrack maps an event onto its viewer track.
+func chromeTrack(e TraceEvent) int {
+	if !e.Kind.IsComm() {
+		return 0
+	}
+	switch e.Dir {
+	case topology.InterRow:
+		return 1
+	case topology.InterDepth:
+		return 3
+	default:
+		return 2
+	}
+}

@@ -1,0 +1,633 @@
+// Package netsim is the cluster simulator: it executes an SPMD program
+// (package sched) on every chip of the mesh over the discrete-event kernel
+// (package des), modelling the TPUv4-like hardware of paper §4.1:
+//
+//   - one compute engine per chip (the two cores and their systolic arrays,
+//     aggregated, with a roofline of effective FLOPS vs HBM bandwidth),
+//   - one link controller per chip per mesh direction (the NIC drives the
+//     four ICI links; ring traffic in a direction serialises on that
+//     direction's controller while the two directions run in parallel),
+//   - ring-synchronised collectives: a collective starts when every chip of
+//     the ring has reached it and its links are free, each step paying the
+//     synchronisation latency and the wire time of its payload,
+//   - SUMMA-style broadcast/reduce pipelining with bubbles (P+D-2 stages of
+//     fine-grain packets, Fig. 3 left),
+//   - HBM contention between the compute engine and the NIC — the only
+//     interference point in the paper's simulated TPU,
+//   - an optional no-overlap mode reproducing current real TPU behaviour
+//     (Table 3), in which each chip fully serialises communication and
+//     computation.
+//
+// The simulator reports the makespan plus the per-chip communication-time
+// breakdown (launch / sync / transfer) of Fig. 10 and the exposed
+// (non-overlapped) communication time.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"meshslice/internal/chipsim"
+	"meshslice/internal/des"
+	"meshslice/internal/hw"
+	"meshslice/internal/sched"
+	"meshslice/internal/topology"
+)
+
+// Options selects simulator behaviours.
+type Options struct {
+	// NoOverlap serialises every operation on a chip, modelling TPU
+	// runtimes that cannot run AG/RdS collectives asynchronously with
+	// computation (paper §5.3).
+	NoOverlap bool
+	// NoHBMContention disables the compute/NIC memory interference model
+	// (ablation; the default models it).
+	NoHBMContention bool
+	// CollectTrace records chip 0's per-op execution history in
+	// Result.Trace (for timeline rendering and debugging).
+	CollectTrace bool
+	// FabricContention models running on a LOGICAL mesh mapped over a
+	// shared fabric (GPU clusters, paper §6): when a chip's two
+	// directions communicate concurrently they contend for the same
+	// physical links, stretching both by this factor. Zero or one means a
+	// physical mesh with independent per-direction links (the TPU case).
+	FabricContention float64
+	// StepLevel simulates ring AG/RdS/SendRecv collectives one
+	// synchronised ring step at a time instead of as atomic operations:
+	// more events, and contention sampled per step rather than per
+	// operation. Equivalent to the atomic model on uncontended hardware.
+	StepLevel bool
+	// TiledCompute times compute ops with the tiled chip model (package
+	// chipsim: 128×128 systolic tiles, scratchpad blocking, prefetch
+	// pipelining) instead of the flat roofline, for ops that carry their
+	// GeMM dimensions. Captures the reduced efficiency of fine-grained
+	// partial GeMMs the paper measures in §5.3.1.
+	TiledCompute bool
+	// BidirectionalRings drives both directions of the bi-directional ICI
+	// links for ring AG/RdS collectives (collective.AllGatherBidir): two
+	// counter-rotating streams halve the synchronised step count to
+	// ⌈(P-1)/2⌉. Current TPU runtimes only drive one direction (§5.3.1);
+	// this option quantifies the headroom.
+	BidirectionalRings bool
+}
+
+// Breakdown is the per-chip communication time split of paper Fig. 10.
+type Breakdown struct {
+	Launch   float64
+	Sync     float64
+	Transfer float64
+}
+
+// Total returns launch + sync + transfer.
+func (b Breakdown) Total() float64 { return b.Launch + b.Sync + b.Transfer }
+
+// Result summarises one simulation.
+type Result struct {
+	// Makespan is the end-to-end execution time of the program.
+	Makespan float64
+	// ComputeBusy is chip 0's total compute-engine busy time (including
+	// HBM slowdowns).
+	ComputeBusy float64
+	// Comm is chip 0's nominal communication-time breakdown.
+	Comm Breakdown
+	// CommBusy is chip 0's actual link busy time — the nominal breakdown
+	// stretched by HBM contention and barrier skew. This is what a trace
+	// on real hardware would measure (Fig. 15 compares it to the model).
+	CommBusy float64
+	// ExposedComm is the part of chip 0's link busy time not covered by
+	// concurrent computation — the communication cost that actually
+	// extends the critical path.
+	ExposedComm float64
+	// Events is the number of simulated op completions (diagnostics).
+	Events int
+	// Trace is chip 0's execution history (only when
+	// Options.CollectTrace is set).
+	Trace Trace
+}
+
+const (
+	resCompute   = 0
+	resRowLink   = 1 // topology.InterRow traffic
+	resColLink   = 2 // topology.InterCol traffic
+	resDepthLink = 3 // topology.InterDepth traffic (3D programs)
+	numRes       = 4
+)
+
+// Simulate runs the program on the hardware model and returns the result.
+func Simulate(p *sched.Program, c hw.Chip, opts Options) Result {
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("netsim: %v", err))
+	}
+	if err := c.Validate(); err != nil {
+		panic(fmt.Sprintf("netsim: %v", err))
+	}
+	s := newSim(p, c, opts)
+	s.run()
+	return s.result()
+}
+
+type sim struct {
+	prog *sched.Program
+	hw   hw.Chip
+	core chipsim.Core
+	opts Options
+	des  *des.Simulator
+	tor  topology.Torus
+
+	nChips     int
+	dependents [][]int // op -> ops depending on it
+	depsLeft   [][]int // [chip][op]
+	done       [][]bool
+
+	queues [][numRes]*resQueue // [chip][resource]
+
+	barriers map[barrierKey]*barrier
+
+	hbmDemand []float64 // active HBM demand per chip (bytes/s)
+
+	// chip-0 accounting
+	computeBusy   float64
+	commBusy      float64
+	comm          Breakdown
+	commIntervals []interval
+	compIntervals []interval
+	events        int
+	trace         Trace
+}
+
+type resQueue struct {
+	order   []int // op indices in program order
+	granted []bool
+	busy    bool
+}
+
+type barrierKey struct {
+	op   int
+	ring int // ring identity: the rank of the ring's first member
+}
+
+type barrier struct {
+	arrived int
+	members int
+}
+
+type interval struct{ start, end float64 }
+
+func newSim(p *sched.Program, c hw.Chip, opts Options) *sim {
+	n := p.Chips()
+	s := &sim{
+		prog:     p,
+		hw:       c,
+		core:     chipsim.FromChip(c),
+		opts:     opts,
+		des:      des.New(),
+		tor:      p.Torus,
+		nChips:   n,
+		barriers: make(map[barrierKey]*barrier),
+	}
+	s.dependents = make([][]int, len(p.Ops))
+	for i, op := range p.Ops {
+		for _, d := range op.Deps {
+			s.dependents[d] = append(s.dependents[d], i)
+		}
+	}
+	s.depsLeft = make([][]int, n)
+	s.done = make([][]bool, n)
+	s.queues = make([][numRes]*resQueue, n)
+	s.hbmDemand = make([]float64, n)
+	for chip := 0; chip < n; chip++ {
+		s.depsLeft[chip] = make([]int, len(p.Ops))
+		s.done[chip] = make([]bool, len(p.Ops))
+		for r := 0; r < numRes; r++ {
+			s.queues[chip][r] = &resQueue{}
+		}
+		for i, op := range p.Ops {
+			s.depsLeft[chip][i] = len(op.Deps)
+			q := s.queues[chip][s.resourceOf(op)]
+			q.order = append(q.order, i)
+			q.granted = append(q.granted, false)
+		}
+	}
+	return s
+}
+
+// resourceOf maps an op to the chip resource it occupies.
+func (s *sim) resourceOf(op sched.Op) int {
+	if s.opts.NoOverlap {
+		return resCompute // everything serialises on one engine
+	}
+	if !op.Kind.IsComm() {
+		return resCompute
+	}
+	switch op.Dir {
+	case topology.InterRow:
+		return resRowLink
+	case topology.InterDepth:
+		return resDepthLink
+	default:
+		return resColLink
+	}
+}
+
+func (s *sim) run() {
+	for chip := 0; chip < s.nChips; chip++ {
+		s.tryGrant(chip)
+	}
+	s.des.Run()
+	// A stuck simulation (ops never completed) indicates a model bug.
+	for chip := 0; chip < s.nChips; chip++ {
+		for i := range s.prog.Ops {
+			if !s.done[chip][i] {
+				panic(fmt.Sprintf("netsim: deadlock — chip %d op %d (%s) never completed", chip, i, s.prog.Ops[i].Name))
+			}
+		}
+	}
+}
+
+// tryGrant advances every resource queue of the chip, granting ops whose
+// dependencies are met.
+//
+// Link controllers issue strictly in program order: every chip of a ring
+// must arrive at the same collective, and out-of-order arrival at two
+// different barriers would deadlock the ring. The compute engine carries no
+// barriers, so it may issue any ready op (earliest in program order first),
+// which lets cheap slicing ops and partial GeMMs pipeline freely.
+func (s *sim) tryGrant(chip int) {
+	for r := 0; r < numRes; r++ {
+		q := s.queues[chip][r]
+		strict := r != resCompute || s.opts.NoOverlap
+		for !q.busy {
+			op := -1
+			for i, cand := range q.order {
+				if q.granted[i] {
+					continue
+				}
+				if s.depsLeft[chip][cand] == 0 {
+					op = i
+				}
+				if strict || op >= 0 {
+					break
+				}
+			}
+			if op < 0 {
+				break
+			}
+			q.granted[op] = true
+			q.busy = true
+			s.grant(chip, q.order[op])
+		}
+	}
+}
+
+// grant starts op on its resource: compute ops run immediately; comm ops
+// arrive at their ring barrier and start when the whole ring has arrived.
+func (s *sim) grant(chip, opIdx int) {
+	op := s.prog.Ops[opIdx]
+	if !op.Kind.IsComm() {
+		dur := s.computeDuration(chip, op)
+		s.startAccounting(chip, opIdx, op, dur)
+		s.des.After(dur, func() { s.complete(chip, opIdx, op, dur) })
+		return
+	}
+	members := s.prog.RingMembers(chip, op.Dir)
+	key := barrierKey{op: opIdx, ring: members[0]}
+	b := s.barriers[key]
+	if b == nil {
+		b = &barrier{members: len(members)}
+		s.barriers[key] = b
+	}
+	b.arrived++
+	if b.arrived < b.members {
+		return
+	}
+	// Last arrival: the collective starts now on every member.
+	delete(s.barriers, key)
+	if s.opts.StepLevel && stepwiseKind(op.Kind) {
+		s.runCollectiveSteps(members, opIdx, op)
+		return
+	}
+	dur := s.commDuration(members, op)
+	for _, m := range members {
+		m := m
+		s.startAccounting(m, opIdx, op, dur)
+		s.des.After(dur, func() { s.complete(m, opIdx, op, dur) })
+	}
+}
+
+// stepwiseKind reports whether the op decomposes into uniform synchronised
+// ring steps (broadcast/reduce pipelines keep their closed-form model even
+// in step-level mode; their per-chip roles differ by ring position).
+func stepwiseKind(k sched.OpKind) bool {
+	switch k {
+	case sched.AllGather, sched.ReduceScatter, sched.Shift:
+		return true
+	}
+	return false
+}
+
+// runCollectiveSteps simulates a ring collective one synchronised step at a
+// time (the SST-like fidelity mode): each step pays t_sync plus the wire
+// time of its payload, with HBM and fabric contention sampled per step
+// rather than once for the whole operation. All ring members stay in
+// lockstep — the defining property of ring AG/RdS on a torus (Fig. 3
+// right) — so the steps form a chain of simultaneous events.
+func (s *sim) runCollectiveSteps(members []int, opIdx int, op sched.Op) {
+	start := s.des.Now()
+	// Register HBM demand for the whole span using the nominal rate.
+	nominal := s.nominalCommDuration(op)
+	demand := s.opHBMDemand(op, nominal)
+	for _, m := range members {
+		s.hbmDemand[m] += demand
+	}
+	perStep := s.hw.SyncLatency + op.Bytes/s.hw.LinkBandwidth
+
+	var doStep func(t int)
+	doStep = func(t int) {
+		dur := perStep
+		if t == 0 {
+			dur += s.hw.LaunchOverhead
+		}
+		// Sample contention at this step's start: the worst ring member's
+		// concurrent HBM draw, and fabric contention on logical meshes.
+		worst := 1.0
+		for _, m := range members {
+			if s.opts.NoHBMContention {
+				break
+			}
+			if total := s.hbmDemand[m]; total > s.hw.HBMBandwidth {
+				if f := total / s.hw.HBMBandwidth; f > worst {
+					worst = f
+				}
+			}
+		}
+		if f := s.fabricFactor(members, op); f > worst {
+			worst = f
+		}
+		s.des.After(dur*worst, func() {
+			if t+1 < s.effSteps(op) {
+				doStep(t + 1)
+				return
+			}
+			span := s.des.Now() - start
+			for _, m := range members {
+				// Withdraw the demand registered above before the shared
+				// completion path withdraws its own estimate.
+				s.hbmDemand[m] += s.opHBMDemand(op, span) - demand
+				s.stepAccounting(m, opIdx, op, start, span)
+				s.complete(m, opIdx, op, span)
+			}
+		})
+	}
+	doStep(0)
+}
+
+// stepAccounting is startAccounting's step-level counterpart, invoked at
+// completion when the actual span is known (demand registration already
+// happened at the collective's start).
+func (s *sim) stepAccounting(chip, opIdx int, op sched.Op, start, span float64) {
+	if chip != 0 {
+		return
+	}
+	if s.opts.CollectTrace {
+		s.trace = append(s.trace, TraceEvent{
+			Op: opIdx, Name: op.Name, Kind: op.Kind, Dir: op.Dir,
+			Start: start, End: start + span,
+		})
+	}
+	s.comm.Launch += s.hw.LaunchOverhead
+	s.comm.Sync += float64(s.effSteps(op)) * s.hw.SyncLatency
+	s.comm.Transfer += float64(s.effSteps(op)) * op.Bytes / s.hw.LinkBandwidth
+	s.commBusy += span
+	s.commIntervals = append(s.commIntervals, interval{start, start + span})
+}
+
+func (s *sim) complete(chip, opIdx int, op sched.Op, dur float64) {
+	s.events++
+	s.hbmDemand[chip] -= s.opHBMDemand(op, dur)
+	if s.hbmDemand[chip] < 0 {
+		s.hbmDemand[chip] = 0 // guard against float drift
+	}
+	s.queues[chip][s.resourceOf(op)].busy = false
+	s.done[chip][opIdx] = true
+	for _, dep := range s.dependents[opIdx] {
+		s.depsLeft[chip][dep]--
+	}
+	s.tryGrant(chip)
+}
+
+// computeDuration applies the compute model — the flat roofline (FLOPS vs
+// HBM) or, in tiled mode, the chip-level tile/prefetch pipeline — and the
+// contention model to a compute or slice op.
+func (s *sim) computeDuration(chip int, op sched.Op) float64 {
+	var dur float64
+	if s.opts.TiledCompute && op.M > 0 && op.N > 0 && op.K > 0 {
+		r, err := s.core.GeMM(op.M, op.N, op.K)
+		if err != nil {
+			panic(fmt.Sprintf("netsim: tiled compute: %v", err))
+		}
+		dur = r.Time
+	} else {
+		dur = s.hw.GeMMTime(op.FLOPs)
+		if hbm := op.HBMBytes / s.hw.HBMBandwidth; hbm > dur {
+			dur = hbm
+		}
+	}
+	return dur * s.contentionFactor(chip, op, dur)
+}
+
+// commDuration computes a collective/shift duration: nominal, stretched by
+// the worst HBM contention among ring members and — on logical meshes — by
+// fabric contention when the other direction is concurrently active.
+func (s *sim) commDuration(members []int, op sched.Op) float64 {
+	dur := s.nominalCommDuration(op)
+	worst := 1.0
+	for _, m := range members {
+		if f := s.contentionFactor(m, op, dur); f > worst {
+			worst = f
+		}
+	}
+	if f := s.fabricFactor(members, op); f > worst {
+		worst = f
+	}
+	return dur * worst
+}
+
+// fabricFactor returns the logical-mesh contention stretch: the configured
+// factor when any ring member's opposite-direction link is busy at op
+// start, 1 otherwise (and always 1 on physical meshes).
+func (s *sim) fabricFactor(members []int, op sched.Op) float64 {
+	if s.opts.FabricContention <= 1 || s.opts.NoOverlap {
+		return 1
+	}
+	mine := s.resourceOf(op)
+	for _, m := range members {
+		for r := resRowLink; r < numRes; r++ {
+			if r != mine && s.queues[m][r].busy {
+				return s.opts.FabricContention
+			}
+		}
+	}
+	return 1
+}
+
+// nominalCommDuration implements the per-kind timing:
+//
+//	AG/RdS/Shift: t_launch + Steps·(t_sync + Bytes/bw)
+//	Bcast/Reduce: t_launch + Steps·(t_sync + Bytes/(Packets·bw))
+//
+// where Steps already encodes P-1 ring steps or the P+D-2 pipeline stages.
+func (s *sim) nominalCommDuration(op sched.Op) float64 {
+	per := op.Bytes / s.hw.LinkBandwidth
+	if op.Kind == sched.Broadcast || op.Kind == sched.Reduce {
+		per = op.Bytes / float64(op.Packets) / s.hw.LinkBandwidth
+	}
+	return s.hw.LaunchOverhead + float64(s.effSteps(op))*(s.hw.SyncLatency+per)
+}
+
+// effSteps returns the synchronised step count actually executed: halved
+// for ring AG/RdS when both link directions are driven.
+func (s *sim) effSteps(op sched.Op) int {
+	if s.opts.BidirectionalRings &&
+		(op.Kind == sched.AllGather || op.Kind == sched.ReduceScatter) {
+		return (op.Steps + 1) / 2
+	}
+	return op.Steps
+}
+
+// opHBMDemand is the op's HBM bandwidth draw while active: compute streams
+// its operands; the NIC reads outgoing and writes incoming data.
+func (s *sim) opHBMDemand(op sched.Op, dur float64) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	if op.Kind.IsComm() {
+		wire := op.Bytes * float64(op.Steps)
+		if op.Kind == sched.Broadcast || op.Kind == sched.Reduce {
+			wire = op.Bytes * float64(op.Steps) / float64(op.Packets)
+		}
+		return 2 * wire / dur
+	}
+	return op.HBMBytes / dur
+}
+
+// contentionFactor stretches an op's duration when the chip's concurrent
+// HBM demand (including this op) exceeds the HBM bandwidth. The demand is
+// sampled at op start — a deliberate first-order approximation of
+// processor-sharing, registered with the op so it is withdrawn at
+// completion.
+func (s *sim) contentionFactor(chip int, op sched.Op, nominalDur float64) float64 {
+	if s.opts.NoHBMContention || s.opts.NoOverlap {
+		return 1
+	}
+	demand := s.opHBMDemand(op, nominalDur)
+	total := s.hbmDemand[chip] + demand
+	if total <= s.hw.HBMBandwidth {
+		return 1
+	}
+	return total / s.hw.HBMBandwidth
+}
+
+// startAccounting registers HBM demand and, on chip 0, the time intervals,
+// breakdown categories, and the optional trace.
+func (s *sim) startAccounting(chip, opIdx int, op sched.Op, dur float64) {
+	s.hbmDemand[chip] += s.opHBMDemand(op, dur)
+	if chip != 0 {
+		return
+	}
+	now := s.des.Now()
+	if s.opts.CollectTrace {
+		s.trace = append(s.trace, TraceEvent{
+			Op: opIdx, Name: op.Name, Kind: op.Kind, Dir: op.Dir,
+			Start: now, End: now + dur,
+		})
+	}
+	if op.Kind.IsComm() {
+		s.comm.Launch += s.hw.LaunchOverhead
+		s.comm.Sync += float64(s.effSteps(op)) * s.hw.SyncLatency
+		per := op.Bytes / s.hw.LinkBandwidth
+		if op.Kind == sched.Broadcast || op.Kind == sched.Reduce {
+			per = op.Bytes / float64(op.Packets) / s.hw.LinkBandwidth
+		}
+		s.comm.Transfer += float64(s.effSteps(op)) * per
+		s.commBusy += dur
+		s.commIntervals = append(s.commIntervals, interval{now, now + dur})
+	} else {
+		s.computeBusy += dur
+		s.compIntervals = append(s.compIntervals, interval{now, now + dur})
+	}
+}
+
+func (s *sim) result() Result {
+	sortTrace(s.trace)
+	return Result{
+		Makespan:    s.des.Now(),
+		ComputeBusy: s.computeBusy,
+		Comm:        s.comm,
+		CommBusy:    s.commBusy,
+		ExposedComm: exposed(s.commIntervals, s.compIntervals),
+		Events:      s.events,
+		Trace:       s.trace,
+	}
+}
+
+// exposed returns the measure of ∪comm minus its overlap with ∪compute.
+func exposed(comm, compute []interval) float64 {
+	cu := merge(comm)
+	co := merge(compute)
+	total := 0.0
+	for _, iv := range cu {
+		total += iv.end - iv.start
+	}
+	// Subtract pairwise overlaps between the two merged (disjoint) sets.
+	j := 0
+	for _, c := range cu {
+		for j < len(co) && co[j].end <= c.start {
+			j++
+		}
+		for k := j; k < len(co) && co[k].start < c.end; k++ {
+			lo := maxf(c.start, co[k].start)
+			hi := minf(c.end, co[k].end)
+			if hi > lo {
+				total -= hi - lo
+			}
+		}
+	}
+	if total < 0 {
+		total = 0
+	}
+	return total
+}
+
+func merge(ivs []interval) []interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sorted := append([]interval(nil), ivs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].start < sorted[j].start })
+	out := []interval{sorted[0]}
+	for _, iv := range sorted[1:] {
+		last := &out[len(out)-1]
+		if iv.start <= last.end {
+			if iv.end > last.end {
+				last.end = iv.end
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,104 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"meshslice/internal/sched"
+	"meshslice/internal/topology"
+)
+
+// randomProgram generates a structurally valid SPMD program: a random DAG
+// of compute, slice, and comm ops with forward-only dependencies.
+func randomProgram(rng *rand.Rand) *sched.Program {
+	tor := topology.NewTorus(rng.Intn(4)+1, rng.Intn(4)+1)
+	n := rng.Intn(20) + 1
+	ops := make([]sched.Op, 0, n)
+	for i := 0; i < n; i++ {
+		var op sched.Op
+		switch rng.Intn(6) {
+		case 0, 1:
+			op = sched.Op{Kind: sched.Compute, FLOPs: float64(rng.Intn(1e9) + 1)}
+		case 2:
+			op = sched.Op{Kind: sched.Slice, HBMBytes: float64(rng.Intn(1e7) + 1)}
+		case 3:
+			dir, ring := randomRing(rng, tor)
+			if ring == 1 {
+				op = sched.Op{Kind: sched.Compute, FLOPs: 1e6}
+				break
+			}
+			op = sched.Op{Kind: sched.AllGather, Dir: dir,
+				Bytes: float64(rng.Intn(1e7) + 1), Steps: ring - 1}
+		case 4:
+			dir, ring := randomRing(rng, tor)
+			if ring == 1 {
+				op = sched.Op{Kind: sched.Compute, FLOPs: 1e6}
+				break
+			}
+			op = sched.Op{Kind: sched.ReduceScatter, Dir: dir,
+				Bytes: float64(rng.Intn(1e7) + 1), Steps: ring - 1}
+		case 5:
+			dir, ring := randomRing(rng, tor)
+			if ring == 1 {
+				op = sched.Op{Kind: sched.Compute, FLOPs: 1e6}
+				break
+			}
+			op = sched.Op{Kind: sched.Shift, Dir: dir,
+				Bytes: float64(rng.Intn(1e7) + 1), Steps: rng.Intn(3) + 1}
+		}
+		// Random forward-only dependencies.
+		for d := 0; d < len(ops); d++ {
+			if rng.Float64() < 0.15 {
+				op.Deps = append(op.Deps, d)
+			}
+		}
+		ops = append(ops, op)
+	}
+	return &sched.Program{Torus: tor, Ops: ops, Label: "random"}
+}
+
+func randomRing(rng *rand.Rand, tor topology.Torus) (topology.Direction, int) {
+	if rng.Intn(2) == 0 {
+		return topology.InterRow, tor.Rows
+	}
+	return topology.InterCol, tor.Cols
+}
+
+// Invariants that must hold for EVERY valid program: termination (the
+// deadlock check inside Simulate), makespan bounds, determinism, and
+// no-overlap dominance.
+func TestRandomProgramInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 60; trial++ {
+		prog := randomProgram(rng)
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("trial %d: generator produced invalid program: %v", trial, err)
+		}
+		r1 := Simulate(prog, testHW, Options{})
+		r2 := Simulate(prog, testHW, Options{})
+		if r1.Makespan != r2.Makespan || r1.Comm != r2.Comm || r1.ComputeBusy != r2.ComputeBusy {
+			t.Fatalf("trial %d: nondeterministic simulation", trial)
+		}
+		// Makespan is at least the busiest single resource of chip 0.
+		if r1.Makespan+1e-12 < r1.ComputeBusy {
+			t.Errorf("trial %d: makespan %v below compute busy %v", trial, r1.Makespan, r1.ComputeBusy)
+		}
+		if r1.Makespan < 0 || r1.ExposedComm < -1e-12 {
+			t.Errorf("trial %d: negative result %+v", trial, r1)
+		}
+		if r1.ExposedComm > r1.Makespan+1e-12 {
+			t.Errorf("trial %d: exposed comm %v exceeds makespan %v", trial, r1.ExposedComm, r1.Makespan)
+		}
+		// Serialising everything can only slow things down.
+		serial := Simulate(prog, testHW, Options{NoOverlap: true, NoHBMContention: true})
+		ideal := Simulate(prog, testHW, Options{NoHBMContention: true})
+		if ideal.Makespan > serial.Makespan+1e-9 {
+			t.Errorf("trial %d: overlap (%v) slower than serial (%v)", trial, ideal.Makespan, serial.Makespan)
+		}
+		// Step-level equals atomic on clean hardware.
+		step := Simulate(prog, testHW, Options{NoHBMContention: true, StepLevel: true})
+		if diff := step.Makespan - ideal.Makespan; diff > 1e-9*ideal.Makespan+1e-15 || diff < -1e-9*ideal.Makespan-1e-15 {
+			t.Errorf("trial %d: step-level %v != atomic %v", trial, step.Makespan, ideal.Makespan)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"meshslice/internal/sched"
+	"meshslice/internal/topology"
+)
+
+// TraceEvent records one operation execution on the traced chip.
+type TraceEvent struct {
+	Op    int
+	Name  string
+	Kind  sched.OpKind
+	Dir   topology.Direction // meaningful for comm ops
+	Start float64
+	End   float64
+}
+
+// Trace is the traced chip's execution history in start-time order.
+type Trace []TraceEvent
+
+// lane buckets an event into the three rows of the paper's Fig. 4
+// timelines: computation, inter-row communication, inter-column
+// communication.
+func (e TraceEvent) lane() int {
+	if !e.Kind.IsComm() {
+		return 0
+	}
+	if e.Dir == topology.InterRow {
+		return 1
+	}
+	return 2
+}
+
+var laneNames = [3]string{"compute  ", "inter-row", "inter-col"}
+
+// Timeline renders the trace as a three-lane ASCII chart of the given
+// width, the textual counterpart of the paper's Fig. 4. Each lane shows
+// busy spans with the op kind's initial; overlap between the compute lane
+// and the communication lanes is the visual signature of software
+// pipelining.
+func (t Trace) Timeline(width int) string {
+	if len(t) == 0 || width < 10 {
+		return "(empty trace)\n"
+	}
+	end := 0.0
+	for _, e := range t {
+		if e.End > end {
+			end = e.End
+		}
+	}
+	if end <= 0 {
+		return "(empty trace)\n"
+	}
+	lanes := [3][]byte{}
+	for i := range lanes {
+		lanes[i] = []byte(strings.Repeat(".", width))
+	}
+	glyph := func(k sched.OpKind) byte {
+		switch k {
+		case sched.Compute:
+			return '#'
+		case sched.Slice:
+			return 's'
+		case sched.AllGather:
+			return 'G'
+		case sched.ReduceScatter:
+			return 'R'
+		case sched.Broadcast:
+			return 'B'
+		case sched.Reduce:
+			return 'r'
+		case sched.Shift:
+			return '>'
+		default:
+			return '?'
+		}
+	}
+	for _, e := range t {
+		lo := int(e.Start / end * float64(width))
+		hi := int(e.End / end * float64(width))
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		for i := lo; i < hi; i++ {
+			lanes[e.lane()][i] = glyph(e.Kind)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "0%sms %.3f\n", strings.Repeat(" ", width-len(fmt.Sprintf("%.3f", end*1e3))-3), end*1e3)
+	for i, lane := range lanes {
+		fmt.Fprintf(&sb, "%s |%s|\n", laneNames[i], lane)
+	}
+	sb.WriteString("(# compute, s slice, G allgather, R reducescatter, B bcast, r reduce, > sendrecv)\n")
+	return sb.String()
+}
+
+// BusyTime returns the total busy time of one lane (0 compute, 1 inter-row,
+// 2 inter-col), counting overlapping events once.
+func (t Trace) BusyTime(lane int) float64 {
+	var ivs []interval
+	for _, e := range t {
+		if e.lane() == lane {
+			ivs = append(ivs, interval{e.Start, e.End})
+		}
+	}
+	total := 0.0
+	for _, iv := range merge(ivs) {
+		total += iv.end - iv.start
+	}
+	return total
+}
+
+// sortTrace orders events by start time (stable on op index).
+func sortTrace(t Trace) {
+	sort.SliceStable(t, func(i, j int) bool {
+		if t[i].Start != t[j].Start {
+			return t[i].Start < t[j].Start
+		}
+		return t[i].Op < t[j].Op
+	})
+}

@@ -1,0 +1,279 @@
+package sched
+
+import (
+	"fmt"
+
+	"meshslice/internal/gemm"
+	"meshslice/internal/hw"
+	"meshslice/internal/topology"
+)
+
+// shardDims returns the per-chip shard dimensions of the three matrices for
+// a problem on a torus, as (aR, aC, bR, bC, cR, cC).
+func shardDims(p gemm.Problem, t topology.Torus) (aR, aC, bR, bC, cR, cC int) {
+	gaR, gaC, gbR, gbC := p.OperandShapes()
+	return gaR / t.Rows, gaC / t.Cols, gbR / t.Rows, gbC / t.Cols, p.M / t.Rows, p.N / t.Cols
+}
+
+// gemmHBM estimates the HBM traffic of a local GeMM: read both operands,
+// read-modify-write the output.
+func gemmHBM(aElems, bElems, cElems float64, c hw.Chip) float64 {
+	return (aElems + bElems + 2*cElems) * c.BytesPerElement
+}
+
+// MeshSliceProgram builds the SPMD program of the MeshSlice algorithm
+// (paper Fig. 5) for the given problem, mesh, and slice count S. With S=1
+// it degenerates to the Collective 2D GeMM schedule plus slicing no-ops,
+// so callers wanting Collective should use CollectiveProgram instead.
+func MeshSliceProgram(p gemm.Problem, t topology.Torus, c hw.Chip, S int) *Program {
+	if S <= 0 {
+		panic(fmt.Sprintf("sched: MeshSlice S=%d", S))
+	}
+	aR, aC, bR, bC, cR, cC := shardDims(p, t)
+	bpe := c.BytesPerElement
+	b := &builder{}
+	fS := float64(S)
+
+	for s := 0; s < S; s++ {
+		switch p.Dataflow {
+		case gemm.OS:
+			aSub := float64(aR*aC) / fS
+			bSub := float64(bR*bC) / fS
+			var deps []int
+			if t.Cols > 1 {
+				agADeps := sliceDep(b, S, s, aSub, bpe, "slice A_s")
+				deps = append(deps, b.add(Op{
+					Kind: AllGather, Name: fmt.Sprintf("AG_col A s=%d", s),
+					Dir: topology.InterCol, Bytes: aSub * bpe, Steps: t.Cols - 1,
+					Deps: agADeps,
+				}))
+			}
+			if t.Rows > 1 {
+				agBDeps := sliceDep(b, S, s, bSub, bpe, "slice B_s")
+				deps = append(deps, b.add(Op{
+					Kind: AllGather, Name: fmt.Sprintf("AG_row B s=%d", s),
+					Dir: topology.InterRow, Bytes: bSub * bpe, Steps: t.Rows - 1,
+					Deps: agBDeps,
+				}))
+			}
+			flops := 2 * float64(cR) * float64(cC) * float64(p.K) / fS
+			b.add(Op{
+				Kind: Compute, Name: fmt.Sprintf("partial GeMM s=%d", s),
+				FLOPs: flops,
+				M:     cR, N: cC, K: p.K / S,
+				HBMBytes: gemmHBM(aSub*float64(t.Cols), bSub*float64(t.Rows),
+					float64(cR*cC), c),
+				Deps: deps,
+			})
+
+		case gemm.LS:
+			bSub := float64(bR*bC) / fS
+			var gemmDeps []int
+			if t.Rows > 1 {
+				agDeps := sliceDep(b, S, s, bSub, bpe, "slice B_s")
+				gemmDeps = append(gemmDeps, b.add(Op{
+					Kind: AllGather, Name: fmt.Sprintf("AG_row B s=%d", s),
+					Dir: topology.InterRow, Bytes: bSub * bpe, Steps: t.Rows - 1,
+					Deps: agDeps,
+				}))
+			}
+			nSlice := float64(p.N) / fS // columns of the partial product C'
+			flops := 2 * float64(aR) * nSlice * float64(aC)
+			g := b.add(Op{
+				Kind: Compute, Name: fmt.Sprintf("partial GeMM s=%d", s),
+				FLOPs: flops,
+				M:     aR, N: p.N / S, K: aC,
+				HBMBytes: gemmHBM(float64(aR*aC), bSub*float64(t.Rows), float64(aR)*nSlice, c),
+				Deps:     gemmDeps,
+			})
+			if t.Cols > 1 {
+				rds := b.add(Op{
+					Kind: ReduceScatter, Name: fmt.Sprintf("RdS_col C s=%d", s),
+					Dir: topology.InterCol, Bytes: float64(aR) * nSlice / float64(t.Cols) * bpe,
+					Steps: t.Cols - 1, Deps: []int{g},
+				})
+				if S > 1 {
+					sub := float64(cR*cC) / fS
+					b.add(Op{
+						Kind: Slice, Name: fmt.Sprintf("unslice C s=%d", s),
+						HBMBytes: 2 * sub * bpe, Deps: []int{rds},
+					})
+				}
+			}
+
+		case gemm.RS:
+			aSub := float64(aR*aC) / fS
+			var gemmDeps []int
+			if t.Cols > 1 {
+				agDeps := sliceDep(b, S, s, aSub, bpe, "slice A_s")
+				gemmDeps = append(gemmDeps, b.add(Op{
+					Kind: AllGather, Name: fmt.Sprintf("AG_col A s=%d", s),
+					Dir: topology.InterCol, Bytes: aSub * bpe, Steps: t.Cols - 1,
+					Deps: agDeps,
+				}))
+			}
+			mSlice := float64(p.M) / fS // rows of the partial product C'
+			flops := 2 * mSlice * float64(bC) * float64(bR)
+			g := b.add(Op{
+				Kind: Compute, Name: fmt.Sprintf("partial GeMM s=%d", s),
+				FLOPs: flops,
+				M:     p.M / S, N: bC, K: bR,
+				HBMBytes: gemmHBM(aSub*float64(t.Cols), float64(bR*bC), mSlice*float64(bC), c),
+				Deps:     gemmDeps,
+			})
+			if t.Rows > 1 {
+				rds := b.add(Op{
+					Kind: ReduceScatter, Name: fmt.Sprintf("RdS_row C s=%d", s),
+					Dir: topology.InterRow, Bytes: mSlice / float64(t.Rows) * float64(bC) * bpe,
+					Steps: t.Rows - 1, Deps: []int{g},
+				})
+				if S > 1 {
+					sub := float64(cR*cC) / fS
+					b.add(Op{
+						Kind: Slice, Name: fmt.Sprintf("unslice C s=%d", s),
+						HBMBytes: 2 * sub * bpe, Deps: []int{rds},
+					})
+				}
+			}
+
+		default:
+			panic(fmt.Sprintf("sched: unknown dataflow %d", int(p.Dataflow)))
+		}
+	}
+	return &Program{Torus: t, Ops: b.ops, Label: fmt.Sprintf("MeshSlice-%v S=%d", p.Dataflow, S)}
+}
+
+// sliceDep emits the slicing op for a sub-shard when S>1 and returns the
+// dependency list for the consumer (empty when no slicing is needed).
+func sliceDep(b *builder, S, s int, subElems, bpe float64, name string) []int {
+	if S <= 1 {
+		return nil
+	}
+	return []int{b.add(Op{
+		Kind: Slice, Name: fmt.Sprintf("%s s=%d", name, s),
+		HBMBytes: 2 * subElems * bpe,
+	})}
+}
+
+// CollectiveProgram builds the Collective 2D GeMM schedule (paper Fig. 2b):
+// monolithic collectives with hard dependencies to and from a single local
+// GeMM — the structure that prevents any overlap.
+func CollectiveProgram(p gemm.Problem, t topology.Torus, c hw.Chip) *Program {
+	prog := MeshSliceProgram(p, t, c, 1)
+	prog.Label = fmt.Sprintf("Collective-%v", p.Dataflow)
+	return prog
+}
+
+// SUMMAProgram builds SUMMA's schedule (paper Fig. 2a): iters loop
+// iterations, each broadcasting panels with fine-grain pipelined
+// bcast/reduce operations. iters defaults to lcm(Pr, Pc) when zero; the
+// paper's evaluation unrolls SUMMA to MeshSlice's slice count (§4.2), which
+// corresponds to passing that count here.
+func SUMMAProgram(p gemm.Problem, t topology.Torus, c hw.Chip, iters int) *Program {
+	if iters <= 0 {
+		iters = lcm(t.Rows, t.Cols)
+	}
+	aR, aC, bR, bC, cR, cC := shardDims(p, t)
+	bpe := c.BytesPerElement
+	d := c.BcastPackets
+	b := &builder{}
+	fI := float64(iters)
+
+	for it := 0; it < iters; it++ {
+		switch p.Dataflow {
+		case gemm.OS:
+			var deps []int
+			if t.Cols > 1 {
+				deps = append(deps, b.add(Op{
+					Kind: Broadcast, Name: fmt.Sprintf("bcast_col A p=%d", it),
+					Dir:   topology.InterCol,
+					Bytes: float64(aR) * float64(p.K) / fI * bpe,
+					Steps: t.Cols + d - 2, Packets: d,
+				}))
+			}
+			if t.Rows > 1 {
+				deps = append(deps, b.add(Op{
+					Kind: Broadcast, Name: fmt.Sprintf("bcast_row B p=%d", it),
+					Dir:   topology.InterRow,
+					Bytes: float64(p.K) / fI * float64(bC) * bpe,
+					Steps: t.Rows + d - 2, Packets: d,
+				}))
+			}
+			b.add(Op{
+				Kind: Compute, Name: fmt.Sprintf("partial GeMM p=%d", it),
+				FLOPs: 2 * float64(cR) * float64(cC) * float64(p.K) / fI,
+				M:     cR, N: cC, K: p.K / iters,
+				HBMBytes: gemmHBM(float64(aR)*float64(p.K)/fI,
+					float64(p.K)/fI*float64(bC), float64(cR*cC), c),
+				Deps: deps,
+			})
+
+		case gemm.LS:
+			var gemmDeps []int
+			if t.Rows > 1 {
+				gemmDeps = append(gemmDeps, b.add(Op{
+					Kind: Broadcast, Name: fmt.Sprintf("bcast_row B p=%d", it),
+					Dir:   topology.InterRow,
+					Bytes: float64(p.N) / fI * float64(bC) * bpe,
+					Steps: t.Rows + d - 2, Packets: d,
+				}))
+			}
+			g := b.add(Op{
+				Kind: Compute, Name: fmt.Sprintf("partial GeMM p=%d", it),
+				FLOPs: 2 * float64(aR) * float64(p.N) / fI * float64(aC),
+				M:     aR, N: p.N / iters, K: aC,
+				HBMBytes: gemmHBM(float64(aR*aC), float64(p.N)/fI*float64(bC),
+					float64(aR)*float64(p.N)/fI, c),
+				Deps: gemmDeps,
+			})
+			if t.Cols > 1 {
+				b.add(Op{
+					Kind: Reduce, Name: fmt.Sprintf("reduce_col C p=%d", it),
+					Dir:   topology.InterCol,
+					Bytes: float64(aR) * float64(p.N) / fI * bpe,
+					Steps: t.Cols + d - 2, Packets: d, Deps: []int{g},
+				})
+			}
+
+		case gemm.RS:
+			var gemmDeps []int
+			if t.Cols > 1 {
+				gemmDeps = append(gemmDeps, b.add(Op{
+					Kind: Broadcast, Name: fmt.Sprintf("bcast_col A p=%d", it),
+					Dir:   topology.InterCol,
+					Bytes: float64(bR) * float64(p.M) / fI * bpe,
+					Steps: t.Cols + d - 2, Packets: d,
+				}))
+			}
+			g := b.add(Op{
+				Kind: Compute, Name: fmt.Sprintf("partial GeMM p=%d", it),
+				FLOPs: 2 * float64(p.M) / fI * float64(bC) * float64(bR),
+				M:     p.M / iters, N: bC, K: bR,
+				HBMBytes: gemmHBM(float64(bR)*float64(p.M)/fI, float64(bR*bC),
+					float64(p.M)/fI*float64(bC), c),
+				Deps: gemmDeps,
+			})
+			if t.Rows > 1 {
+				b.add(Op{
+					Kind: Reduce, Name: fmt.Sprintf("reduce_row C p=%d", it),
+					Dir:   topology.InterRow,
+					Bytes: float64(p.M) / fI * float64(bC) * bpe,
+					Steps: t.Rows + d - 2, Packets: d, Deps: []int{g},
+				})
+			}
+
+		default:
+			panic(fmt.Sprintf("sched: unknown dataflow %d", int(p.Dataflow)))
+		}
+	}
+	return &Program{Torus: t, Ops: b.ops, Label: fmt.Sprintf("SUMMA-%v P=%d", p.Dataflow, iters)}
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"testing"
+
+	"meshslice/internal/gemm"
+	"meshslice/internal/topology"
+)
+
+func TestTwoPointFiveDProgramStructure(t *testing.T) {
+	g := gemm.Grid3D{P: 4, C: 2}
+	prog := TwoPointFiveDProgram(256, 256, 256, g, testHW)
+	validate(t, prog)
+	if prog.Grid3 == nil || prog.Grid3.Size() != 32 {
+		t.Fatalf("Grid3 = %v", prog.Grid3)
+	}
+	if prog.Chips() != 32 {
+		t.Errorf("Chips = %d", prog.Chips())
+	}
+	// P/c = 2 iterations; 2 replicate + 2 skew + (iters-1)·2 shifts + 1
+	// depth reduce.
+	if got := countKind(prog, Compute); got != 2 {
+		t.Errorf("compute ops = %d, want 2", got)
+	}
+	depthOps := 0
+	for _, op := range prog.Ops {
+		if op.Kind.IsComm() && op.Dir == topology.InterDepth {
+			depthOps++
+		}
+	}
+	if depthOps != 3 { // replicate A, replicate B, reduce C
+		t.Errorf("depth ops = %d, want 3", depthOps)
+	}
+	// Total FLOPs per chip: 2·(M/P)·(N/P)·(K/c).
+	want := 2.0 * 64 * 64 * 128
+	if got := prog.TotalFLOPs(); got != want {
+		t.Errorf("TotalFLOPs = %g, want %g", got, want)
+	}
+}
+
+func TestTwoPointFiveDProgramRejectsBadShapes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("indivisible shape should panic")
+		}
+	}()
+	TwoPointFiveDProgram(100, 100, 100, gemm.Grid3D{P: 4, C: 3}, testHW)
+}
+
+func TestMeshSliceDPProgramStructure(t *testing.T) {
+	p := gemm.Problem{M: 1 << 14, N: 4096, K: 4096, Dataflow: gemm.OS}
+	prog := MeshSliceDPProgram(p, topology.NewTorus(4, 4), 2, testHW, 4)
+	validate(t, prog)
+	if prog.Chips() != 32 {
+		t.Errorf("Chips = %d", prog.Chips())
+	}
+	// The per-replica GeMM covers M/depth rows plus the DP AllReduce pair.
+	wantFLOPs := 2.0 * float64(p.M/2/4) * float64(p.N/4) * float64(p.K)
+	if got := prog.TotalFLOPs(); got != wantFLOPs {
+		t.Errorf("TotalFLOPs = %g, want %g", got, wantFLOPs)
+	}
+	depthOps := 0
+	for _, op := range prog.Ops {
+		if op.Kind.IsComm() && op.Dir == topology.InterDepth {
+			depthOps++
+		}
+	}
+	if depthOps != 2 { // RdS + AG halves of the gradient AllReduce
+		t.Errorf("depth ops = %d, want 2", depthOps)
+	}
+}
+
+func TestMeshSliceDPProgramDepthOne(t *testing.T) {
+	p := gemm.Problem{M: 1 << 12, N: 4096, K: 4096, Dataflow: gemm.OS}
+	prog := MeshSliceDPProgram(p, topology.NewTorus(4, 4), 1, testHW, 2)
+	for _, op := range prog.Ops {
+		if op.Dir == topology.InterDepth && op.Kind.IsComm() {
+			t.Errorf("depth-1 program has depth op %q", op.Name)
+		}
+	}
+}
+
+func TestDepthOpOn2DMeshRejected(t *testing.T) {
+	prog := &Program{
+		Torus: topology.NewTorus(2, 2),
+		Ops: []Op{{
+			Kind: AllGather, Dir: topology.InterDepth, Bytes: 8, Steps: 1,
+		}},
+	}
+	if err := prog.Validate(); err == nil {
+		t.Errorf("depth op on 2D mesh accepted")
+	}
+}
+
+func TestRingMembers3D(t *testing.T) {
+	grid := topology.NewTorus3D(2, 3, 2)
+	prog := &Program{Torus: grid.Layer(), Grid3: &grid}
+	// Chip (1, 2, 1) = rank (1*2+1)*3+2 = 11.
+	rank := grid.Rank(1, 2, 1)
+	row := prog.RingMembers(rank, topology.InterCol)
+	if len(row) != 3 {
+		t.Fatalf("row ring size = %d", len(row))
+	}
+	for i, r := range row {
+		if r != grid.Rank(1, i, 1) {
+			t.Errorf("row ring[%d] = %d", i, r)
+		}
+	}
+	depthRing := prog.RingMembers(rank, topology.InterDepth)
+	if len(depthRing) != 2 || depthRing[0] != grid.Rank(1, 2, 0) || depthRing[1] != rank {
+		t.Errorf("depth ring = %v", depthRing)
+	}
+}

@@ -1,0 +1,61 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Fuzz targets for the slicing algebra: arbitrary (dims, S, B, seed)
+// combinations must either be rejected by the precondition or round-trip
+// exactly and preserve the sliced-GeMM identity.
+
+func FuzzSliceColRoundTrip(f *testing.F) {
+	f.Add(2, 8, 2, 1, int64(1))
+	f.Add(3, 24, 3, 2, int64(2))
+	f.Add(1, 16, 4, 4, int64(3))
+	f.Fuzz(func(t *testing.T, rows, cols, S, B int, seed int64) {
+		if rows <= 0 || rows > 16 || cols <= 0 || cols > 64 ||
+			S <= 0 || S > 8 || B <= 0 || B > 8 {
+			t.Skip()
+		}
+		if cols%(S*B) != 0 {
+			// Precondition violated: must panic, not corrupt.
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SliceCol accepted cols=%d S=%d B=%d", cols, S, B)
+				}
+			}()
+			SliceCol(New(rows, cols), S, 0, B)
+			return
+		}
+		x := Random(rows, cols, rand.New(rand.NewSource(seed)))
+		rec := New(rows, cols)
+		for s := 0; s < S; s++ {
+			UnsliceColInto(rec, SliceCol(x, S, s, B), S, s, B)
+		}
+		if !rec.Equal(x, 0) {
+			t.Errorf("round trip failed for rows=%d cols=%d S=%d B=%d", rows, cols, S, B)
+		}
+	})
+}
+
+func FuzzSlicedGeMMIdentity(f *testing.F) {
+	f.Add(2, 3, 8, 2, 1, int64(1))
+	f.Add(4, 4, 12, 3, 2, int64(2))
+	f.Fuzz(func(t *testing.T, m, n, k, S, B int, seed int64) {
+		if m <= 0 || m > 8 || n <= 0 || n > 8 || k <= 0 || k > 32 ||
+			S <= 0 || S > 6 || B <= 0 || B > 4 || k%(S*B) != 0 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		a := Random(m, k, rng)
+		b := Random(k, n, rng)
+		c := New(m, n)
+		for s := 0; s < S; s++ {
+			MatMulAdd(c, SliceCol(a, S, s, B), SliceRow(b, S, s, B))
+		}
+		if !c.Equal(MatMul(a, b), 1e-9) {
+			t.Errorf("sliced GeMM identity failed for m=%d n=%d k=%d S=%d B=%d", m, n, k, S, B)
+		}
+	})
+}

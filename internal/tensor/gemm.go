@@ -1,0 +1,154 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelFLOPThreshold is the work size above which MatMulAdd fans out
+// across cores; below it the goroutine overhead outweighs the gain.
+const parallelFLOPThreshold = 1 << 22
+
+// MatMul computes C = A·B and returns C as a new matrix.
+// A is m×k and B is k×n, so C is m×n.
+func MatMul(a, b *Matrix) *Matrix {
+	c := New(a.Rows, b.Cols)
+	MatMulAdd(c, a, b)
+	return c
+}
+
+// MatMulAdd accumulates C += A·B in place. A is m×k, B is k×n, C is m×n.
+//
+// The kernel is the classic ikj loop order so the inner loop streams both B
+// and C rows contiguously. Large products are partitioned by output rows
+// across cores — each goroutine owns a disjoint strip of C, so the
+// parallelism is race-free and bitwise identical to the serial path.
+func MatMulAdd(c, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulAdd inner dim mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulAdd output %dx%d for %dx%d · %dx%d", c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	work := int64(a.Rows) * int64(a.Cols) * int64(b.Cols)
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelFLOPThreshold || workers < 2 || a.Rows < 2*workers {
+		matMulAddRows(c, a, b, 0, a.Rows)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * a.Rows / workers
+		hi := (w + 1) * a.Rows / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulAddRows(c, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matMulAddRows accumulates rows [lo, hi) of C += A·B.
+func matMulAddRows(c, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				crow[j] += aik * bv
+			}
+		}
+	}
+}
+
+// MatMulNT computes C = A·Bᵀ. A is m×k and B is n×k, so C is m×n.
+// This is the product computed locally by the LS dataflow (paper Fig. 5).
+func MatMulNT(a, b *Matrix) *Matrix {
+	c := New(a.Rows, b.Rows)
+	MatMulAddNT(c, a, b)
+	return c
+}
+
+// MatMulAddNT accumulates C += A·Bᵀ in place.
+func MatMulAddNT(c, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulAddNT inner dim mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if c.Rows != a.Rows || c.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulAddNT output %dx%d for %dx%d · (%dx%d)ᵀ", c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			sum := 0.0
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			crow[j] += sum
+		}
+	}
+}
+
+// MatMulTN computes C = Aᵀ·B. A is k×m and B is k×n, so C is m×n.
+// This is the product computed locally by the RS dataflow (paper Fig. 5).
+func MatMulTN(a, b *Matrix) *Matrix {
+	c := New(a.Cols, b.Cols)
+	MatMulAddTN(c, a, b)
+	return c
+}
+
+// MatMulAddTN accumulates C += Aᵀ·B in place.
+func MatMulAddTN(c, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulAddTN inner dim mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if c.Rows != a.Cols || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulAddTN output %dx%d for (%dx%d)ᵀ · %dx%d", c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c.Row(i)
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// OuterProductAdd accumulates C += a·b where a is a column vector (len m)
+// and b is a row vector (len n). Used by the mathematical-description tests
+// of §3.1.1: C_ij equals the sum of K outer products.
+func OuterProductAdd(c *Matrix, a, b []float64) {
+	if c.Rows != len(a) || c.Cols != len(b) {
+		panic(fmt.Sprintf("tensor: OuterProductAdd output %dx%d for %d⊗%d", c.Rows, c.Cols, len(a), len(b)))
+	}
+	for i, av := range a {
+		crow := c.Row(i)
+		for j, bv := range b {
+			crow[j] += av * bv
+		}
+	}
+}
+
+// GeMMFLOPs returns the floating point operation count of an M×K by K×N
+// multiplication (2·M·N·K, counting multiply and add separately).
+func GeMMFLOPs(m, n, k int64) int64 {
+	return 2 * m * n * k
+}

@@ -1,0 +1,204 @@
+// Package tensor provides the dense matrix substrate used by the MeshSlice
+// reproduction: row-major float64 matrices, GeMM in all transpose variants,
+// and the sub-shard slicing operations at the heart of the MeshSlice
+// algorithm (paper §3.1, Algorithm 2).
+//
+// Everything here is deliberately simple and allocation-explicit: these
+// matrices stand in for accelerator HBM buffers, so the functional mesh
+// runtime (internal/mesh) can move real data through real collectives and
+// the distributed GeMM algorithms can be verified bit-for-bit against a
+// single-node reference multiplication.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+//
+// The zero value is an empty 0x0 matrix. Data is stored in a single backing
+// slice of length Rows*Cols; element (r,c) lives at Data[r*Cols+c].
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zero-initialised rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data as a rows×cols matrix. The slice is used directly,
+// not copied; len(data) must equal rows*cols.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice got %d elements for %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// Random returns a rows×cols matrix with entries drawn uniformly from
+// [-1, 1) by the given source. A deterministic source makes tests and
+// benchmarks reproducible.
+func Random(rows, cols int, rng *rand.Rand) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = 2*rng.Float64() - 1
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float64 {
+	m.checkIndex(r, c)
+	return m.Data[r*m.Cols+c]
+}
+
+// Set stores v at element (r, c).
+func (m *Matrix) Set(r, c int, v float64) {
+	m.checkIndex(r, c)
+	m.Data[r*m.Cols+c] = v
+}
+
+func (m *Matrix) checkIndex(r, c int) {
+	if r < 0 || r >= m.Rows || c < 0 || c >= m.Cols {
+		panic(fmt.Sprintf("tensor: index (%d,%d) out of range for %dx%d", r, c, m.Rows, m.Cols))
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero resets every element of m to zero, retaining the allocation.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Row returns row r as a slice aliasing the matrix storage.
+func (m *Matrix) Row(r int) []float64 {
+	if r < 0 || r >= m.Rows {
+		panic(fmt.Sprintf("tensor: row %d out of range for %dx%d", r, m.Rows, m.Cols))
+	}
+	return m.Data[r*m.Cols : (r+1)*m.Cols]
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c, v := range row {
+			out.Data[c*out.Cols+r] = v
+		}
+	}
+	return out
+}
+
+// Add accumulates other into m element-wise. Shapes must match.
+func (m *Matrix) Add(other *Matrix) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic(fmt.Sprintf("tensor: Add shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	for i, v := range other.Data {
+		m.Data[i] += v
+	}
+}
+
+// Scale multiplies every element of m by alpha.
+func (m *Matrix) Scale(alpha float64) {
+	for i := range m.Data {
+		m.Data[i] *= alpha
+	}
+}
+
+// Equal reports whether m and other have the same shape and every pair of
+// elements differs by at most tol in absolute value.
+func (m *Matrix) Equal(other *Matrix, tol float64) bool {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-other.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between m
+// and other. Shapes must match.
+func (m *Matrix) MaxAbsDiff(other *Matrix) float64 {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic(fmt.Sprintf("tensor: MaxAbsDiff shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	max := 0.0
+	for i, v := range m.Data {
+		if d := math.Abs(v - other.Data[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// String renders small matrices for test failure messages.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+	}
+	s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		if r > 0 {
+			s += "; "
+		}
+		for c := 0; c < m.Cols; c++ {
+			if c > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(r, c))
+		}
+	}
+	return s + "]"
+}
+
+// SubMatrix copies the block starting at (r0, c0) with the given shape into
+// a new matrix.
+func (m *Matrix) SubMatrix(r0, c0, rows, cols int) *Matrix {
+	if r0 < 0 || c0 < 0 || r0+rows > m.Rows || c0+cols > m.Cols {
+		panic(fmt.Sprintf("tensor: SubMatrix (%d,%d)+%dx%d out of range for %dx%d", r0, c0, rows, cols, m.Rows, m.Cols))
+	}
+	out := New(rows, cols)
+	for r := 0; r < rows; r++ {
+		copy(out.Row(r), m.Data[(r0+r)*m.Cols+c0:(r0+r)*m.Cols+c0+cols])
+	}
+	return out
+}
+
+// SetSubMatrix copies block into m with its top-left corner at (r0, c0).
+func (m *Matrix) SetSubMatrix(r0, c0 int, block *Matrix) {
+	if r0 < 0 || c0 < 0 || r0+block.Rows > m.Rows || c0+block.Cols > m.Cols {
+		panic(fmt.Sprintf("tensor: SetSubMatrix (%d,%d)+%dx%d out of range for %dx%d", r0, c0, block.Rows, block.Cols, m.Rows, m.Cols))
+	}
+	for r := 0; r < block.Rows; r++ {
+		copy(m.Data[(r0+r)*m.Cols+c0:(r0+r)*m.Cols+c0+block.Cols], block.Row(r))
+	}
+}

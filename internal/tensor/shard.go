@@ -1,0 +1,116 @@
+package tensor
+
+import "fmt"
+
+// Sharding helpers: a global matrix is partitioned into Pr×Pc equal shards
+// assigned to the chips of a 2D mesh (paper §2.3.1); shard (i,j) lives on
+// chip (i,j). These functions move between the global view used by tests and
+// the per-chip view used by the distributed algorithms.
+
+// Partition splits global into pr×pc equal shards. Shard (i,j) is returned
+// at index i*pc+j. global.Rows must divide by pr and global.Cols by pc.
+func Partition(global *Matrix, pr, pc int) []*Matrix {
+	if pr <= 0 || pc <= 0 || global.Rows%pr != 0 || global.Cols%pc != 0 {
+		panic(fmt.Sprintf("tensor: Partition %dx%d into %dx%d shards", global.Rows, global.Cols, pr, pc))
+	}
+	sr, sc := global.Rows/pr, global.Cols/pc
+	shards := make([]*Matrix, pr*pc)
+	for i := 0; i < pr; i++ {
+		for j := 0; j < pc; j++ {
+			shards[i*pc+j] = global.SubMatrix(i*sr, j*sc, sr, sc)
+		}
+	}
+	return shards
+}
+
+// Assemble reconstructs the global matrix from pr×pc shards produced by
+// Partition (shard (i,j) at index i*pc+j). All shards must share one shape.
+func Assemble(shards []*Matrix, pr, pc int) *Matrix {
+	if len(shards) != pr*pc {
+		panic(fmt.Sprintf("tensor: Assemble got %d shards for %dx%d mesh", len(shards), pr, pc))
+	}
+	sr, sc := shards[0].Rows, shards[0].Cols
+	global := New(pr*sr, pc*sc)
+	for i := 0; i < pr; i++ {
+		for j := 0; j < pc; j++ {
+			s := shards[i*pc+j]
+			if s.Rows != sr || s.Cols != sc {
+				panic(fmt.Sprintf("tensor: Assemble shard (%d,%d) is %dx%d, want %dx%d", i, j, s.Rows, s.Cols, sr, sc))
+			}
+			global.SetSubMatrix(i*sr, j*sc, s)
+		}
+	}
+	return global
+}
+
+// ConcatRows stacks the matrices vertically in order. All must have the
+// same column count.
+func ConcatRows(parts []*Matrix) *Matrix {
+	if len(parts) == 0 {
+		return New(0, 0)
+	}
+	cols := parts[0].Cols
+	rows := 0
+	for _, p := range parts {
+		if p.Cols != cols {
+			panic(fmt.Sprintf("tensor: ConcatRows column mismatch %d vs %d", p.Cols, cols))
+		}
+		rows += p.Rows
+	}
+	out := New(rows, cols)
+	r0 := 0
+	for _, p := range parts {
+		out.SetSubMatrix(r0, 0, p)
+		r0 += p.Rows
+	}
+	return out
+}
+
+// ConcatCols stacks the matrices horizontally in order. All must have the
+// same row count.
+func ConcatCols(parts []*Matrix) *Matrix {
+	if len(parts) == 0 {
+		return New(0, 0)
+	}
+	rows := parts[0].Rows
+	cols := 0
+	for _, p := range parts {
+		if p.Rows != rows {
+			panic(fmt.Sprintf("tensor: ConcatCols row mismatch %d vs %d", p.Rows, rows))
+		}
+		cols += p.Cols
+	}
+	out := New(rows, cols)
+	c0 := 0
+	for _, p := range parts {
+		out.SetSubMatrix(0, c0, p)
+		c0 += p.Cols
+	}
+	return out
+}
+
+// SplitRows divides m into n equal horizontal strips (m.Rows % n == 0).
+func SplitRows(m *Matrix, n int) []*Matrix {
+	if n <= 0 || m.Rows%n != 0 {
+		panic(fmt.Sprintf("tensor: SplitRows %dx%d into %d", m.Rows, m.Cols, n))
+	}
+	h := m.Rows / n
+	out := make([]*Matrix, n)
+	for i := range out {
+		out[i] = m.SubMatrix(i*h, 0, h, m.Cols)
+	}
+	return out
+}
+
+// SplitCols divides m into n equal vertical strips (m.Cols % n == 0).
+func SplitCols(m *Matrix, n int) []*Matrix {
+	if n <= 0 || m.Cols%n != 0 {
+		panic(fmt.Sprintf("tensor: SplitCols %dx%d into %d", m.Rows, m.Cols, n))
+	}
+	w := m.Cols / n
+	out := make([]*Matrix, n)
+	for i := range out {
+		out[i] = m.SubMatrix(0, i*w, m.Rows, w)
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package tensor
+
+import "fmt"
+
+// This file implements the slicing operations at the core of the MeshSlice
+// algorithm (paper §3.1). slice_col(X, S, s) selects every S-th group of
+// columns of X, and slice_row selects every S-th group of rows. With block
+// size B=1 this is the strided slicing of the mathematical description
+// (§3.1.1); with B>1 it is the blocked variant of Algorithm 2 that keeps
+// memory accesses contiguous (the paper uses B=8 for TPUs, matching the
+// TPU's 2D 128×8 memory chunks).
+
+// SliceCol returns the s-th column sub-shard of X for slice count S with
+// block size B (paper Algorithm 2).
+//
+// X's columns are viewed as C/(S·B) groups of S·B columns; within each group
+// the s-th run of B contiguous columns is selected. The result has shape
+// R × C/S. X.Cols must be divisible by S·B and 0 ≤ s < S.
+func SliceCol(x *Matrix, S, s, B int) *Matrix {
+	checkSliceArgs("SliceCol", x.Cols, S, s, B)
+	groups := x.Cols / (S * B)
+	out := New(x.Rows, x.Cols/S)
+	for r := 0; r < x.Rows; r++ {
+		src := x.Row(r)
+		dst := out.Row(r)
+		for g := 0; g < groups; g++ {
+			copy(dst[g*B:(g+1)*B], src[g*S*B+s*B:g*S*B+(s+1)*B])
+		}
+	}
+	return out
+}
+
+// UnsliceColInto writes sub (the s-th column sub-shard for slice count S and
+// block size B) back into its source positions inside x. It is the inverse
+// of SliceCol: applying it for every s reconstructs x exactly.
+func UnsliceColInto(x, sub *Matrix, S, s, B int) {
+	checkSliceArgs("UnsliceColInto", x.Cols, S, s, B)
+	if sub.Rows != x.Rows || sub.Cols != x.Cols/S {
+		panic(fmt.Sprintf("tensor: UnsliceColInto sub %dx%d for target %dx%d S=%d", sub.Rows, sub.Cols, x.Rows, x.Cols, S))
+	}
+	groups := x.Cols / (S * B)
+	for r := 0; r < x.Rows; r++ {
+		dst := x.Row(r)
+		src := sub.Row(r)
+		for g := 0; g < groups; g++ {
+			copy(dst[g*S*B+s*B:g*S*B+(s+1)*B], src[g*B:(g+1)*B])
+		}
+	}
+}
+
+// SliceRow returns the s-th row sub-shard of X for slice count S with block
+// size B: every S-th run of B contiguous rows. The result has shape R/S × C.
+// X.Rows must be divisible by S·B and 0 ≤ s < S.
+func SliceRow(x *Matrix, S, s, B int) *Matrix {
+	checkSliceArgs("SliceRow", x.Rows, S, s, B)
+	groups := x.Rows / (S * B)
+	out := New(x.Rows/S, x.Cols)
+	for g := 0; g < groups; g++ {
+		for b := 0; b < B; b++ {
+			copy(out.Row(g*B+b), x.Row(g*S*B+s*B+b))
+		}
+	}
+	return out
+}
+
+// UnsliceRowInto writes sub (the s-th row sub-shard for slice count S and
+// block size B) back into its source rows inside x; the inverse of SliceRow.
+func UnsliceRowInto(x, sub *Matrix, S, s, B int) {
+	checkSliceArgs("UnsliceRowInto", x.Rows, S, s, B)
+	if sub.Rows != x.Rows/S || sub.Cols != x.Cols {
+		panic(fmt.Sprintf("tensor: UnsliceRowInto sub %dx%d for target %dx%d S=%d", sub.Rows, sub.Cols, x.Rows, x.Cols, S))
+	}
+	groups := x.Rows / (S * B)
+	for g := 0; g < groups; g++ {
+		for b := 0; b < B; b++ {
+			copy(x.Row(g*S*B+s*B+b), sub.Row(g*B+b))
+		}
+	}
+}
+
+func checkSliceArgs(op string, dim, S, s, B int) {
+	if S <= 0 || B <= 0 {
+		panic(fmt.Sprintf("tensor: %s with S=%d B=%d", op, S, B))
+	}
+	if s < 0 || s >= S {
+		panic(fmt.Sprintf("tensor: %s slice index %d out of range for S=%d", op, s, S))
+	}
+	if dim%(S*B) != 0 {
+		panic(fmt.Sprintf("tensor: %s dimension %d not divisible by S·B=%d·%d", op, dim, S, B))
+	}
+}
+
+// ValidSliceCounts returns the slice counts S that evenly divide dim/B, i.e.
+// the values the paper allows the user to choose from ("any slice count S
+// from the divisors of C/B", §3.1.2), in increasing order.
+func ValidSliceCounts(dim, B int) []int {
+	if B <= 0 || dim <= 0 || dim%B != 0 {
+		return nil
+	}
+	n := dim / B
+	var out []int
+	for s := 1; s <= n; s++ {
+		if n%s == 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}

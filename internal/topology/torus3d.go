@@ -1,0 +1,87 @@
+package topology
+
+import "fmt"
+
+// InterDepth is the third communication direction of a 3D torus: traffic
+// between the c layers of a P×P×c (2.5D GeMM) or Pr×Pc×c (MeshSlice+DP)
+// cluster. Opposite is only meaningful between the two in-layer
+// directions.
+const InterDepth Direction = 2
+
+// Torus3D is a Rows×Cols×Depth torus: Depth stacked 2D layers with depth
+// rings connecting corresponding chips.
+type Torus3D struct {
+	Rows, Cols, Depth int
+}
+
+// NewTorus3D returns a 3D torus; all dimensions must be positive.
+func NewTorus3D(rows, cols, depth int) Torus3D {
+	if rows <= 0 || cols <= 0 || depth <= 0 {
+		panic(fmt.Sprintf("topology: invalid 3D torus %dx%dx%d", rows, cols, depth))
+	}
+	return Torus3D{Rows: rows, Cols: cols, Depth: depth}
+}
+
+// Size returns the total chip count.
+func (t Torus3D) Size() int { return t.Rows * t.Cols * t.Depth }
+
+// Layer returns the 2D torus of one layer.
+func (t Torus3D) Layer() Torus { return Torus{Rows: t.Rows, Cols: t.Cols} }
+
+// Rank flattens (row, col, layer).
+func (t Torus3D) Rank(row, col, layer int) int {
+	if row < 0 || row >= t.Rows || col < 0 || col >= t.Cols || layer < 0 || layer >= t.Depth {
+		panic(fmt.Sprintf("topology: coord (%d,%d,%d) out of range for %v", row, col, layer, t))
+	}
+	return (layer*t.Rows+row)*t.Cols + col
+}
+
+// Coord inverts Rank.
+func (t Torus3D) Coord(rank int) (row, col, layer int) {
+	if rank < 0 || rank >= t.Size() {
+		panic(fmt.Sprintf("topology: rank %d out of range for %v", rank, t))
+	}
+	col = rank % t.Cols
+	rank /= t.Cols
+	row = rank % t.Rows
+	layer = rank / t.Rows
+	return
+}
+
+// RingSize returns the chip count of a ring in the given direction.
+func (t Torus3D) RingSize(d Direction) int {
+	switch d {
+	case InterRow:
+		return t.Rows
+	case InterCol:
+		return t.Cols
+	case InterDepth:
+		return t.Depth
+	default:
+		panic(fmt.Sprintf("topology: unknown direction %d", int(d)))
+	}
+}
+
+// RingMembers returns the ranks of the chip's ring in the given direction,
+// ordered by ring position: the chip's in-layer column (InterRow), in-layer
+// row (InterCol), or depth line (InterDepth).
+func (t Torus3D) RingMembers(rank int, d Direction) []int {
+	row, col, layer := t.Coord(rank)
+	n := t.RingSize(d)
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		switch d {
+		case InterRow:
+			out[i] = t.Rank(i, col, layer)
+		case InterCol:
+			out[i] = t.Rank(row, i, layer)
+		case InterDepth:
+			out[i] = t.Rank(row, col, i)
+		}
+	}
+	return out
+}
+
+func (t Torus3D) String() string {
+	return fmt.Sprintf("%dx%dx%d torus", t.Rows, t.Cols, t.Depth)
+}

@@ -1,0 +1,65 @@
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"meshslice/internal/gemm"
+	"meshslice/internal/hw"
+	"meshslice/internal/netsim"
+	"meshslice/internal/topology"
+)
+
+// EvaluateGeMM simulates a single distributed GeMM under one algorithm,
+// searching the candidate mesh shapes for the fastest (Fig. 11 evaluates
+// the sixteen distinct training GeMMs this way).
+func EvaluateGeMM(prob gemm.Problem, chips int, chip hw.Chip, algo Algo, opts Options) (FCResult, error) {
+	shapes := opts.Shapes
+	if shapes == nil {
+		shapes = topology.MeshShapes2D(chips)
+	}
+	if algo == CannonAlgo {
+		shapes = squareOnly(shapes)
+	}
+	if algo == OneDTPAlgo || algo == FSDPAlgo {
+		return FCResult{}, fmt.Errorf("train: EvaluateGeMM covers the 2D algorithms; use EvaluateFC for 1D baselines")
+	}
+	best := FCResult{Time: math.Inf(1)}
+	found := false
+	for _, shape := range shapes {
+		r, ok := EvaluateGeMMOnShape(prob, shape, chips, chip, algo, opts)
+		if ok && r.Time < best.Time {
+			best = r
+			found = true
+		}
+	}
+	if !found {
+		return FCResult{}, fmt.Errorf("train: %v cannot run M=%d N=%d K=%d on %d chips", algo, prob.M, prob.N, prob.K, chips)
+	}
+	return best, nil
+}
+
+// EvaluateGeMMOnShape simulates a single GeMM on a fixed mesh shape; ok is
+// false when the problem does not shard there. Figures 13 and 14 sweep
+// shapes and slice counts through this entry point.
+func EvaluateGeMMOnShape(prob gemm.Problem, shape topology.Torus, chips int, chip hw.Chip, algo Algo, opts Options) (FCResult, bool) {
+	if shape.Size() != chips {
+		return FCResult{}, false
+	}
+	prog, ok := buildProgram(algo, prob, shape, chip, opts)
+	if !ok {
+		return FCResult{}, false
+	}
+	sim := netsim.Simulate(prog, chip, opts.Sim)
+	return FCResult{
+		Algo:        algo,
+		Shape:       shape,
+		Chips:       chips,
+		Time:        sim.Makespan,
+		ComputeTime: sim.ComputeBusy,
+		Comm:        sim.Comm,
+		CommBusy:    sim.CommBusy,
+		ExposedComm: sim.ExposedComm,
+		FLOPs:       2 * float64(prob.M) * float64(prob.N) * float64(prob.K),
+	}, true
+}

@@ -1,0 +1,74 @@
+package train
+
+import (
+	"testing"
+
+	"meshslice/internal/gemm"
+	"meshslice/internal/topology"
+)
+
+func TestEvaluateGeMMSearchesShapes(t *testing.T) {
+	prob := gemm.Problem{M: 1 << 14, N: 8192, K: 8192, Dataflow: gemm.OS}
+	r, err := EvaluateGeMM(prob, 16, testHW, MeshSliceAlgo, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shape.Size() != 16 {
+		t.Errorf("shape %v", r.Shape)
+	}
+	// The search must beat or match any individual shape.
+	for _, shape := range topology.MeshShapes2D(16) {
+		alt, ok := EvaluateGeMMOnShape(prob, shape, 16, testHW, MeshSliceAlgo, Options{})
+		if ok && alt.Time < r.Time-1e-12 {
+			t.Errorf("shape %v (%v) beats searched result %v (%v)", shape, alt.Time, r.Shape, r.Time)
+		}
+	}
+}
+
+func TestEvaluateGeMMRejects1D(t *testing.T) {
+	prob := gemm.Problem{M: 64, N: 64, K: 64, Dataflow: gemm.OS}
+	if _, err := EvaluateGeMM(prob, 16, testHW, OneDTPAlgo, Options{}); err == nil {
+		t.Errorf("1D baseline accepted by EvaluateGeMM")
+	}
+}
+
+func TestEvaluateGeMMOnShapeMismatchedChips(t *testing.T) {
+	prob := gemm.Problem{M: 64, N: 64, K: 64, Dataflow: gemm.OS}
+	if _, ok := EvaluateGeMMOnShape(prob, topology.NewTorus(4, 4), 32, testHW, MeshSliceAlgo, Options{}); ok {
+		t.Errorf("shape of 16 accepted for 32 chips")
+	}
+}
+
+func TestEvaluateGeMMUnshardable(t *testing.T) {
+	prob := gemm.Problem{M: 63, N: 65, K: 67, Dataflow: gemm.OS}
+	if _, err := EvaluateGeMM(prob, 16, testHW, MeshSliceAlgo, Options{}); err == nil {
+		t.Errorf("unshardable problem accepted")
+	}
+}
+
+func TestEvaluateGeMMAllDataflows(t *testing.T) {
+	for _, df := range []gemm.Dataflow{gemm.OS, gemm.LS, gemm.RS} {
+		prob := gemm.Problem{M: 1 << 13, N: 8192, K: 8192, Dataflow: df}
+		for _, algo := range TwoDAlgos {
+			r, err := EvaluateGeMM(prob, 16, testHW, algo, Options{})
+			if err != nil {
+				t.Errorf("%v %v: %v", algo, df, err)
+				continue
+			}
+			if r.Time <= 0 {
+				t.Errorf("%v %v: degenerate time", algo, df)
+			}
+		}
+	}
+}
+
+func TestNetsimDeterminism(t *testing.T) {
+	// The simulator must be fully deterministic: identical runs produce
+	// identical results.
+	prob := gemm.Problem{M: 1 << 14, N: 8192, K: 8192, Dataflow: gemm.LS}
+	a, _ := EvaluateGeMMOnShape(prob, topology.NewTorus(4, 4), 16, testHW, MeshSliceAlgo, Options{})
+	b, _ := EvaluateGeMMOnShape(prob, topology.NewTorus(4, 4), 16, testHW, MeshSliceAlgo, Options{})
+	if a.Time != b.Time || a.Comm != b.Comm || a.ExposedComm != b.ExposedComm {
+		t.Errorf("nondeterministic simulation: %+v vs %+v", a, b)
+	}
+}

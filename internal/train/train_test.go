@@ -1,0 +1,187 @@
+package train
+
+import (
+	"testing"
+
+	"meshslice/internal/hw"
+	"meshslice/internal/model"
+	"meshslice/internal/netsim"
+	"meshslice/internal/topology"
+)
+
+var testHW = hw.TPUv4()
+
+// evalAt16 runs a 16-chip evaluation, small enough for unit tests.
+func evalAt16(t *testing.T, algo Algo, opts Options) FCResult {
+	t.Helper()
+	cfg := model.GPT3()
+	tokens := cfg.WeakScalingTokens(16)
+	r, err := EvaluateFC(cfg, tokens, 16, testHW, algo, opts)
+	if err != nil {
+		t.Fatalf("EvaluateFC(%v): %v", algo, err)
+	}
+	return r
+}
+
+func TestEvaluateFCBasics(t *testing.T) {
+	opts := Options{OptimizeDataflow: true}
+	for _, algo := range Algos {
+		r := evalAt16(t, algo, opts)
+		if r.Time <= 0 || r.FLOPs <= 0 {
+			t.Errorf("%v: degenerate result %+v", algo, r)
+		}
+		u := r.Utilization(testHW)
+		if u <= 0 || u > 1 {
+			t.Errorf("%v: utilization %v outside (0,1]", algo, u)
+		}
+		if r.Chips != 16 {
+			t.Errorf("%v: chips = %d", algo, r.Chips)
+		}
+	}
+}
+
+func TestAllAlgorithmsComputeSameFLOPs(t *testing.T) {
+	opts := Options{OptimizeDataflow: true}
+	var want float64
+	for i, algo := range Algos {
+		r := evalAt16(t, algo, opts)
+		if i == 0 {
+			want = r.FLOPs
+			continue
+		}
+		if diff := (r.FLOPs - want) / want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%v FLOPs %g != %g", algo, r.FLOPs, want)
+		}
+	}
+}
+
+func TestMeshSliceFastestAmong2DAt256(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-chip simulation in -short mode")
+	}
+	cfg := model.GPT3()
+	const chips = 256
+	tokens := cfg.WeakScalingTokens(chips)
+	opts := Options{OptimizeDataflow: true}
+	times := map[Algo]float64{}
+	for _, algo := range TwoDAlgos {
+		r, err := EvaluateFC(cfg, tokens, chips, testHW, algo, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		times[algo] = r.Time
+	}
+	for _, algo := range TwoDAlgos[1:] {
+		if times[MeshSliceAlgo] >= times[algo] {
+			t.Errorf("MeshSlice (%v) not faster than %v (%v) at 256 chips", times[MeshSliceAlgo], algo, times[algo])
+		}
+	}
+}
+
+func TestWangBetweenMeshSliceAndCollective(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-chip simulation in -short mode")
+	}
+	// Paper §5.1.1: Wang lies between MeshSlice and Collective.
+	cfg := model.GPT3()
+	const chips = 256
+	tokens := cfg.WeakScalingTokens(chips)
+	opts := Options{OptimizeDataflow: true}
+	ms, err := EvaluateFC(cfg, tokens, chips, testHW, MeshSliceAlgo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wang, err := EvaluateFC(cfg, tokens, chips, testHW, WangAlgo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := EvaluateFC(cfg, tokens, chips, testHW, CollectiveAlgo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ms.Time < wang.Time && wang.Time < col.Time) {
+		t.Errorf("ordering violated: MeshSlice %v, Wang %v, Collective %v", ms.Time, wang.Time, col.Time)
+	}
+}
+
+func TestCannonRequiresSquare(t *testing.T) {
+	cfg := model.GPT3()
+	_, err := EvaluateFC(cfg, cfg.WeakScalingTokens(32), 32, testHW, CannonAlgo, Options{})
+	if err == nil {
+		t.Errorf("Cannon on 32 chips (no square shape) should fail")
+	}
+}
+
+func TestFixedSOverride(t *testing.T) {
+	cfg := model.GPT3()
+	tokens := cfg.WeakScalingTokens(16)
+	shapes := []topology.Torus{topology.NewTorus(4, 4)}
+	s1, err := EvaluateFC(cfg, tokens, 16, testHW, MeshSliceAlgo, Options{Shapes: shapes, FixedS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := EvaluateFC(cfg, tokens, 16, testHW, MeshSliceAlgo, Options{Shapes: shapes, FixedS: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Time == s4.Time {
+		t.Errorf("slice count had no effect: %v == %v", s1.Time, s4.Time)
+	}
+}
+
+func TestNoOverlapModeSlower(t *testing.T) {
+	cfg := model.GPT3()
+	tokens := cfg.WeakScalingTokens(16)
+	shapes := []topology.Torus{topology.NewTorus(4, 4)}
+	over, err := EvaluateFC(cfg, tokens, 16, testHW, MeshSliceAlgo, Options{Shapes: shapes, OptimizeDataflow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := EvaluateFC(cfg, tokens, 16, testHW, MeshSliceAlgo, Options{
+		Shapes: shapes, OptimizeDataflow: true,
+		Sim: netsim.Options{NoOverlap: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Time < over.Time {
+		t.Errorf("no-overlap (%v) faster than overlap (%v)", serial.Time, over.Time)
+	}
+}
+
+func TestUtilizationDefinition(t *testing.T) {
+	r := FCResult{Time: 2, FLOPs: 4 * 16 * testHW.PeakFLOPS, Chips: 16}
+	if got := r.Utilization(testHW); got != 2 { // artificial >1 to check the formula
+		t.Errorf("utilization = %v, want 2", got)
+	}
+	if (FCResult{}).Utilization(testHW) != 0 {
+		t.Errorf("zero-time result must report 0 utilization")
+	}
+}
+
+func TestEstimateStep(t *testing.T) {
+	cfg := model.GPT3()
+	tokens := cfg.WeakScalingTokens(16)
+	fc := FCResult{Time: 1e-3, Chips: 16}
+	step := EstimateStep(cfg, tokens, 16, testHW, fc)
+	if step.FCTime != 1e-3*float64(cfg.Layers) {
+		t.Errorf("FCTime = %v", step.FCTime)
+	}
+	if step.NonFCTime <= 0 {
+		t.Errorf("NonFCTime = %v", step.NonFCTime)
+	}
+	if step.Total != step.FCTime+step.NonFCTime {
+		t.Errorf("Total = %v", step.Total)
+	}
+}
+
+func TestAlgoStrings(t *testing.T) {
+	for _, a := range Algos {
+		if a.String() == "" {
+			t.Errorf("algo %d has no name", int(a))
+		}
+	}
+	if Algo(99).String() == "" {
+		t.Errorf("unknown algo must render")
+	}
+}

@@ -1,0 +1,141 @@
+package transformer
+
+import (
+	"math"
+	"testing"
+
+	"meshslice/internal/tensor"
+	"meshslice/internal/topology"
+)
+
+// lossAndGrad defines the scalar probe loss L = Σ out ⊙ R for a fixed
+// random R, whose upstream gradient is simply R.
+func probeLoss(c Config, w Weights, x, r *tensor.Matrix) float64 {
+	out := ForwardSerial(c, w, x)
+	var l float64
+	for i, v := range out.Data {
+		l += v * r.Data[i]
+	}
+	return l
+}
+
+// Finite-difference anchor: analytic gradients from the 1×1-mesh backward
+// must match numerical derivatives of the serial forward.
+func TestGradientsMatchFiniteDifferences(t *testing.T) {
+	c := Config{Batch: 2, Seq: 4, Heads: 2, HeadDim: 4, FFHidden: 16, S: 1, Block: 1}
+	tor := topology.NewTorus(1, 1)
+	w := NewWeights(c, 51)
+	x := tensor.Random(c.Tokens(), c.Hidden(), newRNG(52))
+	r := tensor.Random(c.Tokens(), c.Hidden(), newRNG(53))
+
+	grads, dX, err := Gradients(c, tor, w, x, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const eps = 1e-6
+	check := func(name string, param, grad *tensor.Matrix, bump func(delta float64, idx int)) {
+		// Probe a scattering of entries.
+		for _, idx := range []int{0, 1, len(param.Data) / 2, len(param.Data) - 1} {
+			bump(eps, idx)
+			lp := probeLoss(c, w, x, r)
+			bump(-2*eps, idx)
+			lm := probeLoss(c, w, x, r)
+			bump(eps, idx)
+			numeric := (lp - lm) / (2 * eps)
+			if diff := math.Abs(numeric - grad.Data[idx]); diff > 1e-4*(1+math.Abs(numeric)) {
+				t.Errorf("%s[%d]: analytic %v vs numeric %v", name, idx, grad.Data[idx], numeric)
+			}
+		}
+	}
+	check("Wq", w.Wq, grads.Wq, func(d float64, i int) { w.Wq.Data[i] += d })
+	check("Wk", w.Wk, grads.Wk, func(d float64, i int) { w.Wk.Data[i] += d })
+	check("Wv", w.Wv, grads.Wv, func(d float64, i int) { w.Wv.Data[i] += d })
+	check("Wo", w.Wo, grads.Wo, func(d float64, i int) { w.Wo.Data[i] += d })
+	check("W1", w.W1, grads.W1, func(d float64, i int) { w.W1.Data[i] += d })
+	check("W2", w.W2, grads.W2, func(d float64, i int) { w.W2.Data[i] += d })
+	check("X", x, dX, func(d float64, i int) { x.Data[i] += d })
+}
+
+// Distributed gradients must equal the 1×1-mesh gradients on every shape.
+func TestGradientsMeshInvariance(t *testing.T) {
+	c := Config{Batch: 4, Seq: 4, Heads: 4, HeadDim: 4, FFHidden: 32, S: 2, Block: 2}
+	w := NewWeights(c, 61)
+	x := tensor.Random(c.Tokens(), c.Hidden(), newRNG(62))
+	r := tensor.Random(c.Tokens(), c.Hidden(), newRNG(63))
+	ref, refDX, err := Gradients(c, topology.NewTorus(1, 1), w, x, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tor := range []topology.Torus{
+		topology.NewTorus(2, 2),
+		topology.NewTorus(4, 2),
+		topology.NewTorus(2, 4),
+		topology.NewTorus(1, 4),
+	} {
+		g, dX, err := Gradients(c, tor, w, x, r)
+		if err != nil {
+			t.Fatalf("%v: %v", tor, err)
+		}
+		pairs := []struct {
+			name      string
+			got, want *tensor.Matrix
+		}{
+			{"Wq", g.Wq, ref.Wq}, {"Wk", g.Wk, ref.Wk}, {"Wv", g.Wv, ref.Wv},
+			{"Wo", g.Wo, ref.Wo}, {"W1", g.W1, ref.W1}, {"W2", g.W2, ref.W2},
+			{"dX", dX, refDX},
+		}
+		for _, p := range pairs {
+			if !p.got.Equal(p.want, 1e-8) {
+				t.Errorf("%v: %s diverged by %g", tor, p.name, p.got.MaxAbsDiff(p.want))
+			}
+		}
+	}
+}
+
+// A short SGD loop on the full block: distributed training tracks the
+// 1×1-mesh run exactly and the probe loss decreases.
+func TestBlockTrainingLossDecreases(t *testing.T) {
+	c := Config{Batch: 4, Seq: 4, Heads: 4, HeadDim: 4, FFHidden: 32, S: 2, Block: 2}
+	tor := topology.NewTorus(2, 2)
+	w := NewWeights(c, 71)
+	x := tensor.Random(c.Tokens(), c.Hidden(), newRNG(72))
+	target := tensor.Random(c.Tokens(), c.Hidden(), newRNG(73))
+
+	mse := func(w Weights) float64 {
+		out := ForwardSerial(c, w, x)
+		var l float64
+		for i, v := range out.Data {
+			d := v - target.Data[i]
+			l += d * d
+		}
+		return l / float64(len(out.Data))
+	}
+	first := mse(w)
+	const lr = 0.02
+	for step := 0; step < 10; step++ {
+		out, _, err := Forward(c, tor, w, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dOut := out.Clone()
+		for i := range dOut.Data {
+			dOut.Data[i] = 2 * (dOut.Data[i] - target.Data[i]) / float64(len(dOut.Data))
+		}
+		g, _, err := Gradients(c, tor, w, x, dOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []struct{ w, g *tensor.Matrix }{
+			{w.Wq, g.Wq}, {w.Wk, g.Wk}, {w.Wv, g.Wv}, {w.Wo, g.Wo}, {w.W1, g.W1}, {w.W2, g.W2},
+		} {
+			for i := range p.w.Data {
+				p.w.Data[i] -= lr * p.g.Data[i]
+			}
+		}
+	}
+	last := mse(w)
+	if last >= first {
+		t.Errorf("block training did not reduce the loss: %v → %v", first, last)
+	}
+}

@@ -1,0 +1,172 @@
+package transformer
+
+import (
+	"fmt"
+	"sync"
+
+	"meshslice/internal/collective"
+	"meshslice/internal/mesh"
+	"meshslice/internal/tensor"
+	"meshslice/internal/topology"
+)
+
+// A stack of transformer blocks trained end to end on the mesh: the
+// multi-layer generalisation of the single-block machinery, with
+// activations flowing forward through every block and gradients chaining
+// backward — each block's GeMMs in their Table 1 dataflows, each block's
+// attention chip-local. Training on any mesh shape matches the 1×1 mesh
+// (the serial computation) exactly, which the tests pin.
+
+// Stack is a depth-L transformer.
+type Stack struct {
+	Config Config
+	Blocks []Weights
+}
+
+// NewStack builds L blocks with deterministic weights.
+func NewStack(c Config, layers int, seed int64) Stack {
+	s := Stack{Config: c}
+	for l := 0; l < layers; l++ {
+		s.Blocks = append(s.Blocks, NewWeights(c, seed+int64(l)*97))
+	}
+	return s
+}
+
+// TrainResult carries the per-step losses of a training run and the final
+// stack (weights assembled back to global form).
+type TrainResult struct {
+	Losses []float64
+	Stack  Stack
+}
+
+// TrainStack runs `steps` of full-batch SGD on the stack against an MSE
+// regression target, distributed over the torus. Every step runs the
+// forward pass through all blocks, the backward chain in reverse, and the
+// SGD update, entirely on-mesh; only the scalar loss leaves the chips.
+func TrainStack(s Stack, t topology.Torus, x, target *tensor.Matrix, steps int, lr float64) (TrainResult, error) {
+	c := s.Config
+	if err := c.Validate(t); err != nil {
+		return TrainResult{}, err
+	}
+	if x.Rows != c.Tokens() || x.Cols != c.Hidden() || target.Rows != x.Rows || target.Cols != x.Cols {
+		return TrainResult{}, fmt.Errorf("transformer: x %dx%d target %dx%d want %dx%d",
+			x.Rows, x.Cols, target.Rows, target.Cols, c.Tokens(), c.Hidden())
+	}
+	layers := len(s.Blocks)
+	xs := tensor.Partition(x, t.Rows, t.Cols)
+	ts := tensor.Partition(target, t.Rows, t.Cols)
+	wShards := make([][]shards, layers) // [layer][rank]
+	for l, w := range s.Blocks {
+		wShards[l] = partitionWeights(w, t)
+	}
+
+	losses := make([]float64, steps)
+	var mu sync.Mutex
+	m := mesh.New(t)
+	m.Run(func(ch *mesh.Chip) {
+		o := newChipOps(c, t, ch)
+		// Local (mutable) weight shards per layer.
+		local := make([]shards, layers)
+		for l := range local {
+			w := wShards[l][ch.Rank]
+			local[l] = shards{
+				wq: w.wq.Clone(), wk: w.wk.Clone(), wv: w.wv.Clone(),
+				wo: w.wo.Clone(), w1: w.w1.Clone(), w2: w.w2.Clone(),
+			}
+		}
+		xl := xs[ch.Rank]
+		tl := ts[ch.Rank]
+		scale := 2 / float64(c.Tokens()*c.Hidden())
+
+		for step := 0; step < steps; step++ {
+			// Forward through the stack, caching per block.
+			caches := make([]*blockCache, layers)
+			cur := xl
+			for l := 0; l < layers; l++ {
+				caches[l] = o.forwardCached(cur, local[l])
+				cur = caches[l].out
+			}
+			// MSE loss gradient on the final output.
+			dOut := cur.Clone()
+			for i := range dOut.Data {
+				dOut.Data[i] -= tl.Data[i]
+			}
+			lossLocal := sumSq(dOut)
+			dOut.Scale(scale)
+
+			// Backward chain with immediate SGD updates (full-batch, so
+			// updating after each block's backward is equivalent to
+			// updating at the end).
+			for l := layers - 1; l >= 0; l-- {
+				g, dx := o.backward(caches[l], local[l], dOut)
+				applySGD(local[l], g, lr)
+				dOut = dx
+			}
+
+			// Scalar loss, reduced over the mesh for reporting.
+			statsM := tensor.FromSlice(1, 1, []float64{lossLocal})
+			sum := allReduceScalar(ch, statsM)
+			if ch.Rank == 0 {
+				mu.Lock()
+				losses[step] = sum / float64(c.Tokens()*c.Hidden())
+				mu.Unlock()
+			}
+		}
+		mu.Lock()
+		for l := range local {
+			wShards[l][ch.Rank] = local[l]
+		}
+		mu.Unlock()
+	})
+
+	out := Stack{Config: c}
+	for l := 0; l < layers; l++ {
+		out.Blocks = append(out.Blocks, assembleWeights(wShards[l], t))
+	}
+	return TrainResult{Losses: losses, Stack: out}, nil
+}
+
+func applySGD(w shards, g Grads, lr float64) {
+	pairs := []struct{ w, g *tensor.Matrix }{
+		{w.wq, g.Wq}, {w.wk, g.Wk}, {w.wv, g.Wv},
+		{w.wo, g.Wo}, {w.w1, g.W1}, {w.w2, g.W2},
+	}
+	for _, p := range pairs {
+		for i := range p.w.Data {
+			p.w.Data[i] -= lr * p.g.Data[i]
+		}
+	}
+}
+
+func assembleWeights(sh []shards, t topology.Torus) Weights {
+	collect := func(pick func(shards) *tensor.Matrix) *tensor.Matrix {
+		parts := make([]*tensor.Matrix, len(sh))
+		for i, s := range sh {
+			parts[i] = pick(s)
+		}
+		return tensor.Assemble(parts, t.Rows, t.Cols)
+	}
+	return Weights{
+		Wq: collect(func(s shards) *tensor.Matrix { return s.wq }),
+		Wk: collect(func(s shards) *tensor.Matrix { return s.wk }),
+		Wv: collect(func(s shards) *tensor.Matrix { return s.wv }),
+		Wo: collect(func(s shards) *tensor.Matrix { return s.wo }),
+		W1: collect(func(s shards) *tensor.Matrix { return s.w1 }),
+		W2: collect(func(s shards) *tensor.Matrix { return s.w2 }),
+	}
+}
+
+// allReduceScalar sums a 1×1 matrix over both mesh directions.
+func allReduceScalar(ch *mesh.Chip, m *tensor.Matrix) float64 {
+	rowSum := collective.AllReduce(ch.RowComm(), m)
+	total := collective.AllReduce(ch.ColComm(), rowSum)
+	return total.At(0, 0)
+}
+
+func sumSq(m *tensor.Matrix) float64 {
+	var t float64
+	for _, v := range m.Data {
+		t += v * v
+	}
+	return t
+}

@@ -1,0 +1,163 @@
+// Package meshslice reproduces "MeshSlice: Efficient 2D Tensor Parallelism
+// for Distributed DNN Training" (ISCA 2025): the MeshSlice sliced-collective
+// 2D GeMM algorithm, the baselines it is evaluated against (Cannon, SUMMA,
+// Collective 2D GeMM, Wang's algorithm, 1D TP, FSDP), a functional SPMD
+// mesh runtime for correctness, a discrete-event TPUv4 cluster simulator
+// for performance, the analytical cost models, and the MeshSlice LLM
+// autotuner.
+//
+// This file is the public facade: it re-exports the library's main entry
+// points so downstream users need a single import. The implementation
+// lives in the internal packages, one per subsystem:
+//
+//	internal/tensor     dense matrices, GeMM kernels, blocked slicing
+//	internal/topology   rings and 2D tori
+//	internal/mesh       goroutine-per-chip SPMD runtime
+//	internal/collective ring AllGather/ReduceScatter/Broadcast/Reduce
+//	internal/gemm       the distributed GeMM algorithms (functional)
+//	internal/hw         TPUv4-like hardware parameters
+//	internal/des        discrete-event kernel
+//	internal/sched      algorithm → operation-DAG schedules
+//	internal/netsim     the cluster simulator
+//	internal/costmodel  the autotuner's analytical models
+//	internal/autotune   the two-phase LLM autotuner
+//	internal/model      GPT-3 and Megatron-NLG definitions
+//	internal/train      FC-layer evaluation and step-time estimation
+//	internal/experiments the paper's tables and figures
+package meshslice
+
+import (
+	"meshslice/internal/autotune"
+	"meshslice/internal/cluster"
+	"meshslice/internal/costmodel"
+	"meshslice/internal/gemm"
+	"meshslice/internal/hw"
+	"meshslice/internal/memory"
+	"meshslice/internal/model"
+	"meshslice/internal/netsim"
+	"meshslice/internal/sched"
+	"meshslice/internal/tensor"
+	"meshslice/internal/topology"
+	"meshslice/internal/train"
+)
+
+// Core data types.
+type (
+	// Matrix is a dense row-major float64 matrix.
+	Matrix = tensor.Matrix
+	// Torus is a 2D torus of chips.
+	Torus = topology.Torus
+	// Problem describes a distributed GeMM (M×N result, K inner, dataflow).
+	Problem = gemm.Problem
+	// Dataflow selects the stationary matrix (OS, LS, RS).
+	Dataflow = gemm.Dataflow
+	// Chip holds the hardware calibration of one accelerator.
+	Chip = hw.Chip
+	// MeshSliceConfig parameterises the MeshSlice algorithm (S, block).
+	MeshSliceConfig = gemm.MeshSliceConfig
+	// LLM describes a transformer model (GPT-3, Megatron-NLG, or custom).
+	LLM = model.Config
+	// SimOptions selects cluster-simulator behaviours.
+	SimOptions = netsim.Options
+	// SimResult is a simulation outcome (makespan, breakdown, overlap).
+	SimResult = netsim.Result
+	// TuneChoice is the autotuner's output.
+	TuneChoice = autotune.Choice
+	// CostEstimate is an analytical prologue/steady/epilogue estimate.
+	CostEstimate = costmodel.Estimate
+)
+
+// Dataflows.
+const (
+	OS = gemm.OS
+	LS = gemm.LS
+	RS = gemm.RS
+)
+
+// NewMatrix returns a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix { return tensor.New(rows, cols) }
+
+// NewTorus returns a rows×cols torus.
+func NewTorus(rows, cols int) Torus { return topology.NewTorus(rows, cols) }
+
+// TPUv4 returns the default hardware calibration.
+func TPUv4() Chip { return hw.TPUv4() }
+
+// GPT3 and MegatronNLG return the evaluated LLM configurations.
+func GPT3() LLM        { return model.GPT3() }
+func MegatronNLG() LLM { return model.MegatronNLG() }
+
+// Multiply runs the MeshSlice algorithm functionally: it shards the global
+// operands onto a fresh mesh of the given shape, executes the S-way sliced
+// 2D GeMM with one goroutine per chip and real ring collectives, and
+// assembles the global result. The interpretation of a and b follows the
+// problem's dataflow (OS: C=A·B, LS: C=A·Bᵀ, RS: C=Aᵀ·B).
+func Multiply(p Problem, t Torus, cfg MeshSliceConfig, a, b *Matrix) (*Matrix, error) {
+	if err := cfg.Validate(p, t); err != nil {
+		return nil, err
+	}
+	return gemm.Multiply(t, gemm.MeshSlice(p.Dataflow, cfg), a, b), nil
+}
+
+// Simulate estimates the execution of the MeshSlice algorithm for the
+// problem on a cluster of the given shape, returning the makespan and the
+// communication breakdown from the discrete-event TPUv4 model.
+func Simulate(p Problem, t Torus, chip Chip, s int, opts SimOptions) SimResult {
+	return netsim.Simulate(sched.MeshSliceProgram(p, t, chip, s), chip, opts)
+}
+
+// EstimateCost evaluates the autotuner's analytical cost model for the
+// problem (paper §3.2.2).
+func EstimateCost(p Problem, t Torus, chip Chip, s int) CostEstimate {
+	return costmodel.MeshSlice(p, t, chip, s)
+}
+
+// Tune runs the two-phase MeshSlice LLM autotuner: dataflow selection,
+// then mesh-shape × slice-count co-optimisation over the cost models.
+func Tune(cfg LLM, tokens, chips int, chip Chip) (TuneChoice, error) {
+	return autotune.Tune(cfg, tokens, chips, chip, autotune.Options{OptimizeDataflow: true})
+}
+
+// TrainStep simulates one transformer block's FC layers under MeshSlice on
+// the best mesh shape and returns the end-to-end step-time estimate.
+func TrainStep(cfg LLM, tokens, chips int, chip Chip) (train.StepResult, error) {
+	fc, err := train.EvaluateFC(cfg, tokens, chips, chip, train.MeshSliceAlgo,
+		train.Options{OptimizeDataflow: true})
+	if err != nil {
+		return train.StepResult{}, err
+	}
+	return train.EstimateStep(cfg, tokens, chips, chip, fc), nil
+}
+
+// Additional facade types for the planning subsystems.
+type (
+	// MemoryFootprint is a per-chip HBM budget breakdown.
+	MemoryFootprint = memory.Footprint
+	// MemoryParams configures a footprint estimate.
+	MemoryParams = memory.Params
+	// ClusterPlan is a 3D DP×PP×TP parallelisation.
+	ClusterPlan = cluster.Plan
+	// ClusterEvaluation is a plan's estimated cost breakdown.
+	ClusterEvaluation = cluster.Evaluation
+)
+
+// EstimateMemory returns the per-chip HBM footprint of training cfg under
+// the given parallelism parameters.
+func EstimateMemory(cfg LLM, p MemoryParams) (MemoryFootprint, error) {
+	return memory.Estimate(cfg, p)
+}
+
+// PlanCluster searches 3D parallelisation plans (data × pipeline × tensor)
+// for a cluster of totalChips training globalBatch sequences, returning
+// feasible plans fastest-first. max1DTP caps the 1D tensor-parallel degree
+// (8 on fully-connected fabrics); 2D TP is uncapped.
+func PlanCluster(cfg LLM, totalChips, globalBatch int, chip Chip, max1DTP int) []ClusterEvaluation {
+	return cluster.Search(cfg, totalChips, globalBatch, chip, max1DTP, cluster.Options{})
+}
+
+// LoadChipProfile reads a JSON hardware calibration (missing fields inherit
+// the TPUv4 defaults).
+func LoadChipProfile(path string) (Chip, error) { return hw.LoadProfileFile(path) }
+
+// LoadModelConfig reads a JSON LLM description.
+func LoadModelConfig(path string) (LLM, error) { return model.LoadFile(path) }
