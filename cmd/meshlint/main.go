@@ -1,0 +1,127 @@
+// Command meshlint is the project's static-analysis suite: it loads every
+// package in the module with go/parser + go/types (standard library only,
+// no external analysis framework) and enforces the determinism and
+// concurrency invariants DESIGN.md documents in prose.
+//
+// Usage:
+//
+//	go run ./cmd/meshlint ./...
+//
+// Each finding prints as "file:line: [rule] message" and any finding makes
+// the command exit 1 (load or usage errors exit 2). Rules are suppressed
+// either inline ("// lint:invariant reason", "// lint:float-exact reason",
+// "// lint:allow rule reason") or through an allowlist file (-allowlist,
+// default .meshlint-allow) with one "rule path[:line]" entry per line, so
+// new rules can be adopted incrementally.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"meshslice/internal/lint"
+)
+
+func main() {
+	var (
+		dir       = flag.String("dir", ".", "module root to analyze")
+		allowFile = flag.String("allowlist", ".meshlint-allow", "allowlist file (\"rule path[:line]\" per line; missing file = empty)")
+		listRules = flag.Bool("rules", false, "print the rule suite and exit")
+		panics    = flag.Bool("panics", false, "print the panic-site inventory and exit")
+	)
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *listRules {
+		for _, a := range analyzers {
+			fmt.Printf("%-21s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := filepath.Abs(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := lint.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *panics {
+		inventory := lint.PanicInventory(m)
+		reachable := 0
+		for _, s := range inventory {
+			mark := " "
+			if s.Reachable {
+				mark = "R"
+				reachable++
+			}
+			if s.Allowed {
+				mark += " invariant"
+			}
+			fmt.Printf("%s:%d: %s %s\n", rel(root, s.Pos.Filename), s.Pos.Line, mark, s.Fn)
+		}
+		fmt.Printf("%d panic sites, %d reachable from the exported API\n", len(inventory), reachable)
+		return
+	}
+
+	allow, err := lint.LoadAllowlist(filepath.Join(root, *allowFile))
+	if err != nil {
+		fatal(err)
+	}
+	diags := lint.Run(m, analyzers, allow)
+	diags = filterPatterns(root, diags, flag.Args())
+	for _, d := range diags {
+		fmt.Printf("%s:%d: [%s] %s\n", rel(root, d.Pos.Filename), d.Pos.Line, d.Rule, d.Msg)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "meshlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// filterPatterns narrows diagnostics to the requested package patterns.
+// "./..." (and no patterns at all) means the whole module; "./internal/mesh"
+// or "internal/mesh/..." select by directory prefix.
+func filterPatterns(root string, diags []lint.Diagnostic, patterns []string) []lint.Diagnostic {
+	var prefixes []string
+	for _, p := range patterns {
+		p = strings.TrimPrefix(p, "./")
+		p = strings.TrimSuffix(p, "...")
+		p = strings.TrimSuffix(p, "/")
+		if p == "" || p == "." {
+			return diags
+		}
+		prefixes = append(prefixes, p)
+	}
+	if len(prefixes) == 0 {
+		return diags
+	}
+	var kept []lint.Diagnostic
+	for _, d := range diags {
+		r := rel(root, d.Pos.Filename)
+		for _, p := range prefixes {
+			if r == p || strings.HasPrefix(r, p+"/") {
+				kept = append(kept, d)
+				break
+			}
+		}
+	}
+	return kept
+}
+
+func rel(root, filename string) string {
+	if r, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(r, "..") {
+		return filepath.ToSlash(r)
+	}
+	return filename
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "meshlint:", err)
+	os.Exit(2)
+}

@@ -14,6 +14,7 @@ import (
 	"meshslice/internal/gemm"
 	"meshslice/internal/hw"
 	"meshslice/internal/model"
+	"meshslice/internal/tensor"
 	"meshslice/internal/topology"
 )
 
@@ -39,7 +40,7 @@ func main() {
 		fast.PeakFLOPS *= 2
 		altEst := costmodel.MeshSlice(prob, shape, fast, pc.S)
 		bound := "compute"
-		if altEst.ComputeTime == pc.Estimate.ComputeTime {
+		if tensor.AlmostEqual(altEst.ComputeTime, pc.Estimate.ComputeTime, 1e-12) {
 			bound = "HBM (memory)"
 		}
 		fmt.Printf("%-14s  %-24s  S=%-6d  %-10s  %s\n",

@@ -160,7 +160,7 @@ func linreg(samples []Sample, x func(Sample) float64) (slope, intercept float64,
 		sxy += w * xv * s.Time
 	}
 	den := sw*sxx - sx*sx
-	if den == 0 {
+	if den == 0 { // lint:float-exact guards division by exactly zero
 		return 0, 0, fmt.Errorf("degenerate regression: all x values equal")
 	}
 	slope = (sw*sxy - sx*sy) / den

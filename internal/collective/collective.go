@@ -61,7 +61,7 @@ func AllGatherCols(cm *mesh.Comm, local *tensor.Matrix) *tensor.Matrix {
 func ReduceScatter(cm *mesh.Comm, blocks []*tensor.Matrix) *tensor.Matrix {
 	p := cm.Size
 	if len(blocks) != p {
-		panic(fmt.Sprintf("collective: ReduceScatter got %d blocks for ring of %d", len(blocks), p))
+		panic(fmt.Sprintf("collective: ReduceScatter got %d blocks for ring of %d", len(blocks), p)) // lint:invariant block-count precondition
 	}
 	cur := blocks[mod(cm.Pos-1, p)].Clone()
 	for t := 0; t < p-1; t++ {

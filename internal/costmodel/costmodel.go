@@ -90,7 +90,7 @@ func (e Estimate) Total() float64 {
 // the remainder of the last iteration.
 func MeshSlice(p gemm.Problem, t topology.Torus, c hw.Chip, S int) Estimate {
 	if S <= 0 {
-		panic(fmt.Sprintf("costmodel: S=%d", S))
+		panic(fmt.Sprintf("costmodel: S=%d", S)) // lint:invariant slice-count precondition
 	}
 	fS := float64(S)
 	bpe := c.BytesPerElement
@@ -126,7 +126,7 @@ func MeshSlice(p gemm.Problem, t topology.Torus, c hw.Chip, S int) Estimate {
 		commFirst = comm1
 		tailAfterCompute = comm2
 	default:
-		panic(fmt.Sprintf("costmodel: unknown dataflow %d", int(p.Dataflow)))
+		panic(fmt.Sprintf("costmodel: unknown dataflow %d", int(p.Dataflow))) // lint:invariant exhaustive switch guard
 	}
 
 	steady := maxf(maxf(comm1, comm2), compute)

@@ -30,7 +30,7 @@ func (s *Simulator) Now() float64 { return s.now }
 // Scheduling in the past is a programming error.
 func (s *Simulator) Schedule(at float64, fn func()) {
 	if at < s.now {
-		panic(fmt.Sprintf("des: scheduling at %g before now %g", at, s.now))
+		panic(fmt.Sprintf("des: scheduling at %g before now %g", at, s.now)) // lint:invariant simulated-time precondition
 	}
 	s.seq++
 	heap.Push(&s.queue, event{at: at, seq: s.seq, fn: fn})
@@ -39,7 +39,7 @@ func (s *Simulator) Schedule(at float64, fn func()) {
 // After enqueues fn to run delay seconds from now.
 func (s *Simulator) After(delay float64, fn func()) {
 	if delay < 0 {
-		panic(fmt.Sprintf("des: negative delay %g", delay))
+		panic(fmt.Sprintf("des: negative delay %g", delay)) // lint:invariant simulated-time precondition
 	}
 	s.Schedule(s.now+delay, fn)
 }
@@ -69,7 +69,7 @@ type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
+	if h[i].at != h[j].at { // lint:float-exact same-time events order by sequence number; a tolerance would corrupt the heap order
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq

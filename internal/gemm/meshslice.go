@@ -70,7 +70,7 @@ func MeshSlice(df Dataflow, cfg MeshSliceConfig) ChipFunc {
 	case RS:
 		return meshSliceRS(cfg)
 	default:
-		panic(fmt.Sprintf("gemm: unknown dataflow %d", int(df)))
+		panic(fmt.Sprintf("gemm: unknown dataflow %d", int(df))) // lint:invariant exhaustive switch guard
 	}
 }
 

@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func analyzeFloatEq() *Analyzer {
+	return &Analyzer{
+		Name: "float-eq",
+		Doc: "flag == / != between floating-point operands in non-test code; compare through a " +
+			"tolerance (tensor.AlmostEqual) or annotate deliberate exact comparisons with lint:float-exact",
+		Run: runFloatEq,
+	}
+}
+
+func runFloatEq(m *Module, report func(pos token.Pos, format string, args ...any)) {
+	m.eachFile(func(p *Package, f *File) {
+		if f.Test {
+			return
+		}
+		walkFile(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.Info.TypeOf(bin.X)) && !isFloat(p.Info.TypeOf(bin.Y)) {
+				return true
+			}
+			report(bin.OpPos, "floating-point %s comparison; use a tolerance (tensor.AlmostEqual) or mark deliberate exact equality with a lint:float-exact comment",
+				bin.Op)
+			return true
+		})
+	})
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

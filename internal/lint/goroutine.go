@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func analyzeGoroutines() *Analyzer {
+	return &Analyzer{
+		Name: "goroutine-discipline",
+		Doc: "flag go statements whose closure captures a loop variable instead of taking it as an " +
+			"argument, and goroutines launched without a sync.WaitGroup wait or channel join in the " +
+			"enclosing function (the classic SPMD-runtime leak)",
+		Run: runGoroutines,
+	}
+}
+
+func runGoroutines(m *Module, report func(pos token.Pos, format string, args ...any)) {
+	m.eachFile(func(p *Package, f *File) {
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGoroutines(p, fd.Body, report)
+		}
+	})
+}
+
+func checkGoroutines(p *Package, body *ast.BlockStmt, report func(pos token.Pos, format string, args ...any)) {
+	var goStmts []*ast.GoStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			goStmts = append(goStmts, g)
+		}
+		return true
+	})
+	if len(goStmts) == 0 {
+		return
+	}
+	joined := hasJoin(p, body)
+	for _, g := range goStmts {
+		if !joined {
+			report(g.Pos(), "goroutine launched without a sync.WaitGroup wait or channel join in the enclosing function; unjoined goroutines leak past SPMD runs")
+		}
+		for _, captured := range capturedLoopVars(p, body, g) {
+			report(g.Pos(), "goroutine closure captures loop variable %q; pass it as an argument so each chip goroutine owns its value",
+				captured)
+		}
+	}
+}
+
+// hasJoin reports whether body contains evidence that launched goroutines
+// are waited for: a (*sync.WaitGroup).Wait call, a channel receive, or a
+// range over a channel.
+func hasJoin(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := p.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if obj, ok := p.Info.Uses[sel.Sel].(*types.Func); ok &&
+					obj.Name() == "Wait" && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+					// Both (*WaitGroup).Wait and (*Cond).Wait live in sync,
+					// but only the WaitGroup one is a join.
+					if recv := recvNamed(obj); recv == "WaitGroup" {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func recvNamed(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// capturedLoopVars returns the names of for/range loop variables, declared
+// between body and g, that g's function literal references directly instead
+// of receiving as arguments.
+func capturedLoopVars(p *Package, body *ast.BlockStmt, g *ast.GoStmt) []string {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	// Collect the loop variables of every for/range statement enclosing g.
+	loopVars := map[types.Object]string{}
+	for _, stmt := range enclosingLoops(body, g) {
+		switch s := stmt.(type) {
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{s.Key, s.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					if obj := p.Info.Defs[id]; obj != nil {
+						loopVars[obj] = id.Name
+					}
+				}
+			}
+		case *ast.ForStmt:
+			if assign, ok := s.Init.(*ast.AssignStmt); ok && assign.Tok == token.DEFINE {
+				for _, e := range assign.Lhs {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := p.Info.Defs[id]; obj != nil {
+							loopVars[obj] = id.Name
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(loopVars) == 0 {
+		return nil
+	}
+	var captured []string
+	seen := map[string]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if name, isLoop := loopVars[p.Info.Uses[id]]; isLoop && !seen[name] {
+			seen[name] = true
+			captured = append(captured, name)
+		}
+		return true
+	})
+	return captured
+}
+
+// enclosingLoops returns the for/range statements in body that contain g.
+func enclosingLoops(body *ast.BlockStmt, g *ast.GoStmt) []ast.Stmt {
+	var loops []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if n.Pos() <= g.Pos() && g.End() <= n.End() {
+				loops = append(loops, n.(ast.Stmt))
+			}
+		case nil:
+			return false
+		}
+		return true
+	})
+	return loops
+}

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzersGolden runs the full rule suite over each testdata fixture
+// and checks the findings against the fixtures' "// want \"regexp\""
+// expectation comments, in both directions: every finding must be wanted,
+// and every want must fire.
+func TestAnalyzersGolden(t *testing.T) {
+	fixtures := []struct{ dir, path string }{
+		{"wallclock/netsim", "fixture/netsim"},
+		{"wallclock/clockfree", "fixture/clockfree"},
+		{"seededrand/randuse", "fixture/randuse"},
+		{"floateq/floats", "fixture/floats"},
+		{"goroutine/spmd", "fixture/spmd"},
+		{"panicaudit/panicroot", "fixture/panicroot"},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.dir, func(t *testing.T) {
+			dir := filepath.Join("testdata", fx.dir)
+			m, err := LoadPackage(dir, fx.path)
+			if err != nil {
+				t.Fatalf("LoadPackage(%s): %v", dir, err)
+			}
+			diags := Run(m, Analyzers(), nil)
+
+			wants, err := collectWants(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			matched := map[*want]bool{}
+		diag:
+			for _, d := range diags {
+				key := fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)
+				for _, w := range wants[key] {
+					if !matched[w] && w.re.MatchString(d.Msg) {
+						matched[w] = true
+						continue diag
+					}
+				}
+				t.Errorf("unexpected finding %s:%d: [%s] %s", key, d.Pos.Line, d.Rule, d.Msg)
+			}
+			for key, ws := range wants {
+				for _, w := range ws {
+					if !matched[w] {
+						t.Errorf("%s: expected a finding matching %q, got none", key, w.re)
+					}
+				}
+			}
+		})
+	}
+}
+
+type want struct{ re *regexp.Regexp }
+
+var (
+	wantLineRE   = regexp.MustCompile(`// want (.+)$`)
+	wantStringRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+// collectWants maps "file.go:line" to the expectations on that line.
+func collectWants(dir string) (map[string][]*want, error) {
+	wants := map[string][]*want{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantLineRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", e.Name(), i+1)
+			for _, q := range wantStringRE.FindAllString(m[1], -1) {
+				pattern, err := strconv.Unquote(q)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want string %s: %v", key, q, err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want regexp %q: %v", key, pattern, err)
+				}
+				wants[key] = append(wants[key], &want{re: re})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// TestRepoIsClean is meshlint run over this repository itself: the module
+// must stay free of findings, so CI can enforce the invariants with
+// "go run ./cmd/meshlint ./..." and this test keeps that guarantee under
+// plain "go test ./...".
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	m, err := LoadModule("../..")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	allow, err := LoadAllowlist(filepath.Join(m.Root, ".meshlint-allow"))
+	if err != nil {
+		t.Fatalf("LoadAllowlist: %v", err)
+	}
+	for _, d := range Run(m, Analyzers(), allow) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestPanicInventoryOnRepo sanity-checks the audit half of panic-audit:
+// the repository has many deliberate invariant panics, every one of the
+// reachable ones must carry its lint:invariant annotation.
+func TestPanicInventoryOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	m, err := LoadModule("../..")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	inv := PanicInventory(m)
+	if len(inv) == 0 {
+		t.Fatal("panic inventory is empty; the walker is broken")
+	}
+	reachable := 0
+	for _, s := range inv {
+		if s.Reachable {
+			reachable++
+			if !s.Allowed {
+				t.Errorf("%s:%d: reachable panic in %s lacks a lint:invariant annotation", s.Pos.Filename, s.Pos.Line, s.Fn)
+			}
+		}
+	}
+	if reachable == 0 {
+		t.Error("no panic is reachable from the exported API; the reachability walk is broken")
+	}
+}
+
+func TestAllowlist(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "allow")
+	content := "# comment\n\nfloat-eq internal/netsim/trace.go:123\npanic-audit internal/tensor\n* cmd/meshslice/main.go\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	al, err := LoadAllowlist(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		rule, rel string
+		line      int
+		want      bool
+	}{
+		{"float-eq", "internal/netsim/trace.go", 123, true},
+		{"float-eq", "internal/netsim/trace.go", 124, false},
+		{"panic-audit", "internal/tensor/matrix.go", 7, true},
+		{"panic-audit", "internal/tensorx/matrix.go", 7, false},
+		{"seeded-rand", "cmd/meshslice/main.go", 1, true},
+		{"seeded-rand", "cmd/meshslice/plan.go", 1, false},
+	}
+	for _, c := range cases {
+		if got := al.Allows(c.rule, c.rel, c.line); got != c.want {
+			t.Errorf("Allows(%q, %q, %d) = %v, want %v", c.rule, c.rel, c.line, got, c.want)
+		}
+	}
+	if missing, err := LoadAllowlist(filepath.Join(dir, "nope")); err != nil || len(missing.entries) != 0 {
+		t.Errorf("missing allowlist: got %v entries, err %v; want empty, nil", missing, err)
+	}
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// PanicSite is one panic(...) call in non-test code, attributed to the
+// top-level function whose body (including nested function literals)
+// contains it. Exported for the cmd/meshlint -panics inventory.
+type PanicSite struct {
+	Pos       token.Position
+	Fn        string // qualified name of the enclosing declared function
+	Reachable bool   // reachable from the root package's exported API
+	Allowed   bool   // carries a lint:invariant directive
+}
+
+func analyzePanics() *Analyzer {
+	return &Analyzer{
+		Name: "panic-audit",
+		Doc: "inventory every panic site and fail on panics reachable from the root package's " +
+			"exported API unless marked as a deliberate invariant check with a lint:invariant comment",
+		Run: func(m *Module, report func(pos token.Pos, format string, args ...any)) {
+			for _, site := range panicInventory(m) {
+				if site.Reachable && !site.Allowed {
+					report(site.pos, "panic in %s is reachable from the exported API of %s; return an error, or mark a deliberate invariant check with a lint:invariant comment",
+						site.Fn, m.Path)
+				}
+			}
+		},
+	}
+}
+
+// PanicInventory classifies every panic site in non-test module code by
+// reachability from the root package's exported API.
+func PanicInventory(m *Module) []PanicSite {
+	sites := panicInventory(m)
+	out := make([]PanicSite, len(sites))
+	for i, s := range sites {
+		out[i] = s.PanicSite
+	}
+	return out
+}
+
+type panicSite struct {
+	PanicSite
+	pos token.Pos
+}
+
+// panicInventory builds the module's static call graph and walks it from
+// the exported surface. Functions are keyed by their qualified name
+// (types.Func.FullName) rather than object identity, because packages with
+// in-package tests are type-checked twice — once test-free for importers,
+// once with tests for analysis — and the two checks mint distinct objects
+// for the same function.
+//
+// The graph is a static under-approximation: direct calls and concrete
+// method calls are edges; calls through interfaces or function values are
+// not. Panics inside function literals are attributed to the declared
+// function that lexically contains them, which is exactly right for this
+// codebase's dominant pattern (SPMD closures handed to mesh.Run).
+func panicInventory(m *Module) []panicSite {
+	calls := map[string]map[string]bool{} // caller FullName -> callee FullNames
+	panics := map[string][]panicSite{}
+
+	m.eachFile(func(p *Package, f *File) {
+		if f.Test {
+			return
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			caller := fn.FullName()
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				var obj types.Object
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					obj = p.Info.Uses[fun]
+				case *ast.SelectorExpr:
+					obj = p.Info.Uses[fun.Sel]
+				}
+				switch callee := obj.(type) {
+				case *types.Func:
+					if calls[caller] == nil {
+						calls[caller] = map[string]bool{}
+					}
+					calls[caller][callee.FullName()] = true
+				case *types.Builtin:
+					if callee.Name() == "panic" {
+						pos := m.Fset.Position(call.Pos())
+						file := m.fileAt(pos.Filename)
+						panics[caller] = append(panics[caller], panicSite{
+							PanicSite: PanicSite{
+								Pos:     pos,
+								Fn:      caller,
+								Allowed: file != nil && file.Allows("panic-audit", pos.Line),
+							},
+							pos: call.Pos(),
+						})
+					}
+				}
+				return true
+			})
+		}
+	})
+
+	reachable := reachableFuncs(m, calls)
+	var out []panicSite
+	for fn, sites := range panics {
+		for _, s := range sites {
+			s.Reachable = reachable[fn]
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
+}
+
+// reachableFuncs walks the call graph from the root package's exported
+// surface: its exported functions, and the exported methods of every named
+// type an exported type name of the root package denotes (the facade
+// re-exports internal types by alias, which makes those methods public API).
+func reachableFuncs(m *Module, calls map[string]map[string]bool) map[string]bool {
+	var roots []string
+	for _, pkg := range m.Packages {
+		if pkg.Path != m.Path || pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			obj := scope.Lookup(name)
+			if !obj.Exported() {
+				continue
+			}
+			switch obj := obj.(type) {
+			case *types.Func:
+				roots = append(roots, obj.FullName())
+			case *types.TypeName:
+				if named, ok := obj.Type().(*types.Named); ok {
+					for i := 0; i < named.NumMethods(); i++ {
+						if method := named.Method(i); method.Exported() {
+							roots = append(roots, method.FullName())
+						}
+					}
+				}
+			}
+		}
+	}
+	reachable := map[string]bool{}
+	var visit func(fn string)
+	visit = func(fn string) {
+		if reachable[fn] {
+			return
+		}
+		reachable[fn] = true
+		for callee := range calls[fn] {
+			visit(callee)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return reachable
+}

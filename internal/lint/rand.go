@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// randConstructors are the package-level math/rand functions that build an
+// explicitly seeded generator rather than consuming the shared global one;
+// they are exactly what the rule steers code toward.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func analyzeSeededRand() *Analyzer {
+	return &Analyzer{
+		Name: "seeded-rand",
+		Doc: "forbid the global math/rand top-level functions (rand.Float64, rand.Intn, ...) in " +
+			"non-test code; thread an explicitly seeded *rand.Rand so functional runs are reproducible",
+		Run: runSeededRand,
+	}
+}
+
+func runSeededRand(m *Module, report func(pos token.Pos, format string, args ...any)) {
+	m.eachFile(func(p *Package, f *File) {
+		if f.Test {
+			return
+		}
+		walkFile(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil {
+				return true
+			}
+			path := obj.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Methods on *rand.Rand are the sanctioned form; only the
+			// package-level functions hit the shared global source.
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			if randConstructors[obj.Name()] {
+				return true
+			}
+			report(call.Pos(), "rand.%s draws from the global math/rand source; thread an explicitly seeded *rand.Rand instead",
+				obj.Name())
+			return true
+		})
+	})
+}

@@ -1,0 +1,21 @@
+// Package floats is a fixture for the float-eq rule.
+package floats
+
+func compare(a, b float64, n, m int) bool {
+	if a == b { // want "floating-point == comparison"
+		return true
+	}
+	if a != 0 { // want "floating-point != comparison"
+		return false
+	}
+	return n == m // ints compare exactly; no finding
+}
+
+// tieBreak is the annotated exact comparison the rule permits: sort
+// comparators must be exact or ordering becomes tolerance-dependent.
+func tieBreak(a, b, x, y float64) bool {
+	if a != b { // lint:float-exact sort tie-break
+		return a < b
+	}
+	return x < y
+}

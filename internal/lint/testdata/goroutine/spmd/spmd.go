@@ -1,0 +1,57 @@
+// Package spmd is a fixture for the goroutine-discipline rule.
+package spmd
+
+import "sync"
+
+// leak launches a goroutine nothing ever joins.
+func leak() {
+	go func() {}() // want "goroutine launched without a sync.WaitGroup wait or channel join"
+}
+
+// capture joins correctly but lets the closure reach into the loop
+// variable instead of receiving it as an argument.
+func capture(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for rank := 0; rank < n; rank++ {
+		go func() { // want "goroutine closure captures loop variable \"rank\""
+			defer wg.Done()
+			_ = rank
+		}()
+	}
+	wg.Wait()
+}
+
+// captureRange is the range-statement flavour of the same mistake.
+func captureRange(items []int) {
+	var wg sync.WaitGroup
+	wg.Add(len(items))
+	for _, item := range items {
+		go func() { // want "goroutine closure captures loop variable \"item\""
+			defer wg.Done()
+			_ = item
+		}()
+	}
+	wg.Wait()
+}
+
+// disciplined is the sanctioned shape: the loop variable arrives as an
+// argument and a WaitGroup joins every goroutine.
+func disciplined(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for rank := 0; rank < n; rank++ {
+		go func(rank int) {
+			defer wg.Done()
+			_ = rank
+		}(rank)
+	}
+	wg.Wait()
+}
+
+// channelJoin demonstrates the other sanctioned join: a channel receive.
+func channelJoin() int {
+	done := make(chan int)
+	go func() { done <- 1 }()
+	return <-done
+}

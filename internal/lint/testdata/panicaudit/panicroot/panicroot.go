@@ -1,0 +1,41 @@
+// Package panicroot is a fixture for the panic-audit rule: the loader
+// mounts it as the module root, so its exported surface is the API whose
+// reachable panics must be annotated.
+package panicroot
+
+import "fmt"
+
+// Multiply is exported API; the panic in its helper is reachable and
+// unannotated, so it must be reported.
+func Multiply(n int) int { return helper(n) }
+
+func helper(n int) int {
+	if n < 0 {
+		panic("negative") // want "panic in fixture/panicroot.helper is reachable"
+	}
+	return n * n
+}
+
+// Grid is an exported type: its exported methods are API roots too.
+type Grid struct{ n int }
+
+func (g Grid) At(i int) int {
+	if i >= g.n {
+		panic(fmt.Sprintf("index %d out of range", i)) // want "panic in \\(fixture/panicroot.Grid\\).At is reachable"
+	}
+	return i
+}
+
+// Checked is reachable but annotated as a deliberate invariant check.
+func Checked(n int) int {
+	if n < 0 {
+		panic("impossible") // lint:invariant guarded by construction
+	}
+	return n
+}
+
+// orphan is not reachable from any exported function, so its panic is
+// inventory only, never a finding.
+func orphan() {
+	panic("unreachable from the API")
+}

@@ -1,0 +1,18 @@
+// Package randuse is a fixture for the seeded-rand rule.
+package randuse
+
+import "math/rand"
+
+func global() float64 {
+	x := rand.Float64()                // want "rand.Float64 draws from the global math/rand source"
+	n := rand.Intn(10)                 // want "rand.Intn draws from the global math/rand source"
+	rand.Shuffle(n, func(i, j int) {}) // want "rand.Shuffle draws from the global math/rand source"
+	return x
+}
+
+// seeded threads an explicitly seeded generator: constructors and *rand.Rand
+// methods are the sanctioned, reproducible form.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}

@@ -1,0 +1,7 @@
+// Package clockfree is a fixture: it is not one of the simulator packages,
+// so wall-clock reads are allowed (the CLI's progress output needs them).
+package clockfree
+
+import "time"
+
+func stamp() time.Time { return time.Now() }

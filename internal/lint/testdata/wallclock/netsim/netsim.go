@@ -1,0 +1,19 @@
+// Package netsim is a fixture: its path ends in a simulator package name,
+// so wall-clock reads are forbidden.
+package netsim
+
+import "time"
+
+func step() float64 {
+	start := time.Now()                // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond)       // want "time.Sleep reads the wall clock"
+	return time.Since(start).Seconds() // want "time.Since reads the wall clock"
+}
+
+// durations reports a pure duration computation: constructing and
+// converting time.Duration values never observes real time, so it is legal
+// even inside simulator packages.
+func durations() float64 {
+	d := 3 * time.Millisecond
+	return d.Seconds()
+}

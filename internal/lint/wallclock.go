@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// simPackages are the packages whose only clock is the discrete-event
+// simulator's: any wall-clock read inside them breaks bit-for-bit
+// reproducibility of simulated results.
+var simPackages = map[string]bool{
+	"des":       true,
+	"netsim":    true,
+	"chipsim":   true,
+	"costmodel": true,
+	"autotune":  true,
+}
+
+// wallclockFuncs are the package time functions that observe or depend on
+// real time. Pure constructors/constants (time.Duration arithmetic,
+// time.Unix on a given value) stay legal.
+var wallclockFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func analyzeWallclock() *Analyzer {
+	return &Analyzer{
+		Name: "no-wallclock",
+		Doc: "forbid wall-clock reads (time.Now, time.Sleep, time.Since, ...) in the " +
+			"simulator packages (des, netsim, chipsim, costmodel, autotune); simulated time only",
+		Run: runWallclock,
+	}
+}
+
+func runWallclock(m *Module, report func(pos token.Pos, format string, args ...any)) {
+	m.eachFile(func(p *Package, f *File) {
+		if f.Test || !simPackages[lastSegment(p.Path)] {
+			return
+		}
+		walkFile(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if wallclockFuncs[obj.Name()] {
+				report(call.Pos(), "time.%s reads the wall clock inside simulator package %s; use the simulated clock (des.Simulator.Now)",
+					obj.Name(), lastSegment(p.Path))
+			}
+			return true
+		})
+	})
+}

@@ -56,7 +56,7 @@ func (e *exchanger) recv(from, to int) *tensor.Matrix {
 	for len(e.queues[k]) == 0 {
 		if e.poisoned {
 			// A peer chip panicked; give up instead of blocking forever.
-			panic(errPeerFailed)
+			panic(errPeerFailed) // lint:invariant aborts receive after peer failure
 		}
 		e.cond.Wait()
 	}

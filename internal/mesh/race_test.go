@@ -1,0 +1,60 @@
+package mesh
+
+import (
+	"sync"
+	"testing"
+
+	"meshslice/internal/tensor"
+	"meshslice/internal/topology"
+)
+
+// TestTrafficConcurrentWithRun is a race-detector regression test: readers
+// may snapshot the traffic counters while chip goroutines are sending, so
+// every exchanger counter access must hold the mutex. Run it under
+// "go test -race" (CI does) — without the detector it only proves liveness.
+func TestTrafficConcurrentWithRun(t *testing.T) {
+	m := New(topology.NewTorus(4, 4))
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := m.Traffic()
+				if snap.Elements < 0 || snap.Messages < 0 {
+					t.Error("traffic counters went negative")
+					return
+				}
+			}
+		}()
+	}
+
+	x := tensor.New(8, 8)
+	for iter := 0; iter < 25; iter++ {
+		m.Run(func(c *Chip) {
+			got := c.RowComm().Shift(1, x)
+			c.ColComm().Shift(1, got)
+		})
+		if iter == 12 {
+			m.ResetTraffic()
+		}
+	}
+	close(stop)
+	readers.Wait()
+
+	final := m.Traffic()
+	// 12 post-reset iterations × 16 chips × 2 shifts × 64 elements each.
+	wantElems := int64(12 * 16 * 2 * 64)
+	if final.Elements != wantElems {
+		t.Errorf("Elements = %d, want %d", final.Elements, wantElems)
+	}
+	if final.Messages != 12*16*2 {
+		t.Errorf("Messages = %d, want %d", final.Messages, 12*16*2)
+	}
+}

@@ -116,10 +116,10 @@ const (
 // Simulate runs the program on the hardware model and returns the result.
 func Simulate(p *sched.Program, c hw.Chip, opts Options) Result {
 	if err := p.Validate(); err != nil {
-		panic(fmt.Sprintf("netsim: %v", err))
+		panic(fmt.Sprintf("netsim: %v", err)) // lint:invariant program precondition
 	}
 	if err := c.Validate(); err != nil {
-		panic(fmt.Sprintf("netsim: %v", err))
+		panic(fmt.Sprintf("netsim: %v", err)) // lint:invariant program precondition
 	}
 	s := newSim(p, c, opts)
 	s.run()
@@ -238,7 +238,7 @@ func (s *sim) run() {
 	for chip := 0; chip < s.nChips; chip++ {
 		for i := range s.prog.Ops {
 			if !s.done[chip][i] {
-				panic(fmt.Sprintf("netsim: deadlock — chip %d op %d (%s) never completed", chip, i, s.prog.Ops[i].Name))
+				panic(fmt.Sprintf("netsim: deadlock — chip %d op %d (%s) never completed", chip, i, s.prog.Ops[i].Name)) // lint:invariant deadlock detector
 			}
 		}
 	}
@@ -423,7 +423,7 @@ func (s *sim) computeDuration(chip int, op sched.Op) float64 {
 	if s.opts.TiledCompute && op.M > 0 && op.N > 0 && op.K > 0 {
 		r, err := s.core.GeMM(op.M, op.N, op.K)
 		if err != nil {
-			panic(fmt.Sprintf("netsim: tiled compute: %v", err))
+			panic(fmt.Sprintf("netsim: tiled compute: %v", err)) // lint:invariant tile-shape precondition
 		}
 		dur = r.Time
 	} else {

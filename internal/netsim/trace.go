@@ -120,7 +120,7 @@ func (t Trace) BusyTime(lane int) float64 {
 // sortTrace orders events by start time (stable on op index).
 func sortTrace(t Trace) {
 	sort.SliceStable(t, func(i, j int) bool {
-		if t[i].Start != t[j].Start {
+		if t[i].Start != t[j].Start { // lint:float-exact sort tie-break must be exact for a deterministic trace order
 			return t[i].Start < t[j].Start
 		}
 		return t[i].Op < t[j].Op

@@ -27,7 +27,7 @@ func gemmHBM(aElems, bElems, cElems float64, c hw.Chip) float64 {
 // so callers wanting Collective should use CollectiveProgram instead.
 func MeshSliceProgram(p gemm.Problem, t topology.Torus, c hw.Chip, S int) *Program {
 	if S <= 0 {
-		panic(fmt.Sprintf("sched: MeshSlice S=%d", S))
+		panic(fmt.Sprintf("sched: MeshSlice S=%d", S)) // lint:invariant slice-count precondition
 	}
 	aR, aC, bR, bC, cR, cC := shardDims(p, t)
 	bpe := c.BytesPerElement
@@ -137,7 +137,7 @@ func MeshSliceProgram(p gemm.Problem, t topology.Torus, c hw.Chip, S int) *Progr
 			}
 
 		default:
-			panic(fmt.Sprintf("sched: unknown dataflow %d", int(p.Dataflow)))
+			panic(fmt.Sprintf("sched: unknown dataflow %d", int(p.Dataflow))) // lint:invariant exhaustive switch guard
 		}
 	}
 	return &Program{Torus: t, Ops: b.ops, Label: fmt.Sprintf("MeshSlice-%v S=%d", p.Dataflow, S)}
@@ -263,7 +263,7 @@ func SUMMAProgram(p gemm.Problem, t topology.Torus, c hw.Chip, iters int) *Progr
 			}
 
 		default:
-			panic(fmt.Sprintf("sched: unknown dataflow %d", int(p.Dataflow)))
+			panic(fmt.Sprintf("sched: unknown dataflow %d", int(p.Dataflow))) // lint:invariant exhaustive switch guard
 		}
 	}
 	return &Program{Torus: t, Ops: b.ops, Label: fmt.Sprintf("SUMMA-%v P=%d", p.Dataflow, iters)}

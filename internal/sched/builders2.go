@@ -18,10 +18,10 @@ import (
 // ⌊P/2⌋ synchronised ring steps in each direction.
 func CannonProgram(p gemm.Problem, t topology.Torus, c hw.Chip) *Program {
 	if !t.IsSquare() {
-		panic(fmt.Sprintf("sched: Cannon requires a square mesh, got %v", t))
+		panic(fmt.Sprintf("sched: Cannon requires a square mesh, got %v", t)) // lint:invariant mesh-shape precondition
 	}
 	if p.Dataflow != gemm.OS {
-		panic("sched: Cannon computes the OS dataflow only")
+		panic("sched: Cannon computes the OS dataflow only") // lint:invariant dataflow precondition
 	}
 	n := t.Rows
 	aR, aC, bR, bC, cR, cC := shardDims(p, t)
@@ -154,7 +154,7 @@ func WangProgram(p gemm.Problem, t topology.Torus, c hw.Chip, unroll int) *Progr
 			}
 		}
 	default:
-		panic(fmt.Sprintf("sched: unknown dataflow %d", int(p.Dataflow)))
+		panic(fmt.Sprintf("sched: unknown dataflow %d", int(p.Dataflow))) // lint:invariant exhaustive switch guard
 	}
 
 	// The streamRing shards of the streamed operand are consumed in iters
@@ -233,7 +233,7 @@ func FSDPProgram(m, n, k int, chips int, c hw.Chip) *Program {
 
 func oneDProgram(label string, m, n, k, chips int, flowElems float64, gm, gn, gk int, c hw.Chip) *Program {
 	if chips <= 0 {
-		panic(fmt.Sprintf("sched: %s with %d chips", label, chips))
+		panic(fmt.Sprintf("sched: %s with %d chips", label, chips)) // lint:invariant chip-count precondition
 	}
 	t := topology.NewTorus(1, chips)
 	bpe := c.BytesPerElement

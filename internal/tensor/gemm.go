@@ -26,10 +26,10 @@ func MatMul(a, b *Matrix) *Matrix {
 // parallelism is race-free and bitwise identical to the serial path.
 func MatMulAdd(c, a, b *Matrix) {
 	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: MatMulAdd inner dim mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+		panic(fmt.Sprintf("tensor: MatMulAdd inner dim mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)) // lint:invariant shape precondition
 	}
 	if c.Rows != a.Rows || c.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: MatMulAdd output %dx%d for %dx%d · %dx%d", c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+		panic(fmt.Sprintf("tensor: MatMulAdd output %dx%d for %dx%d · %dx%d", c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols)) // lint:invariant shape precondition
 	}
 	work := int64(a.Rows) * int64(a.Cols) * int64(b.Cols)
 	workers := runtime.GOMAXPROCS(0)
@@ -60,7 +60,7 @@ func matMulAddRows(c, a, b *Matrix, lo, hi int) {
 		crow := c.Row(i)
 		for k := 0; k < a.Cols; k++ {
 			aik := arow[k]
-			if aik == 0 {
+			if aik == 0 { // lint:float-exact sparsity fast path skips exact zeros only
 				continue
 			}
 			brow := b.Row(k)
@@ -82,10 +82,10 @@ func MatMulNT(a, b *Matrix) *Matrix {
 // MatMulAddNT accumulates C += A·Bᵀ in place.
 func MatMulAddNT(c, a, b *Matrix) {
 	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: MatMulAddNT inner dim mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+		panic(fmt.Sprintf("tensor: MatMulAddNT inner dim mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols)) // lint:invariant shape precondition
 	}
 	if c.Rows != a.Rows || c.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: MatMulAddNT output %dx%d for %dx%d · (%dx%d)ᵀ", c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+		panic(fmt.Sprintf("tensor: MatMulAddNT output %dx%d for %dx%d · (%dx%d)ᵀ", c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols)) // lint:invariant shape precondition
 	}
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
@@ -112,16 +112,16 @@ func MatMulTN(a, b *Matrix) *Matrix {
 // MatMulAddTN accumulates C += Aᵀ·B in place.
 func MatMulAddTN(c, a, b *Matrix) {
 	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("tensor: MatMulAddTN inner dim mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+		panic(fmt.Sprintf("tensor: MatMulAddTN inner dim mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)) // lint:invariant shape precondition
 	}
 	if c.Rows != a.Cols || c.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: MatMulAddTN output %dx%d for (%dx%d)ᵀ · %dx%d", c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+		panic(fmt.Sprintf("tensor: MatMulAddTN output %dx%d for (%dx%d)ᵀ · %dx%d", c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols)) // lint:invariant shape precondition
 	}
 	for k := 0; k < a.Rows; k++ {
 		arow := a.Row(k)
 		brow := b.Row(k)
 		for i, av := range arow {
-			if av == 0 {
+			if av == 0 { // lint:float-exact sparsity fast path skips exact zeros only
 				continue
 			}
 			crow := c.Row(i)

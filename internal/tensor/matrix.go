@@ -28,7 +28,7 @@ type Matrix struct {
 // New returns a zero-initialised rows×cols matrix.
 func New(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
-		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols)) // lint:invariant shape precondition
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
 }
@@ -76,7 +76,7 @@ func (m *Matrix) Set(r, c int, v float64) {
 
 func (m *Matrix) checkIndex(r, c int) {
 	if r < 0 || r >= m.Rows || c < 0 || c >= m.Cols {
-		panic(fmt.Sprintf("tensor: index (%d,%d) out of range for %dx%d", r, c, m.Rows, m.Cols))
+		panic(fmt.Sprintf("tensor: index (%d,%d) out of range for %dx%d", r, c, m.Rows, m.Cols)) // lint:invariant bounds precondition
 	}
 }
 
@@ -97,7 +97,7 @@ func (m *Matrix) Zero() {
 // Row returns row r as a slice aliasing the matrix storage.
 func (m *Matrix) Row(r int) []float64 {
 	if r < 0 || r >= m.Rows {
-		panic(fmt.Sprintf("tensor: row %d out of range for %dx%d", r, m.Rows, m.Cols))
+		panic(fmt.Sprintf("tensor: row %d out of range for %dx%d", r, m.Rows, m.Cols)) // lint:invariant bounds precondition
 	}
 	return m.Data[r*m.Cols : (r+1)*m.Cols]
 }
@@ -117,7 +117,7 @@ func (m *Matrix) T() *Matrix {
 // Add accumulates other into m element-wise. Shapes must match.
 func (m *Matrix) Add(other *Matrix) {
 	if m.Rows != other.Rows || m.Cols != other.Cols {
-		panic(fmt.Sprintf("tensor: Add shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
+		panic(fmt.Sprintf("tensor: Add shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, other.Rows, other.Cols)) // lint:invariant shape precondition
 	}
 	for i, v := range other.Data {
 		m.Data[i] += v
@@ -149,7 +149,7 @@ func (m *Matrix) Equal(other *Matrix, tol float64) bool {
 // and other. Shapes must match.
 func (m *Matrix) MaxAbsDiff(other *Matrix) float64 {
 	if m.Rows != other.Rows || m.Cols != other.Cols {
-		panic(fmt.Sprintf("tensor: MaxAbsDiff shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
+		panic(fmt.Sprintf("tensor: MaxAbsDiff shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, other.Rows, other.Cols)) // lint:invariant shape precondition
 	}
 	max := 0.0
 	for i, v := range m.Data {
@@ -184,7 +184,7 @@ func (m *Matrix) String() string {
 // a new matrix.
 func (m *Matrix) SubMatrix(r0, c0, rows, cols int) *Matrix {
 	if r0 < 0 || c0 < 0 || r0+rows > m.Rows || c0+cols > m.Cols {
-		panic(fmt.Sprintf("tensor: SubMatrix (%d,%d)+%dx%d out of range for %dx%d", r0, c0, rows, cols, m.Rows, m.Cols))
+		panic(fmt.Sprintf("tensor: SubMatrix (%d,%d)+%dx%d out of range for %dx%d", r0, c0, rows, cols, m.Rows, m.Cols)) // lint:invariant bounds precondition
 	}
 	out := New(rows, cols)
 	for r := 0; r < rows; r++ {
@@ -196,7 +196,7 @@ func (m *Matrix) SubMatrix(r0, c0, rows, cols int) *Matrix {
 // SetSubMatrix copies block into m with its top-left corner at (r0, c0).
 func (m *Matrix) SetSubMatrix(r0, c0 int, block *Matrix) {
 	if r0 < 0 || c0 < 0 || r0+block.Rows > m.Rows || c0+block.Cols > m.Cols {
-		panic(fmt.Sprintf("tensor: SetSubMatrix (%d,%d)+%dx%d out of range for %dx%d", r0, c0, block.Rows, block.Cols, m.Rows, m.Cols))
+		panic(fmt.Sprintf("tensor: SetSubMatrix (%d,%d)+%dx%d out of range for %dx%d", r0, c0, block.Rows, block.Cols, m.Rows, m.Cols)) // lint:invariant bounds precondition
 	}
 	for r := 0; r < block.Rows; r++ {
 		copy(m.Data[(r0+r)*m.Cols+c0:(r0+r)*m.Cols+c0+block.Cols], block.Row(r))

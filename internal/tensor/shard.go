@@ -11,7 +11,7 @@ import "fmt"
 // at index i*pc+j. global.Rows must divide by pr and global.Cols by pc.
 func Partition(global *Matrix, pr, pc int) []*Matrix {
 	if pr <= 0 || pc <= 0 || global.Rows%pr != 0 || global.Cols%pc != 0 {
-		panic(fmt.Sprintf("tensor: Partition %dx%d into %dx%d shards", global.Rows, global.Cols, pr, pc))
+		panic(fmt.Sprintf("tensor: Partition %dx%d into %dx%d shards", global.Rows, global.Cols, pr, pc)) // lint:invariant shape precondition
 	}
 	sr, sc := global.Rows/pr, global.Cols/pc
 	shards := make([]*Matrix, pr*pc)
@@ -27,7 +27,7 @@ func Partition(global *Matrix, pr, pc int) []*Matrix {
 // Partition (shard (i,j) at index i*pc+j). All shards must share one shape.
 func Assemble(shards []*Matrix, pr, pc int) *Matrix {
 	if len(shards) != pr*pc {
-		panic(fmt.Sprintf("tensor: Assemble got %d shards for %dx%d mesh", len(shards), pr, pc))
+		panic(fmt.Sprintf("tensor: Assemble got %d shards for %dx%d mesh", len(shards), pr, pc)) // lint:invariant shape precondition
 	}
 	sr, sc := shards[0].Rows, shards[0].Cols
 	global := New(pr*sr, pc*sc)
@@ -35,7 +35,7 @@ func Assemble(shards []*Matrix, pr, pc int) *Matrix {
 		for j := 0; j < pc; j++ {
 			s := shards[i*pc+j]
 			if s.Rows != sr || s.Cols != sc {
-				panic(fmt.Sprintf("tensor: Assemble shard (%d,%d) is %dx%d, want %dx%d", i, j, s.Rows, s.Cols, sr, sc))
+				panic(fmt.Sprintf("tensor: Assemble shard (%d,%d) is %dx%d, want %dx%d", i, j, s.Rows, s.Cols, sr, sc)) // lint:invariant shape precondition
 			}
 			global.SetSubMatrix(i*sr, j*sc, s)
 		}
@@ -53,7 +53,7 @@ func ConcatRows(parts []*Matrix) *Matrix {
 	rows := 0
 	for _, p := range parts {
 		if p.Cols != cols {
-			panic(fmt.Sprintf("tensor: ConcatRows column mismatch %d vs %d", p.Cols, cols))
+			panic(fmt.Sprintf("tensor: ConcatRows column mismatch %d vs %d", p.Cols, cols)) // lint:invariant shape precondition
 		}
 		rows += p.Rows
 	}
@@ -76,7 +76,7 @@ func ConcatCols(parts []*Matrix) *Matrix {
 	cols := 0
 	for _, p := range parts {
 		if p.Rows != rows {
-			panic(fmt.Sprintf("tensor: ConcatCols row mismatch %d vs %d", p.Rows, rows))
+			panic(fmt.Sprintf("tensor: ConcatCols row mismatch %d vs %d", p.Rows, rows)) // lint:invariant shape precondition
 		}
 		cols += p.Cols
 	}
@@ -92,7 +92,7 @@ func ConcatCols(parts []*Matrix) *Matrix {
 // SplitRows divides m into n equal horizontal strips (m.Rows % n == 0).
 func SplitRows(m *Matrix, n int) []*Matrix {
 	if n <= 0 || m.Rows%n != 0 {
-		panic(fmt.Sprintf("tensor: SplitRows %dx%d into %d", m.Rows, m.Cols, n))
+		panic(fmt.Sprintf("tensor: SplitRows %dx%d into %d", m.Rows, m.Cols, n)) // lint:invariant shape precondition
 	}
 	h := m.Rows / n
 	out := make([]*Matrix, n)
@@ -105,7 +105,7 @@ func SplitRows(m *Matrix, n int) []*Matrix {
 // SplitCols divides m into n equal vertical strips (m.Cols % n == 0).
 func SplitCols(m *Matrix, n int) []*Matrix {
 	if n <= 0 || m.Cols%n != 0 {
-		panic(fmt.Sprintf("tensor: SplitCols %dx%d into %d", m.Rows, m.Cols, n))
+		panic(fmt.Sprintf("tensor: SplitCols %dx%d into %d", m.Rows, m.Cols, n)) // lint:invariant shape precondition
 	}
 	w := m.Cols / n
 	out := make([]*Matrix, n)

@@ -36,7 +36,7 @@ func SliceCol(x *Matrix, S, s, B int) *Matrix {
 func UnsliceColInto(x, sub *Matrix, S, s, B int) {
 	checkSliceArgs("UnsliceColInto", x.Cols, S, s, B)
 	if sub.Rows != x.Rows || sub.Cols != x.Cols/S {
-		panic(fmt.Sprintf("tensor: UnsliceColInto sub %dx%d for target %dx%d S=%d", sub.Rows, sub.Cols, x.Rows, x.Cols, S))
+		panic(fmt.Sprintf("tensor: UnsliceColInto sub %dx%d for target %dx%d S=%d", sub.Rows, sub.Cols, x.Rows, x.Cols, S)) // lint:invariant slicing precondition
 	}
 	groups := x.Cols / (S * B)
 	for r := 0; r < x.Rows; r++ {
@@ -68,7 +68,7 @@ func SliceRow(x *Matrix, S, s, B int) *Matrix {
 func UnsliceRowInto(x, sub *Matrix, S, s, B int) {
 	checkSliceArgs("UnsliceRowInto", x.Rows, S, s, B)
 	if sub.Rows != x.Rows/S || sub.Cols != x.Cols {
-		panic(fmt.Sprintf("tensor: UnsliceRowInto sub %dx%d for target %dx%d S=%d", sub.Rows, sub.Cols, x.Rows, x.Cols, S))
+		panic(fmt.Sprintf("tensor: UnsliceRowInto sub %dx%d for target %dx%d S=%d", sub.Rows, sub.Cols, x.Rows, x.Cols, S)) // lint:invariant slicing precondition
 	}
 	groups := x.Rows / (S * B)
 	for g := 0; g < groups; g++ {
@@ -80,13 +80,13 @@ func UnsliceRowInto(x, sub *Matrix, S, s, B int) {
 
 func checkSliceArgs(op string, dim, S, s, B int) {
 	if S <= 0 || B <= 0 {
-		panic(fmt.Sprintf("tensor: %s with S=%d B=%d", op, S, B))
+		panic(fmt.Sprintf("tensor: %s with S=%d B=%d", op, S, B)) // lint:invariant slicing precondition
 	}
 	if s < 0 || s >= S {
-		panic(fmt.Sprintf("tensor: %s slice index %d out of range for S=%d", op, s, S))
+		panic(fmt.Sprintf("tensor: %s slice index %d out of range for S=%d", op, s, S)) // lint:invariant slicing precondition
 	}
 	if dim%(S*B) != 0 {
-		panic(fmt.Sprintf("tensor: %s dimension %d not divisible by S·B=%d·%d", op, dim, S, B))
+		panic(fmt.Sprintf("tensor: %s dimension %d not divisible by S·B=%d·%d", op, dim, S, B)) // lint:invariant slicing precondition
 	}
 }
 

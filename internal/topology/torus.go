@@ -69,7 +69,7 @@ type Torus struct {
 // positive.
 func NewTorus(rows, cols int) Torus {
 	if rows <= 0 || cols <= 0 {
-		panic(fmt.Sprintf("topology: invalid torus shape %dx%d", rows, cols))
+		panic(fmt.Sprintf("topology: invalid torus shape %dx%d", rows, cols)) // lint:invariant shape precondition
 	}
 	return Torus{Rows: rows, Cols: cols}
 }
@@ -86,14 +86,14 @@ func (t Torus) Rank(c Coord) int {
 // Coord returns the coordinate of linear rank r.
 func (t Torus) Coord(r int) Coord {
 	if r < 0 || r >= t.Size() {
-		panic(fmt.Sprintf("topology: rank %d out of range for %dx%d torus", r, t.Rows, t.Cols))
+		panic(fmt.Sprintf("topology: rank %d out of range for %dx%d torus", r, t.Rows, t.Cols)) // lint:invariant bounds precondition
 	}
 	return Coord{Row: r / t.Cols, Col: r % t.Cols}
 }
 
 func (t Torus) check(c Coord) {
 	if c.Row < 0 || c.Row >= t.Rows || c.Col < 0 || c.Col >= t.Cols {
-		panic(fmt.Sprintf("topology: coord %v out of range for %dx%d torus", c, t.Rows, t.Cols))
+		panic(fmt.Sprintf("topology: coord %v out of range for %dx%d torus", c, t.Rows, t.Cols)) // lint:invariant bounds precondition
 	}
 }
 
@@ -123,12 +123,12 @@ func (t Torus) RingPeer(c Coord, d Direction, pos int) Coord {
 	t.check(c)
 	if d == InterRow {
 		if pos < 0 || pos >= t.Rows {
-			panic(fmt.Sprintf("topology: ring position %d out of range for %d rows", pos, t.Rows))
+			panic(fmt.Sprintf("topology: ring position %d out of range for %d rows", pos, t.Rows)) // lint:invariant bounds precondition
 		}
 		return Coord{Row: pos, Col: c.Col}
 	}
 	if pos < 0 || pos >= t.Cols {
-		panic(fmt.Sprintf("topology: ring position %d out of range for %d cols", pos, t.Cols))
+		panic(fmt.Sprintf("topology: ring position %d out of range for %d cols", pos, t.Cols)) // lint:invariant bounds precondition
 	}
 	return Coord{Row: c.Row, Col: pos}
 }

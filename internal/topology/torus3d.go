@@ -31,7 +31,7 @@ func (t Torus3D) Layer() Torus { return Torus{Rows: t.Rows, Cols: t.Cols} }
 // Rank flattens (row, col, layer).
 func (t Torus3D) Rank(row, col, layer int) int {
 	if row < 0 || row >= t.Rows || col < 0 || col >= t.Cols || layer < 0 || layer >= t.Depth {
-		panic(fmt.Sprintf("topology: coord (%d,%d,%d) out of range for %v", row, col, layer, t))
+		panic(fmt.Sprintf("topology: coord (%d,%d,%d) out of range for %v", row, col, layer, t)) // lint:invariant bounds precondition
 	}
 	return (layer*t.Rows+row)*t.Cols + col
 }
@@ -39,7 +39,7 @@ func (t Torus3D) Rank(row, col, layer int) int {
 // Coord inverts Rank.
 func (t Torus3D) Coord(rank int) (row, col, layer int) {
 	if rank < 0 || rank >= t.Size() {
-		panic(fmt.Sprintf("topology: rank %d out of range for %v", rank, t))
+		panic(fmt.Sprintf("topology: rank %d out of range for %v", rank, t)) // lint:invariant bounds precondition
 	}
 	col = rank % t.Cols
 	rank /= t.Cols
@@ -58,7 +58,7 @@ func (t Torus3D) RingSize(d Direction) int {
 	case InterDepth:
 		return t.Depth
 	default:
-		panic(fmt.Sprintf("topology: unknown direction %d", int(d)))
+		panic(fmt.Sprintf("topology: unknown direction %d", int(d))) // lint:invariant exhaustive switch guard
 	}
 }
 
