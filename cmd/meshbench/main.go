@@ -1,0 +1,133 @@
+// Command meshbench runs the repository's performance benchmarks outside
+// `go test` and writes a machine-readable summary, so CI can track the
+// simulator's own speed (events/sec through the des kernel, full-program
+// simulation latency, metrics-registry overhead) across commits.
+//
+//	meshbench [-o BENCH_meshslice.json] [-benchtime 1x]
+//
+// The harness reuses testing.Benchmark, so each entry reports the standard
+// ns/op, B/op and allocs/op. Wall-clock use is fine here: this command
+// measures the simulator, it is not part of the simulation (meshlint's
+// no-wallclock rule covers only the sim packages).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"meshslice/internal/gemm"
+	"meshslice/internal/hw"
+	"meshslice/internal/netsim"
+	"meshslice/internal/obs"
+	"meshslice/internal/sched"
+	"meshslice/internal/topology"
+)
+
+// benchResult is one benchmark's summary row.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_meshslice.json", "output JSON path (- for stdout)")
+	flag.Parse()
+
+	chip := hw.TPUv4()
+	prob := gemm.Problem{M: 1 << 16, N: 12288, K: 12288, Dataflow: gemm.OS}
+	tor := topology.NewTorus(8, 8)
+
+	// Fixed order: the output file diffs cleanly between runs.
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"SimulateMeshSlice8x8", func(b *testing.B) {
+			prog := sched.MeshSliceProgram(prob, tor, chip, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				netsim.Simulate(prog, chip, netsim.Options{})
+			}
+		}},
+		{"SimulateMeshSlice8x8Instrumented", func(b *testing.B) {
+			prog := sched.MeshSliceProgram(prob, tor, chip, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				netsim.Simulate(prog, chip, netsim.Options{
+					CriticalPath: true, TraceAllChips: true, Metrics: obs.NewRegistry(),
+				})
+			}
+		}},
+		{"SimulateCollective8x8", func(b *testing.B) {
+			prog := sched.CollectiveProgram(prob, tor, chip)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				netsim.Simulate(prog, chip, netsim.Options{})
+			}
+		}},
+		{"SimulateSUMMAStepLevel8x8", func(b *testing.B) {
+			prog := sched.SUMMAProgram(prob, tor, chip, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				netsim.Simulate(prog, chip, netsim.Options{StepLevel: true})
+			}
+		}},
+		{"RegistryCounterAdd", func(b *testing.B) {
+			reg := obs.NewRegistry()
+			c := reg.Counter("bench_counter", obs.L("k", "v"))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Inc()
+			}
+		}},
+		{"RegistrySnapshotJSON", func(b *testing.B) {
+			reg := obs.NewRegistry()
+			prog := sched.MeshSliceProgram(prob, tor, chip, 8)
+			netsim.Simulate(prog, chip, netsim.Options{CriticalPath: true, Metrics: reg})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := reg.WriteJSON(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	results := make([]benchResult, 0, len(benches))
+	for _, bm := range benches {
+		r := testing.Benchmark(bm.fn)
+		results = append(results, benchResult{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%-36s %10d iters  %14.0f ns/op  %10d B/op  %8d allocs/op\n",
+			bm.name, r.N, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

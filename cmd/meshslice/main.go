@@ -13,6 +13,15 @@
 //
 //	meshslice gemm  -m M -n N -k K -chips P -algo all [-dataflow os]
 //	    Simulate a single distributed GeMM under one or all algorithms.
+//
+//	meshslice stats -m M -n N -k K -rows R -cols C [-profile chip.json] [-o out.json]
+//	    Simulate one GeMM under every builtin algorithm with telemetry on
+//	    and emit the deterministic JSON metrics snapshot (makespans,
+//	    per-chip busy/bubble time, critical-path attribution, histograms).
+//
+//	meshslice timeline -m M -n N -k K -rows R -cols C [-chrome DIR]
+//	    Render per-algorithm ASCII timelines; -chrome also exports
+//	    whole-cluster Perfetto/Chrome traces (one process per chip).
 package main
 
 import (
@@ -42,6 +51,8 @@ func main() {
 		cmdGeMM(os.Args[2:])
 	case "timeline":
 		cmdTimeline(os.Args[2:])
+	case "stats":
+		cmdStats(os.Args[2:])
 	case "plan":
 		cmdPlan(os.Args[2:])
 	case "calibrate":
@@ -54,7 +65,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: meshslice {tune|sim|gemm|timeline|plan|calibrate|verify} [flags]  (run a subcommand with -h for its flags)")
+	fmt.Fprintln(os.Stderr, "usage: meshslice {tune|sim|gemm|timeline|stats|plan|calibrate|verify} [flags]  (run a subcommand with -h for its flags)")
 	os.Exit(2)
 }
 

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"meshslice/internal/autotune"
+	"meshslice/internal/gemm"
+	"meshslice/internal/hw"
+	"meshslice/internal/netsim"
+	"meshslice/internal/obs"
+	"meshslice/internal/sched"
+	"meshslice/internal/topology"
+)
+
+// cmdStats simulates one GeMM under every builtin algorithm with full
+// telemetry enabled and emits the deterministic JSON metrics snapshot:
+// makespans, per-chip busy and bubble times, per-link traffic, op-duration
+// histograms, critical-path attribution, kernel statistics, and the
+// autotuner's slice-count search trajectory. Two runs with the same inputs
+// produce byte-identical output.
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	profile := fs.String("profile", "", "chip calibration JSON (default: built-in TPUv4)")
+	m := fs.Int("m", 1<<16, "result rows M")
+	n := fs.Int("n", 12288, "result cols N")
+	k := fs.Int("k", 12288, "inner dimension K")
+	rows := fs.Int("rows", 4, "mesh rows")
+	cols := fs.Int("cols", 4, "mesh cols")
+	s := fs.Int("s", 0, "MeshSlice slice count (0 = autotune it, publishing the search metrics)")
+	out := fs.String("o", "", "write the snapshot to this file (default: stdout)")
+	fs.Parse(args)
+
+	chip := hw.TPUv4()
+	if *profile != "" {
+		var err error
+		chip, err = hw.LoadProfileFile(*profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	tor := topology.NewTorus(*rows, *cols)
+	prob := gemm.Problem{M: *m, N: *n, K: *k, Dataflow: gemm.OS}
+	reg := obs.NewRegistry()
+
+	slices := *s
+	if slices == 0 {
+		choice, ok := autotune.InstrumentedTunePass(prob, tor, chip, 0, reg)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "no feasible slice count for M=%d on %v\n", *m, tor)
+			os.Exit(1)
+		}
+		slices = choice.S
+	}
+
+	progs := []*sched.Program{
+		sched.MeshSliceProgram(prob, tor, chip, slices),
+		sched.CollectiveProgram(prob, tor, chip),
+		sched.WangProgram(prob, tor, chip, slices),
+		sched.SUMMAProgram(prob, tor, chip, 0),
+		sched.OneDTPProgram(*m, *n, *k, tor.Size(), chip),
+		sched.FSDPProgram(*m, *n, *k, tor.Size(), chip),
+	}
+	if tor.IsSquare() {
+		progs = append(progs, sched.CannonProgram(prob, tor, chip))
+	}
+	for _, p := range progs {
+		netsim.Simulate(p, chip, netsim.Options{CriticalPath: true, Metrics: reg})
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := reg.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -27,7 +27,7 @@ func cmdTimeline(args []string) {
 	cols := fs.Int("cols", 8, "mesh cols")
 	s := fs.Int("s", 8, "MeshSlice slice count / baseline unroll")
 	width := fs.Int("width", 100, "chart width in characters")
-	chrome := fs.String("chrome", "", "also write Chrome trace-event JSON files to this directory")
+	chrome := fs.String("chrome", "", "also write whole-cluster Chrome trace-event JSON files to this directory")
 	fs.Parse(args)
 
 	tor := topology.NewTorus(*rows, *cols)
@@ -45,7 +45,9 @@ func cmdTimeline(args []string) {
 	}
 	fmt.Printf("GeMM M=%d N=%d K=%d on %v (chip-0 traces)\n\n", *m, *n, *k, tor)
 	for _, p := range progs {
-		r := netsim.Simulate(p, chip, netsim.Options{CollectTrace: true})
+		// The ASCII chart shows chip 0; the Chrome export covers the
+		// whole cluster, one Perfetto process per chip.
+		r := netsim.Simulate(p, chip, netsim.Options{CollectTrace: true, TraceAllChips: *chrome != ""})
 		fmt.Printf("--- %s  (makespan %.3fms, exposed comm %.3fms)\n",
 			p.Label, r.Makespan*1e3, r.ExposedComm*1e3)
 		os.Stdout.WriteString(r.Trace.Timeline(*width))
@@ -59,7 +61,8 @@ func cmdTimeline(args []string) {
 	}
 }
 
-// writeChrome stores one trace as Perfetto-loadable JSON.
+// writeChrome stores one algorithm's whole-cluster trace as
+// Perfetto-loadable JSON.
 func writeChrome(dir, label string, r netsim.Result) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -77,5 +80,5 @@ func writeChrome(dir, label string, r netsim.Result) error {
 	}
 	defer f.Close()
 	fmt.Printf("(chrome trace: %s)\n", f.Name())
-	return r.Trace.WriteChromeTrace(f, label)
+	return netsim.WriteClusterChromeTrace(f, r.Traces, label)
 }

@@ -34,7 +34,7 @@ func ExhaustiveDataflow(cfg model.Config, tokens int, shape topology.Torus, chip
 			for j, fc := range fcs {
 				plans[j] = PlanFor(fc, tokens, assignment[j])
 			}
-			if c, ok := tuneShape(plans, shape, chip, maxS); ok && c.BlockTime < best.BlockTime {
+			if c, ok := tuneShape(plans, shape, chip, maxS, nil); ok && c.BlockTime < best.BlockTime {
 				best = c
 				found = true
 			}
@@ -54,7 +54,7 @@ func ExhaustiveDataflow(cfg model.Config, tokens int, shape topology.Torus, chip
 // cost-model block times; ok is false when the model cannot shard at all.
 func HeuristicGap(cfg model.Config, tokens int, shape topology.Torus, chip hw.Chip) (heuristic, exhaustive float64, ok bool) {
 	plans := PlanModel(cfg, tokens, true)
-	h, hOK := tuneShape(plans, shape, chip, 0)
+	h, hOK := tuneShape(plans, shape, chip, 0, nil)
 	e, eOK := ExhaustiveDataflow(cfg, tokens, shape, chip, 0)
 	if !hOK || !eOK {
 		return 0, 0, false

@@ -8,6 +8,7 @@ import (
 	"meshslice/internal/gemm"
 	"meshslice/internal/hw"
 	"meshslice/internal/model"
+	"meshslice/internal/obs"
 	"meshslice/internal/topology"
 )
 
@@ -55,6 +56,10 @@ type Options struct {
 	// Shapes overrides the candidate mesh shapes; nil enumerates every 2D
 	// factorisation of Chips.
 	Shapes []topology.Torus
+	// Metrics, when set, receives the search's telemetry: candidate
+	// counts, cost-model call counts, and the best-so-far trajectory
+	// (see Tune).
+	Metrics *obs.Registry
 }
 
 // Tune runs the full autotuner for the model on a cluster of `chips`
@@ -77,11 +82,34 @@ func Tune(cfg model.Config, tokens, chips int, chip hw.Chip, opts Options) (Choi
 		return Choice{}, fmt.Errorf("autotune: no candidate mesh shapes for %d chips", chips)
 	}
 
+	// Search telemetry:
+	//
+	//	autotune_shapes_evaluated  counter — candidate mesh shapes scored
+	//	autotune_shapes_pruned     counter — shapes rejected (unshardable)
+	//	autotune_passes_tuned      counter — per-pass slice-count searches
+	//	autotune_costmodel_calls   counter — analytical cost-model estimates
+	//	autotune_best_blocktime    series  — best-so-far over shape index
+	var shapesEvaluated, shapesPruned *obs.Counter
+	var trajectory *obs.Series
+	if opts.Metrics != nil {
+		shapesEvaluated = opts.Metrics.Counter("autotune_shapes_evaluated")
+		shapesPruned = opts.Metrics.Counter("autotune_shapes_pruned")
+		trajectory = opts.Metrics.Series("autotune_best_blocktime")
+	}
 	best := Choice{BlockTime: math.Inf(1)}
-	for _, shape := range shapes {
-		c, ok := tuneShape(plans, shape, chip, opts.MaxS)
+	for i, shape := range shapes {
+		c, ok := tuneShape(plans, shape, chip, opts.MaxS, opts.Metrics)
+		if opts.Metrics != nil {
+			shapesEvaluated.Inc()
+			if !ok {
+				shapesPruned.Inc()
+			}
+		}
 		if ok && c.BlockTime < best.BlockTime {
 			best = c
+		}
+		if trajectory != nil && !math.IsInf(best.BlockTime, 1) {
+			trajectory.Append(float64(i), best.BlockTime)
 		}
 	}
 	if math.IsInf(best.BlockTime, 1) {
@@ -93,12 +121,12 @@ func Tune(cfg model.Config, tokens, chips int, chip hw.Chip, opts Options) (Choi
 // tuneShape tunes every pass's slice count on one candidate shape; ok is
 // false when some pass cannot be sharded on it at all. The per-layer S
 // values are independent, so each is optimised in isolation (§3.2.2).
-func tuneShape(plans []LayerPlan, shape topology.Torus, chip hw.Chip, maxS int) (Choice, bool) {
+func tuneShape(plans []LayerPlan, shape topology.Torus, chip hw.Chip, maxS int, reg *obs.Registry) (Choice, bool) {
 	c := Choice{Shape: shape, Layers: make([]LayerChoice, len(plans))}
 	for i, plan := range plans {
 		lc := LayerChoice{Plan: plan}
 		for pass, prob := range plan.Passes {
-			pc, ok := TunePass(prob, shape, chip, maxS)
+			pc, ok := tunePass(prob, shape, chip, maxS, reg)
 			if !ok {
 				return Choice{}, false
 			}
@@ -113,20 +141,36 @@ func tuneShape(plans []LayerPlan, shape topology.Torus, chip hw.Chip, maxS int) 
 // TunePass finds the best slice count for one GeMM problem on one shape.
 // ok is false if not even S=1 is valid (the problem does not shard).
 func TunePass(p gemm.Problem, shape topology.Torus, chip hw.Chip, maxS int) (PassChoice, bool) {
+	return tunePass(p, shape, chip, maxS, nil)
+}
+
+// InstrumentedTunePass is TunePass publishing its search telemetry
+// (autotune_passes_tuned, autotune_costmodel_calls) into the registry.
+func InstrumentedTunePass(p gemm.Problem, shape topology.Torus, chip hw.Chip, maxS int, reg *obs.Registry) (PassChoice, bool) {
+	return tunePass(p, shape, chip, maxS, reg)
+}
+
+func tunePass(p gemm.Problem, shape topology.Torus, chip hw.Chip, maxS int, reg *obs.Registry) (PassChoice, bool) {
 	if maxS <= 0 {
 		maxS = 64
 	}
 	best := PassChoice{Problem: p}
 	found := false
+	calls := 0
 	for _, s := range ValidSliceCounts(p, shape, chip) {
 		if s > maxS {
 			break
 		}
 		est := costmodel.MeshSlice(p, shape, chip, s)
+		calls++
 		if !found || est.Total() < best.Estimate.Total() {
 			best.S, best.Estimate = s, est
 			found = true
 		}
+	}
+	if reg != nil {
+		reg.Counter("autotune_passes_tuned").Inc()
+		reg.Counter("autotune_costmodel_calls").AddInt(int64(calls))
 	}
 	return best, found
 }

@@ -19,6 +19,7 @@ import (
 // stream delivers the ⌊(P-1)/2⌋ downstream shards. The result is ordered by
 // ring position, exactly like AllGather.
 func AllGatherBidir(cm *mesh.Comm, local *tensor.Matrix) []*tensor.Matrix {
+	cm.CountCollective("allgather-bidir")
 	p := cm.Size
 	out := make([]*tensor.Matrix, p)
 	out[cm.Pos] = local.Clone()
@@ -49,6 +50,7 @@ func AllGatherBidir(cm *mesh.Comm, local *tensor.Matrix) []*tensor.Matrix {
 // meet at chip d, halving the step count. blocks must hold one block per
 // ring position.
 func ReduceScatterBidir(cm *mesh.Comm, blocks []*tensor.Matrix) *tensor.Matrix {
+	cm.CountCollective("reducescatter-bidir")
 	p := cm.Size
 	if len(blocks) != p {
 		panic(fmt.Sprintf("collective: ReduceScatterBidir got %d blocks for ring of %d", len(blocks), p))

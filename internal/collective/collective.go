@@ -24,6 +24,7 @@ import (
 // in step t every chip forwards the shard it received in step t-1 (its own
 // shard in step 0) to its downstream neighbour.
 func AllGather(cm *mesh.Comm, local *tensor.Matrix) []*tensor.Matrix {
+	cm.CountCollective("allgather")
 	p := cm.Size
 	out := make([]*tensor.Matrix, p)
 	out[cm.Pos] = local.Clone()
@@ -59,6 +60,7 @@ func AllGatherCols(cm *mesh.Comm, local *tensor.Matrix) *tensor.Matrix {
 // position d starts at chip d+1 and accumulates contributions as it travels
 // the ring, arriving fully reduced at chip d after P-1 steps.
 func ReduceScatter(cm *mesh.Comm, blocks []*tensor.Matrix) *tensor.Matrix {
+	cm.CountCollective("reducescatter")
 	p := cm.Size
 	if len(blocks) != p {
 		panic(fmt.Sprintf("collective: ReduceScatter got %d blocks for ring of %d", len(blocks), p)) // lint:invariant block-count precondition
@@ -91,6 +93,7 @@ func ReduceScatterCols(cm *mesh.Comm, m *tensor.Matrix) *tensor.Matrix {
 // forwarded around the ring from the root (the fine-grain packetisation of
 // Fig. 3 affects timing only, not the data movement modelled here).
 func Broadcast(cm *mesh.Comm, root int, m *tensor.Matrix) *tensor.Matrix {
+	cm.CountCollective("broadcast")
 	p := cm.Size
 	root = mod(root, p)
 	if p == 1 {
@@ -112,6 +115,7 @@ func Broadcast(cm *mesh.Comm, root int, m *tensor.Matrix) *tensor.Matrix {
 // the sum at the root; non-root chips receive nil. The partial sum travels
 // the ring from root+1 toward the root.
 func Reduce(cm *mesh.Comm, root int, m *tensor.Matrix) *tensor.Matrix {
+	cm.CountCollective("reduce")
 	p := cm.Size
 	root = mod(root, p)
 	if p == 1 {
@@ -140,6 +144,7 @@ func Reduce(cm *mesh.Comm, root int, m *tensor.Matrix) *tensor.Matrix {
 // result holds, at index s, the block sent to this chip by position s.
 // Blocks may have heterogeneous shapes (real MoE routing is uneven).
 func AllToAll(cm *mesh.Comm, blocks []*tensor.Matrix) []*tensor.Matrix {
+	cm.CountCollective("alltoall")
 	p := cm.Size
 	if len(blocks) != p {
 		panic(fmt.Sprintf("collective: AllToAll got %d blocks for ring of %d", len(blocks), p))
@@ -160,6 +165,7 @@ func AllToAll(cm *mesh.Comm, blocks []*tensor.Matrix) []*tensor.Matrix {
 // all members, implemented as Reduce to position 0 followed by Broadcast —
 // the composition property the tests verify against ReduceScatter+AllGather.
 func AllReduce(cm *mesh.Comm, m *tensor.Matrix) *tensor.Matrix {
+	cm.CountCollective("allreduce")
 	sum := Reduce(cm, 0, m)
 	if cm.Pos == 0 {
 		return Broadcast(cm, 0, sum)

@@ -8,6 +8,8 @@ package des
 import (
 	"container/heap"
 	"fmt"
+
+	"meshslice/internal/obs"
 )
 
 // Simulator owns the clock and the pending event queue.
@@ -15,6 +17,10 @@ type Simulator struct {
 	now   float64
 	queue eventHeap
 	seq   uint64
+
+	// Kernel statistics (always tracked; publishing is opt-in).
+	eventsRun      uint64
+	queueHighWater int
 }
 
 // New returns a simulator at time zero with no pending events.
@@ -34,6 +40,9 @@ func (s *Simulator) Schedule(at float64, fn func()) {
 	}
 	s.seq++
 	heap.Push(&s.queue, event{at: at, seq: s.seq, fn: fn})
+	if n := s.queue.Len(); n > s.queueHighWater {
+		s.queueHighWater = n
+	}
 }
 
 // After enqueues fn to run delay seconds from now.
@@ -50,6 +59,7 @@ func (s *Simulator) Run() float64 {
 	for s.queue.Len() > 0 {
 		ev := heap.Pop(&s.queue).(event)
 		s.now = ev.at
+		s.eventsRun++
 		ev.fn()
 	}
 	return s.now
@@ -58,6 +68,27 @@ func (s *Simulator) Run() float64 {
 // Pending returns the number of queued events (useful for detecting
 // deadlocked models in tests).
 func (s *Simulator) Pending() int { return s.queue.Len() }
+
+// EventsRun returns the number of events executed so far.
+func (s *Simulator) EventsRun() uint64 { return s.eventsRun }
+
+// QueueHighWater returns the maximum pending-queue depth observed.
+func (s *Simulator) QueueHighWater() int { return s.queueHighWater }
+
+// PublishMetrics writes the kernel's statistics into the registry:
+//
+//	des_events_processed  counter — events executed by Run
+//	des_queue_high_water  gauge   — maximum pending-event queue depth
+//
+// Callers label the metrics with their workload identity so multiple
+// simulations can share one registry.
+func (s *Simulator) PublishMetrics(r *obs.Registry, labels ...obs.Label) {
+	if r == nil {
+		return
+	}
+	r.Counter("des_events_processed", labels...).AddInt(int64(s.eventsRun))
+	r.Gauge("des_queue_high_water", labels...).SetMax(float64(s.queueHighWater))
+}
 
 type event struct {
 	at  float64

@@ -3,6 +3,8 @@ package des
 import (
 	"reflect"
 	"testing"
+
+	"meshslice/internal/obs"
 )
 
 func TestEventsRunInTimeOrder(t *testing.T) {
@@ -191,4 +193,50 @@ func TestResourceNegativeDurationPanics(t *testing.T) {
 		}
 	}()
 	r.Use(-1, nil)
+}
+
+func TestKernelStats(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		s.Schedule(float64(i), func() {})
+	}
+	if hw := s.QueueHighWater(); hw != 5 {
+		t.Errorf("queue high water = %d, want 5", hw)
+	}
+	s.Run()
+	if got := s.EventsRun(); got != 5 {
+		t.Errorf("events run = %d, want 5", got)
+	}
+	// Chained events: high water stays low, events keep counting.
+	s2 := New()
+	var chain func(n int)
+	chain = func(n int) {
+		if n > 0 {
+			s2.After(1, func() { chain(n - 1) })
+		}
+	}
+	chain(10)
+	s2.Run()
+	if got := s2.EventsRun(); got != 10 {
+		t.Errorf("chained events run = %d, want 10", got)
+	}
+	if hw := s2.QueueHighWater(); hw != 1 {
+		t.Errorf("chained queue high water = %d, want 1", hw)
+	}
+}
+
+func TestPublishMetrics(t *testing.T) {
+	s := New()
+	s.Schedule(1, func() {})
+	s.Schedule(2, func() {})
+	s.Run()
+	r := obs.NewRegistry()
+	s.PublishMetrics(r, obs.L("prog", "test"))
+	if got := r.Counter("des_events_processed", obs.L("prog", "test")).Value(); got != 2 {
+		t.Errorf("des_events_processed = %v, want 2", got)
+	}
+	if got := r.Gauge("des_queue_high_water", obs.L("prog", "test")).Value(); got != 2 {
+		t.Errorf("des_queue_high_water = %v, want 2", got)
+	}
+	s.PublishMetrics(nil) // must be a no-op, not a crash
 }

@@ -1,6 +1,6 @@
 // Package lint is meshlint: a stdlib-only static-analysis suite enforcing
 // the project invariants the compiler cannot check. The simulator stack
-// (des, netsim, chipsim, costmodel, autotune) must be bit-for-bit
+// (des, netsim, chipsim, costmodel, autotune, obs) must be bit-for-bit
 // deterministic, and the functional mesh runtime must follow a strict
 // goroutine discipline; each analyzer turns one such prose invariant from
 // DESIGN.md into a machine-checked rule.

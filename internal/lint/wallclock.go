@@ -15,6 +15,7 @@ var simPackages = map[string]bool{
 	"chipsim":   true,
 	"costmodel": true,
 	"autotune":  true,
+	"obs":       true,
 }
 
 // wallclockFuncs are the package time functions that observe or depend on
@@ -30,7 +31,7 @@ func analyzeWallclock() *Analyzer {
 	return &Analyzer{
 		Name: "no-wallclock",
 		Doc: "forbid wall-clock reads (time.Now, time.Sleep, time.Since, ...) in the " +
-			"simulator packages (des, netsim, chipsim, costmodel, autotune); simulated time only",
+			"simulator packages (des, netsim, chipsim, costmodel, autotune, obs); simulated time only",
 		Run: runWallclock,
 	}
 }

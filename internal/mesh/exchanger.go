@@ -95,6 +95,17 @@ func (e *exchanger) stats() Traffic {
 	return t
 }
 
+// edgeStats snapshots the per-directed-edge element counters.
+func (e *exchanger) edgeStats() map[pair]int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[pair]int64, len(e.pairElems))
+	for k, v := range e.pairElems {
+		out[k] = v
+	}
+	return out
+}
+
 // resetStats zeroes the traffic counters.
 func (e *exchanger) resetStats() {
 	e.mu.Lock()

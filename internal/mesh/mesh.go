@@ -12,9 +12,14 @@
 package mesh
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"sort"
+	"strconv"
 	"sync"
 
+	"meshslice/internal/obs"
 	"meshslice/internal/tensor"
 	"meshslice/internal/topology"
 )
@@ -23,6 +28,9 @@ import (
 type Mesh struct {
 	Torus topology.Torus
 	ex    *exchanger
+	// metrics, when set, receives live collective-op counts and on-demand
+	// traffic publication (see SetMetrics / PublishMetrics).
+	metrics *obs.Registry
 }
 
 // Traffic summarises the data movement of functional runs: total matrix
@@ -41,6 +49,56 @@ func (m *Mesh) Traffic() Traffic { return m.ex.stats() }
 
 // ResetTraffic zeroes the traffic counters.
 func (m *Mesh) ResetTraffic() { m.ex.resetStats() }
+
+// SetMetrics attaches a registry to the mesh. The chip goroutines then
+// count every collective operation they run (mesh_collective_ops, labelled
+// by op and direction), and PublishMetrics snapshots the traffic counters
+// into it. Live updates are integer-valued only, so the totals stay
+// deterministic regardless of goroutine interleaving (see package obs).
+func (m *Mesh) SetMetrics(r *obs.Registry) { m.metrics = r }
+
+// PublishMetrics writes the mesh's accumulated traffic into the registry
+// attached by SetMetrics:
+//
+//	mesh_edge_elements{from,to}  gauge — matrix elements sent per directed edge
+//	mesh_sender_elements{chip}   gauge — matrix elements sent per chip
+//	mesh_messages_total          gauge — messages across the whole fabric
+//
+// Gauges (Set) rather than counters, so repeated publication after further
+// Runs reflects the current cumulative totals without double counting.
+// Edges publish in sorted (from, to) order.
+func (m *Mesh) PublishMetrics() {
+	if m.metrics == nil {
+		return
+	}
+	edges := m.ex.edgeStats()
+	keys := make([]pair, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	for _, k := range keys {
+		m.metrics.Gauge("mesh_edge_elements",
+			obs.L("from", obs.PadInt(k.from, m.Torus.Size())),
+			obs.L("to", obs.PadInt(k.to, m.Torus.Size()))).Set(float64(edges[k]))
+	}
+	t := m.Traffic()
+	senders := make([]int, 0, len(t.PerSender))
+	for s := range t.PerSender {
+		senders = append(senders, s)
+	}
+	sort.Ints(senders)
+	for _, s := range senders {
+		m.metrics.Gauge("mesh_sender_elements",
+			obs.L("chip", obs.PadInt(s, m.Torus.Size()))).Set(float64(t.PerSender[s]))
+	}
+	m.metrics.Gauge("mesh_messages_total").Set(float64(t.Messages))
+}
 
 // New creates a mesh with the given torus shape.
 func New(t topology.Torus) *Mesh {
@@ -91,7 +149,12 @@ func (m *Mesh) Run(fn func(c *Chip)) {
 					m.ex.poison()
 				}
 			}()
-			fn(&Chip{Coord: m.Torus.Coord(rank), Rank: rank, mesh: m})
+			// Label the goroutine so CPU/goroutine profiles attribute
+			// samples to the chip they ran for (veScale-style per-rank
+			// debugging of eager SPMD code).
+			pprof.Do(context.Background(), pprof.Labels("chip", strconv.Itoa(rank)), func(context.Context) {
+				fn(&Chip{Coord: m.Torus.Coord(rank), Rank: rank, mesh: m})
+			})
 		}(r)
 	}
 	wg.Wait()
@@ -178,6 +241,20 @@ type Comm struct {
 
 // Direction returns the mesh direction this communicator's traffic uses.
 func (cm *Comm) Direction() topology.Direction { return cm.dir }
+
+// CountCollective increments the mesh's per-collective operation counter
+// (mesh_collective_ops, labelled by op name and ring direction). The ring
+// primitives in package collective call it once per invocation; it is a
+// no-op when no registry is attached. Safe from concurrent chip goroutines:
+// the increment is integer-valued, so the total is deterministic.
+func (cm *Comm) CountCollective(op string) {
+	r := cm.chip.mesh.metrics
+	if r == nil {
+		return
+	}
+	r.Counter("mesh_collective_ops",
+		obs.L("op", op), obs.L("dir", cm.dir.String())).Inc()
+}
 
 // CustomComm builds a communicator over an explicit rank list, for rings
 // the 2D torus does not describe (e.g. the depth rings of a 2.5D GeMM on a

@@ -8,10 +8,10 @@ import (
 	"meshslice/internal/topology"
 )
 
-// Chrome trace-event export: the traced chip's execution renders in any
-// Perfetto/chrome://tracing viewer, with one track per resource (compute,
-// inter-row, inter-col, inter-depth) — the interactive counterpart of the
-// ASCII timelines.
+// Chrome trace-event export: simulated executions render in any
+// Perfetto/chrome://tracing viewer, with one process per chip and one track
+// per resource (compute, inter-row, inter-col, inter-depth) — the
+// interactive counterpart of the ASCII timelines.
 
 // chromeEvent is one complete ("X" phase) trace event.
 type chromeEvent struct {
@@ -25,7 +25,7 @@ type chromeEvent struct {
 	Args map[string]string `json:"args,omitempty"`
 }
 
-// chromeThreadName labels a track.
+// chromeMeta labels a process or a track.
 type chromeMeta struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
@@ -34,18 +34,20 @@ type chromeMeta struct {
 	Args map[string]any `json:"args"`
 }
 
-// WriteChromeTrace serialises the trace as a Chrome trace-event JSON array
-// (loadable in Perfetto / chrome://tracing). Tracks: 0 compute, 1
-// inter-row, 2 inter-col, 3 inter-depth.
-func (t Trace) WriteChromeTrace(w io.Writer, label string) error {
+// trackNames indexes viewer tracks by chromeTrack id.
+var trackNames = [numLanes]string{
+	"compute engine",
+	"inter-row links",
+	"inter-col links",
+	"inter-depth links",
+}
+
+// appendChipEvents emits one chip's process metadata, per-resource track
+// metadata (for tracks the chip actually used, in fixed tid order), and its
+// events, all under the given pid. Output order is fully deterministic.
+func appendChipEvents(out []any, t Trace, pid int, process string) []any {
+	var used [numLanes]bool
 	var events []any
-	tracks := map[int]string{
-		0: "compute engine",
-		1: "inter-row links",
-		2: "inter-col links",
-		3: "inter-depth links",
-	}
-	used := map[int]bool{}
 	for _, e := range t {
 		tid := chromeTrack(e)
 		used[tid] = true
@@ -55,28 +57,46 @@ func (t Trace) WriteChromeTrace(w io.Writer, label string) error {
 			Ph:   "X",
 			TS:   e.Start * 1e6,
 			Dur:  (e.End - e.Start) * 1e6,
-			PID:  0,
+			PID:  pid,
 			TID:  tid,
 			Args: map[string]string{"kind": e.Kind.String()},
 		})
 	}
-	var out []any
 	out = append(out, chromeMeta{
-		Name: "process_name", Ph: "M", PID: 0,
-		Args: map[string]any{"name": fmt.Sprintf("chip 0 — %s", label)},
+		Name: "process_name", Ph: "M", PID: pid,
+		Args: map[string]any{"name": process},
 	})
-	for tid, name := range tracks {
+	for tid := 0; tid < numLanes; tid++ {
 		if !used[tid] {
 			continue
 		}
 		out = append(out, chromeMeta{
-			Name: "thread_name", Ph: "M", PID: 0, TID: tid,
-			Args: map[string]any{"name": name},
+			Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+			Args: map[string]any{"name": trackNames[tid]},
 		})
 	}
-	out = append(out, events...)
-	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	return append(out, events...)
+}
+
+// WriteChromeTrace serialises one chip's trace as a Chrome trace-event JSON
+// array (loadable in Perfetto / chrome://tracing). Tracks: 0 compute, 1
+// inter-row, 2 inter-col, 3 inter-depth.
+func (t Trace) WriteChromeTrace(w io.Writer, label string) error {
+	out := appendChipEvents(nil, t, 0, fmt.Sprintf("chip 0 — %s", label))
+	return json.NewEncoder(w).Encode(out)
+}
+
+// WriteClusterChromeTrace serialises a whole cluster's traces (as produced
+// by Options.TraceAllChips) as one Chrome trace-event JSON array: one
+// process per chip (pid = rank), one track per resource within each. The
+// viewer then shows cross-chip skew — ragged barrier arrivals, straggler
+// chips — that no single-chip trace can.
+func WriteClusterChromeTrace(w io.Writer, traces []Trace, label string) error {
+	var out []any
+	for chip, t := range traces {
+		out = appendChipEvents(out, t, chip, fmt.Sprintf("chip %d — %s", chip, label))
+	}
+	return json.NewEncoder(w).Encode(out)
 }
 
 // chromeTrack maps an event onto its viewer track.

@@ -1,0 +1,201 @@
+package netsim
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"meshslice/internal/gemm"
+	"meshslice/internal/obs"
+	"meshslice/internal/sched"
+	"meshslice/internal/topology"
+)
+
+// critProb is small enough to simulate every builtin algorithm quickly but
+// large enough that compute and communication both land on the path.
+var critProb = gemm.Problem{M: 1 << 14, N: 12288, K: 12288, Dataflow: gemm.OS}
+
+// builtinPrograms returns one program per builtin GeMM algorithm, including
+// the 3D arrangements.
+func builtinPrograms() map[string]*sched.Program {
+	return map[string]*sched.Program{
+		"meshslice":   sched.MeshSliceProgram(critProb, topology.NewTorus(4, 8), testHW, 4),
+		"collective":  sched.CollectiveProgram(critProb, topology.NewTorus(4, 8), testHW),
+		"wang":        sched.WangProgram(critProb, topology.NewTorus(4, 8), testHW, 4),
+		"summa":       sched.SUMMAProgram(critProb, topology.NewTorus(4, 8), testHW, 8),
+		"cannon":      sched.CannonProgram(critProb, topology.NewTorus(4, 4), testHW),
+		"1dtp":        sched.OneDTPProgram(critProb.M, critProb.N, critProb.K, 32, testHW),
+		"fsdp":        sched.FSDPProgram(critProb.M, critProb.N, critProb.K, 32, testHW),
+		"2.5d":        sched.TwoPointFiveDProgram(critProb.M, critProb.N, critProb.K, gemm.Grid3D{P: 4, C: 2}, testHW),
+		"meshsliceDP": sched.MeshSliceDPProgram(critProb, topology.NewTorus(4, 4), 2, testHW, 4),
+	}
+}
+
+// checkCriticalPath verifies the acceptance criterion: the four-component
+// attribution reconstructs the makespan within 1e-9, over a gapless
+// chronological chain from t=0 to the makespan.
+func checkCriticalPath(t *testing.T, name string, r Result) {
+	t.Helper()
+	if r.CritPath == nil {
+		t.Fatalf("%s: CritPath nil with Options.CriticalPath set", name)
+	}
+	cp := r.CritPath
+	if got := cp.Attribution.Total(); math.Abs(got-r.Makespan) > 1e-9 {
+		t.Errorf("%s: attribution total %v != makespan %v (diff %g)",
+			name, got, r.Makespan, got-r.Makespan)
+	}
+	if len(cp.Steps) == 0 {
+		t.Fatalf("%s: empty critical path", name)
+	}
+	if cp.Steps[0].Start != 0 {
+		t.Errorf("%s: path starts at %v, want 0", name, cp.Steps[0].Start)
+	}
+	if last := cp.Steps[len(cp.Steps)-1].End; last != r.Makespan {
+		t.Errorf("%s: path ends at %v, makespan %v", name, last, r.Makespan)
+	}
+	for i := 1; i < len(cp.Steps); i++ {
+		if cp.Steps[i].Start != cp.Steps[i-1].End {
+			t.Errorf("%s: gap in path at step %d: prev end %v, start %v",
+				name, i, cp.Steps[i-1].End, cp.Steps[i].Start)
+		}
+	}
+	for _, st := range cp.Steps {
+		if st.End < st.Start {
+			t.Errorf("%s: negative-duration step %+v", name, st)
+		}
+	}
+}
+
+func TestCriticalPathSumsToMakespanAllAlgorithms(t *testing.T) {
+	for name, prog := range builtinPrograms() {
+		r := Simulate(prog, testHW, Options{CriticalPath: true})
+		checkCriticalPath(t, name, r)
+	}
+}
+
+func TestCriticalPathUnderOptionVariants(t *testing.T) {
+	variants := map[string]Options{
+		"noOverlap":   {CriticalPath: true, NoOverlap: true},
+		"noHBM":       {CriticalPath: true, NoHBMContention: true},
+		"stepLevel":   {CriticalPath: true, StepLevel: true},
+		"fabric":      {CriticalPath: true, FabricContention: 1.5},
+		"allTracing":  {CriticalPath: true, TraceAllChips: true, CollectTrace: true},
+		"bidirectRun": {CriticalPath: true, StepLevel: true, NoOverlap: true},
+	}
+	prog := sched.MeshSliceProgram(critProb, topology.NewTorus(4, 4), testHW, 4)
+	for name, opts := range variants {
+		r := Simulate(prog, testHW, opts)
+		checkCriticalPath(t, name, r)
+	}
+}
+
+func TestCriticalPathOffByDefault(t *testing.T) {
+	r := Simulate(sched.CollectiveProgram(critProb, topology.NewTorus(2, 2), testHW), testHW, Options{})
+	if r.CritPath != nil {
+		t.Errorf("CritPath populated without opting in")
+	}
+	if r.Traces != nil {
+		t.Errorf("Traces populated without opting in")
+	}
+}
+
+func TestCriticalPathDeterministic(t *testing.T) {
+	prog := sched.MeshSliceProgram(critProb, topology.NewTorus(4, 4), testHW, 4)
+	a := Simulate(prog, testHW, Options{CriticalPath: true})
+	b := Simulate(prog, testHW, Options{CriticalPath: true})
+	if len(a.CritPath.Steps) != len(b.CritPath.Steps) {
+		t.Fatalf("path lengths differ: %d vs %d", len(a.CritPath.Steps), len(b.CritPath.Steps))
+	}
+	for i := range a.CritPath.Steps {
+		if a.CritPath.Steps[i] != b.CritPath.Steps[i] {
+			t.Errorf("step %d differs: %+v vs %+v", i, a.CritPath.Steps[i], b.CritPath.Steps[i])
+		}
+	}
+	if a.CritPath.Attribution != b.CritPath.Attribution {
+		t.Errorf("attributions differ: %+v vs %+v", a.CritPath.Attribution, b.CritPath.Attribution)
+	}
+}
+
+func TestAllChipTracesCoverEveryChip(t *testing.T) {
+	prog := sched.MeshSliceProgram(critProb, topology.NewTorus(4, 4), testHW, 2)
+	r := Simulate(prog, testHW, Options{TraceAllChips: true})
+	if len(r.Traces) != prog.Torus.Size() {
+		t.Fatalf("got %d traces, want one per chip (%d)", len(r.Traces), prog.Torus.Size())
+	}
+	for chip, tr := range r.Traces {
+		if len(tr) == 0 {
+			t.Errorf("chip %d: empty trace", chip)
+		}
+		for i, ev := range tr {
+			if ev.End < ev.Start {
+				t.Errorf("chip %d event %d: end %v before start %v", chip, i, ev.End, ev.Start)
+			}
+			if i > 0 && tr[i].Start < tr[i-1].Start {
+				t.Errorf("chip %d: trace not sorted at %d", chip, i)
+			}
+		}
+	}
+}
+
+func TestAllChipTraceMatchesChipZeroTrace(t *testing.T) {
+	prog := sched.MeshSliceProgram(critProb, topology.NewTorus(4, 4), testHW, 4)
+	r := Simulate(prog, testHW, Options{CollectTrace: true, TraceAllChips: true})
+	if len(r.Trace) != len(r.Traces[0]) {
+		t.Fatalf("chip-0 trace %d events, all-chip trace[0] %d", len(r.Trace), len(r.Traces[0]))
+	}
+	for i := range r.Trace {
+		if r.Trace[i] != r.Traces[0][i] {
+			t.Errorf("event %d differs: %+v vs %+v", i, r.Trace[i], r.Traces[0][i])
+		}
+	}
+}
+
+func TestSimulateMetricsDeterministic(t *testing.T) {
+	run := func() []byte {
+		reg := obs.NewRegistry()
+		prog := sched.MeshSliceProgram(critProb, topology.NewTorus(4, 4), testHW, 4)
+		prog.Label = "meshslice"
+		Simulate(prog, testHW, Options{CriticalPath: true, Metrics: reg})
+		var buf bytes.Buffer
+		if err := reg.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Errorf("two identical simulations published different metric snapshots")
+	}
+}
+
+func TestSimulateMetricsInventory(t *testing.T) {
+	reg := obs.NewRegistry()
+	prog := sched.MeshSliceProgram(critProb, topology.NewTorus(4, 4), testHW, 4)
+	prog.Label = "ms"
+	r := Simulate(prog, testHW, Options{CriticalPath: true, Metrics: reg})
+	lbl := obs.L("prog", "ms")
+	if got := reg.Gauge("netsim_makespan_seconds", lbl).Value(); got != r.Makespan {
+		t.Errorf("makespan gauge %v != result %v", got, r.Makespan)
+	}
+	if reg.Counter("netsim_ops_completed", lbl).Value() != float64(r.Events) {
+		t.Errorf("ops completed gauge mismatch")
+	}
+	frac := reg.Gauge("netsim_overlap_fraction", lbl).Value()
+	if frac < 0 || frac > 1 {
+		t.Errorf("overlap fraction %v out of [0,1]", frac)
+	}
+	// Critical-path components republished as metrics must also telescope.
+	var total float64
+	for _, part := range []string{"launch", "sync", "transfer", "compute"} {
+		total += reg.Gauge("netsim_critpath_seconds", lbl, obs.L("part", part)).Value()
+	}
+	if math.Abs(total-r.Makespan) > 1e-9 {
+		t.Errorf("critpath metric parts sum to %v, makespan %v", total, r.Makespan)
+	}
+	// Per-chip gauges exist for every chip with padded labels.
+	for chip := 0; chip < prog.Torus.Size(); chip++ {
+		g := reg.Gauge("netsim_compute_busy_seconds", lbl, obs.L("chip", obs.PadInt(chip, prog.Torus.Size())))
+		if g.Value() <= 0 {
+			t.Errorf("chip %d: compute busy gauge not published", chip)
+		}
+	}
+}

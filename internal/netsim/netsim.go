@@ -30,6 +30,7 @@ import (
 	"meshslice/internal/chipsim"
 	"meshslice/internal/des"
 	"meshslice/internal/hw"
+	"meshslice/internal/obs"
 	"meshslice/internal/sched"
 	"meshslice/internal/topology"
 )
@@ -46,6 +47,22 @@ type Options struct {
 	// CollectTrace records chip 0's per-op execution history in
 	// Result.Trace (for timeline rendering and debugging).
 	CollectTrace bool
+	// TraceAllChips records every chip's execution history in
+	// Result.Traces — the whole-cluster counterpart of CollectTrace, for
+	// Perfetto export and cross-chip skew analysis. Off by default: it
+	// costs O(chips × ops) memory.
+	TraceAllChips bool
+	// CriticalPath runs the critical-path pass after the simulation: the
+	// chain of op executions whose durations sum to the makespan, with
+	// the time attributed to launch/sync/transfer/compute (the
+	// machine-checkable counterpart of the paper's Fig. 4 decomposition).
+	// Results land in Result.CritPath.
+	CriticalPath bool
+	// Metrics, when set, receives the simulation's telemetry (makespan,
+	// per-chip busy times, overlap, op-duration histograms, kernel
+	// statistics), labelled with the program's Label. See publishMetrics
+	// for the metric inventory.
+	Metrics *obs.Registry
 	// FabricContention models running on a LOGICAL mesh mapped over a
 	// shared fabric (GPU clusters, paper §6): when a chip's two
 	// directions communicate concurrently they contend for the same
@@ -103,6 +120,12 @@ type Result struct {
 	// Trace is chip 0's execution history (only when
 	// Options.CollectTrace is set).
 	Trace Trace
+	// Traces holds every chip's execution history, indexed by rank (only
+	// when Options.TraceAllChips is set).
+	Traces []Trace
+	// CritPath is the critical-path attribution (only when
+	// Options.CriticalPath is set).
+	CritPath *CriticalPath
 }
 
 const (
@@ -153,7 +176,27 @@ type sim struct {
 	compIntervals []interval
 	events        int
 	trace         Trace
+
+	// all-chip accounting (cheap scalars, always tracked)
+	computeBusyBy []float64              // per-chip compute-engine busy time
+	linkBusyBy    [][numCommDirs]float64 // per-chip per-direction link busy time
+	traces        []Trace                // per-chip traces (TraceAllChips)
+
+	// critical-path recording (only when Options.CriticalPath): per
+	// (chip, op) instance the start/end times and the instance whose
+	// completion triggered the start (-1 for ops started at time zero).
+	startAt  []float64
+	endAt    []float64
+	causeOf  []int
+	curCause int
+
+	// durHists caches the per-kind op-duration histograms (Metrics only).
+	durHists [8]*obs.Histogram
 }
+
+// numCommDirs is the number of link directions tracked per chip
+// (topology.InterRow, InterCol, InterDepth).
+const numCommDirs = 3
 
 type resQueue struct {
 	order   []int // op indices in program order
@@ -195,6 +238,20 @@ func newSim(p *sched.Program, c hw.Chip, opts Options) *sim {
 	s.done = make([][]bool, n)
 	s.queues = make([][numRes]*resQueue, n)
 	s.hbmDemand = make([]float64, n)
+	s.computeBusyBy = make([]float64, n)
+	s.linkBusyBy = make([][numCommDirs]float64, n)
+	if opts.TraceAllChips {
+		s.traces = make([]Trace, n)
+	}
+	s.curCause = -1
+	if opts.CriticalPath {
+		s.startAt = make([]float64, n*len(p.Ops))
+		s.endAt = make([]float64, n*len(p.Ops))
+		s.causeOf = make([]int, n*len(p.Ops))
+		for i := range s.causeOf {
+			s.causeOf[i] = -1
+		}
+	}
 	for chip := 0; chip < n; chip++ {
 		s.depsLeft[chip] = make([]int, len(p.Ops))
 		s.done[chip] = make([]bool, len(p.Ops))
@@ -338,6 +395,9 @@ func (s *sim) runCollectiveSteps(members []int, opIdx int, op sched.Op) {
 	demand := s.opHBMDemand(op, nominal)
 	for _, m := range members {
 		s.hbmDemand[m] += demand
+		// The collective starts for every member at barrier release; the
+		// cause is the completion that unblocked the last arrival.
+		s.noteStart(m, opIdx)
 	}
 	perStep := s.hw.SyncLatency + op.Bytes/s.hw.LinkBandwidth
 
@@ -382,9 +442,16 @@ func (s *sim) runCollectiveSteps(members []int, opIdx int, op sched.Op) {
 }
 
 // stepAccounting is startAccounting's step-level counterpart, invoked at
-// completion when the actual span is known (demand registration already
-// happened at the collective's start).
+// completion when the actual span is known (demand registration and start
+// recording already happened at the collective's start).
 func (s *sim) stepAccounting(chip, opIdx int, op sched.Op, start, span float64) {
+	s.noteBusy(chip, op, span)
+	if s.opts.TraceAllChips {
+		s.traces[chip] = append(s.traces[chip], TraceEvent{
+			Op: opIdx, Name: op.Name, Kind: op.Kind, Dir: op.Dir,
+			Start: start, End: start + span,
+		})
+	}
 	if chip != 0 {
 		return
 	}
@@ -412,7 +479,43 @@ func (s *sim) complete(chip, opIdx int, op sched.Op, dur float64) {
 	for _, dep := range s.dependents[opIdx] {
 		s.depsLeft[chip][dep]--
 	}
+	// Everything granted while this completion unwinds — same-chip ops
+	// whose deps or resource just freed, and ring collectives whose last
+	// member just arrived — starts at this instant because of this
+	// instance; record it as their critical-path cause.
+	prevCause := s.curCause
+	if s.opts.CriticalPath {
+		id := s.instID(chip, opIdx)
+		s.endAt[id] = s.des.Now()
+		s.curCause = id
+	}
+	s.observeDuration(op, dur)
 	s.tryGrant(chip)
+	s.curCause = prevCause
+}
+
+// durationBuckets are the fixed histogram bounds for op durations, spanning
+// microseconds (sync-dominated shifts) to tens of milliseconds (full-shard
+// collectives and large partial GeMMs). Fixed bounds keep histograms
+// mergeable across runs and PRs.
+var durationBuckets = []float64{1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2}
+
+// observeDuration records a completed op's duration in the per-kind
+// histogram (all chips contribute; counts are integers, so the totals are
+// deterministic).
+func (s *sim) observeDuration(op sched.Op, dur float64) {
+	if s.opts.Metrics == nil {
+		return
+	}
+	k := int(op.Kind)
+	if k < 0 || k >= len(s.durHists) {
+		return
+	}
+	if s.durHists[k] == nil {
+		s.durHists[k] = s.opts.Metrics.Histogram("netsim_op_duration_seconds", durationBuckets,
+			obs.L("prog", s.prog.Label), obs.L("kind", op.Kind.String()))
+	}
+	s.durHists[k].Observe(dur)
 }
 
 // computeDuration applies the compute model — the flat roofline (FLOPS vs
@@ -527,14 +630,22 @@ func (s *sim) contentionFactor(chip int, op sched.Op, nominalDur float64) float6
 	return total / s.hw.HBMBandwidth
 }
 
-// startAccounting registers HBM demand and, on chip 0, the time intervals,
-// breakdown categories, and the optional trace.
+// startAccounting registers HBM demand, the per-chip busy times and traces,
+// and — on chip 0 — the time intervals and breakdown categories.
 func (s *sim) startAccounting(chip, opIdx int, op sched.Op, dur float64) {
 	s.hbmDemand[chip] += s.opHBMDemand(op, dur)
+	now := s.des.Now()
+	s.noteStart(chip, opIdx)
+	s.noteBusy(chip, op, dur)
+	if s.opts.TraceAllChips {
+		s.traces[chip] = append(s.traces[chip], TraceEvent{
+			Op: opIdx, Name: op.Name, Kind: op.Kind, Dir: op.Dir,
+			Start: now, End: now + dur,
+		})
+	}
 	if chip != 0 {
 		return
 	}
-	now := s.des.Now()
 	if s.opts.CollectTrace {
 		s.trace = append(s.trace, TraceEvent{
 			Op: opIdx, Name: op.Name, Kind: op.Kind, Dir: op.Dir,
@@ -557,9 +668,51 @@ func (s *sim) startAccounting(chip, opIdx int, op sched.Op, dur float64) {
 	}
 }
 
+// instID packs a (chip, op) pair into the flat instance index used by the
+// critical-path arrays.
+func (s *sim) instID(chip, opIdx int) int { return chip*len(s.prog.Ops) + opIdx }
+
+// noteStart records an op instance's start time and its cause — the
+// instance whose completion event triggered this start — when the
+// critical-path pass is enabled. Grants happen synchronously inside the
+// triggering completion's event callback, so the start time always equals
+// the cause's end time and the cause chain is gapless back to time zero.
+func (s *sim) noteStart(chip, opIdx int) {
+	if !s.opts.CriticalPath {
+		return
+	}
+	id := s.instID(chip, opIdx)
+	s.startAt[id] = s.des.Now()
+	s.causeOf[id] = s.curCause
+}
+
+// noteBusy accrues the op's duration on the chip's busy-time accumulators.
+func (s *sim) noteBusy(chip int, op sched.Op, dur float64) {
+	if op.Kind.IsComm() {
+		s.linkBusyBy[chip][commDirIndex(op.Dir)] += dur
+	} else {
+		s.computeBusyBy[chip] += dur
+	}
+}
+
+// commDirIndex maps a direction to its linkBusyBy lane.
+func commDirIndex(d topology.Direction) int {
+	switch d {
+	case topology.InterRow:
+		return 0
+	case topology.InterDepth:
+		return 2
+	default:
+		return 1
+	}
+}
+
 func (s *sim) result() Result {
 	sortTrace(s.trace)
-	return Result{
+	for i := range s.traces {
+		sortTrace(s.traces[i])
+	}
+	r := Result{
 		Makespan:    s.des.Now(),
 		ComputeBusy: s.computeBusy,
 		Comm:        s.comm,
@@ -567,7 +720,73 @@ func (s *sim) result() Result {
 		ExposedComm: exposed(s.commIntervals, s.compIntervals),
 		Events:      s.events,
 		Trace:       s.trace,
+		Traces:      s.traces,
 	}
+	if s.opts.CriticalPath {
+		cp := s.criticalPath()
+		r.CritPath = &cp
+	}
+	s.publishMetrics(r)
+	return r
+}
+
+// publishMetrics writes the simulation's telemetry into Options.Metrics,
+// labelled with the program label (plus chip/dir where applicable):
+//
+//	netsim_makespan_seconds      gauge   — end-to-end program time
+//	netsim_ops_completed         counter — op completions across all chips
+//	netsim_comm_seconds          gauge   — chip-0 nominal breakdown, by part
+//	netsim_exposed_comm_seconds  gauge   — chip-0 non-overlapped comm time
+//	netsim_overlap_fraction      gauge   — share of chip-0 link busy time
+//	                                       hidden under computation
+//	netsim_compute_busy_seconds  gauge   — per-chip compute-engine busy time
+//	netsim_link_busy_seconds     gauge   — per-chip per-direction link busy
+//	netsim_bubble_seconds        gauge   — per-chip compute idle (pipeline
+//	                                       bubbles + exposed communication)
+//	netsim_critpath_seconds      gauge   — critical-path attribution by part
+//	netsim_op_duration_seconds   histogram — per-kind op durations
+//	des_events_processed         counter — kernel events (via des)
+//	des_queue_high_water         gauge   — kernel queue depth (via des)
+func (s *sim) publishMetrics(r Result) {
+	reg := s.opts.Metrics
+	if reg == nil {
+		return
+	}
+	prog := obs.L("prog", s.prog.Label)
+	reg.Gauge("netsim_makespan_seconds", prog).Set(r.Makespan)
+	reg.Counter("netsim_ops_completed", prog).AddInt(int64(r.Events))
+	reg.Gauge("netsim_comm_seconds", prog, obs.L("part", "launch")).Set(r.Comm.Launch)
+	reg.Gauge("netsim_comm_seconds", prog, obs.L("part", "sync")).Set(r.Comm.Sync)
+	reg.Gauge("netsim_comm_seconds", prog, obs.L("part", "transfer")).Set(r.Comm.Transfer)
+	reg.Gauge("netsim_exposed_comm_seconds", prog).Set(r.ExposedComm)
+	overlap := 0.0
+	if r.CommBusy > 0 {
+		overlap = (r.CommBusy - r.ExposedComm) / r.CommBusy
+	}
+	reg.Gauge("netsim_overlap_fraction", prog).Set(overlap)
+	// dirNames is indexed by the linkBusyBy lane (see commDirIndex).
+	dirNames := [numCommDirs]string{topology.InterRow.String(), topology.InterCol.String(), topology.InterDepth.String()}
+	for chip := 0; chip < s.nChips; chip++ {
+		cl := obs.L("chip", obs.PadInt(chip, s.nChips))
+		reg.Gauge("netsim_compute_busy_seconds", prog, cl).Set(s.computeBusyBy[chip])
+		reg.Gauge("netsim_bubble_seconds", prog, cl).Set(r.Makespan - s.computeBusyBy[chip])
+		for d := 0; d < numCommDirs; d++ {
+			if d == 2 && s.prog.Grid3 == nil {
+				continue // depth lane only exists on 3D programs
+			}
+			reg.Gauge("netsim_link_busy_seconds", prog, cl,
+				obs.L("dir", dirNames[d])).Set(s.linkBusyBy[chip][d])
+		}
+	}
+	if r.CritPath != nil {
+		a := r.CritPath.Attribution
+		reg.Gauge("netsim_critpath_seconds", prog, obs.L("part", "launch")).Set(a.Launch)
+		reg.Gauge("netsim_critpath_seconds", prog, obs.L("part", "sync")).Set(a.Sync)
+		reg.Gauge("netsim_critpath_seconds", prog, obs.L("part", "transfer")).Set(a.Transfer)
+		reg.Gauge("netsim_critpath_seconds", prog, obs.L("part", "compute")).Set(a.Compute)
+		reg.Gauge("netsim_critpath_hops", prog).Set(float64(len(r.CritPath.Steps)))
+	}
+	s.des.PublishMetrics(reg, prog)
 }
 
 // exposed returns the measure of ∪comm minus its overlap with ∪compute.

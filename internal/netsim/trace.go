@@ -22,20 +22,28 @@ type TraceEvent struct {
 // Trace is the traced chip's execution history in start-time order.
 type Trace []TraceEvent
 
-// lane buckets an event into the three rows of the paper's Fig. 4
-// timelines: computation, inter-row communication, inter-column
-// communication.
+// lane buckets an event into the rows of the paper's Fig. 4 timelines:
+// computation, inter-row, inter-column, and — for 3D arrangements —
+// inter-depth communication. Depth traffic gets its own lane; folding it
+// into inter-col (an old bug) both drew 2.5D timelines wrong and inflated
+// BusyTime(2) with traffic that runs on a different physical link.
 func (e TraceEvent) lane() int {
 	if !e.Kind.IsComm() {
 		return 0
 	}
-	if e.Dir == topology.InterRow {
+	switch e.Dir {
+	case topology.InterRow:
 		return 1
+	case topology.InterDepth:
+		return 3
+	default:
+		return 2
 	}
-	return 2
 }
 
-var laneNames = [3]string{"compute  ", "inter-row", "inter-col"}
+const numLanes = 4
+
+var laneNames = [numLanes]string{"compute  ", "inter-row", "inter-col", "inter-dep"}
 
 // Timeline renders the trace as a three-lane ASCII chart of the given
 // width, the textual counterpart of the paper's Fig. 4. Each lane shows
@@ -55,9 +63,18 @@ func (t Trace) Timeline(width int) string {
 	if end <= 0 {
 		return "(empty trace)\n"
 	}
-	lanes := [3][]byte{}
+	lanes := [numLanes][]byte{}
 	for i := range lanes {
 		lanes[i] = []byte(strings.Repeat(".", width))
+	}
+	// The depth lane only prints when a 3D program actually uses it, so 2D
+	// timelines keep their familiar three-lane shape.
+	depthUsed := false
+	for _, e := range t {
+		if e.lane() == 3 {
+			depthUsed = true
+			break
+		}
 	}
 	glyph := func(k sched.OpKind) byte {
 		switch k {
@@ -95,6 +112,9 @@ func (t Trace) Timeline(width int) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "0%sms %.3f\n", strings.Repeat(" ", width-len(fmt.Sprintf("%.3f", end*1e3))-3), end*1e3)
 	for i, lane := range lanes {
+		if i == 3 && !depthUsed {
+			continue
+		}
 		fmt.Fprintf(&sb, "%s |%s|\n", laneNames[i], lane)
 	}
 	sb.WriteString("(# compute, s slice, G allgather, R reducescatter, B bcast, r reduce, > sendrecv)\n")
@@ -102,7 +122,7 @@ func (t Trace) Timeline(width int) string {
 }
 
 // BusyTime returns the total busy time of one lane (0 compute, 1 inter-row,
-// 2 inter-col), counting overlapping events once.
+// 2 inter-col, 3 inter-depth), counting overlapping events once.
 func (t Trace) BusyTime(lane int) float64 {
 	var ivs []interval
 	for _, e := range t {

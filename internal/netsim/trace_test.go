@@ -177,3 +177,155 @@ func TestChromeTrackMapping(t *testing.T) {
 		}
 	}
 }
+
+func TestDepthTrafficGetsOwnLane(t *testing.T) {
+	// Regression: depth-direction comm used to fold into the inter-col
+	// lane, corrupting 3D timelines and BusyTime(2).
+	tr := Trace{
+		{Name: "c", Kind: sched.Compute, Start: 0, End: 1},
+		{Name: "col", Kind: sched.AllGather, Dir: topology.InterCol, Start: 0, End: 2},
+		{Name: "dep", Kind: sched.Broadcast, Dir: topology.InterDepth, Start: 1, End: 4},
+	}
+	if got := tr[2].lane(); got != 3 {
+		t.Fatalf("depth event lane = %d, want 3", got)
+	}
+	if got := tr.BusyTime(2); got != 2 {
+		t.Errorf("inter-col busy = %v, want 2 (depth traffic leaked in)", got)
+	}
+	if got := tr.BusyTime(3); got != 3 {
+		t.Errorf("inter-depth busy = %v, want 3", got)
+	}
+}
+
+func TestTimelineRendersDepthLaneFor3DPrograms(t *testing.T) {
+	prog := sched.TwoPointFiveDProgram(1<<14, 8192, 8192, gemm.Grid3D{P: 4, C: 2}, testHW)
+	tr := traceOf(t, prog)
+	if tr.BusyTime(3) <= 0 {
+		t.Fatalf("2.5D chip-0 trace has no depth-lane traffic")
+	}
+	out := tr.Timeline(72)
+	if !strings.Contains(out, "inter-dep") {
+		t.Errorf("3D timeline missing depth lane:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 6 {
+		t.Errorf("3D timeline has %d lines, want 6:\n%s", lines, out)
+	}
+}
+
+// decodeTraceEvents unmarshals a Chrome trace and partitions it into
+// complete events and (pid, tid) → thread-name metadata.
+func decodeTraceEvents(t *testing.T, data []byte) (complete []map[string]any, threads map[[2]int]string, processes map[int]string) {
+	t.Helper()
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("not valid trace-event JSON: %v", err)
+	}
+	threads = map[[2]int]string{}
+	processes = map[int]string{}
+	for _, e := range events {
+		pid := int(e["pid"].(float64))
+		switch e["ph"] {
+		case "X":
+			complete = append(complete, e)
+		case "M":
+			args := e["args"].(map[string]any)
+			name := args["name"].(string)
+			switch e["name"] {
+			case "thread_name":
+				threads[[2]int{pid, int(e["tid"].(float64))}] = name
+			case "process_name":
+				processes[pid] = name
+			}
+		}
+	}
+	return complete, threads, processes
+}
+
+func TestWriteChromeTraceValidity(t *testing.T) {
+	prog := sched.TwoPointFiveDProgram(1<<14, 8192, 8192, gemm.Grid3D{P: 4, C: 2}, testHW)
+	r := Simulate(prog, testHW, Options{CollectTrace: true})
+	var buf bytes.Buffer
+	if err := r.Trace.WriteChromeTrace(&buf, prog.Label); err != nil {
+		t.Fatal(err)
+	}
+	complete, threads, processes := decodeTraceEvents(t, buf.Bytes())
+	if len(processes) != 1 {
+		t.Errorf("single-chip trace has %d processes", len(processes))
+	}
+	wantTrack := map[string]int{
+		"compute engine": 0, "inter-row links": 1,
+		"inter-col links": 2, "inter-depth links": 3,
+	}
+	for _, e := range complete {
+		if e["dur"].(float64) < 0 {
+			t.Errorf("negative duration event %v", e)
+		}
+		key := [2]int{int(e["pid"].(float64)), int(e["tid"].(float64))}
+		name, ok := threads[key]
+		if !ok {
+			t.Errorf("event %v on unnamed track %v", e["name"], key)
+			continue
+		}
+		if wantTrack[name] != key[1] {
+			t.Errorf("track %q has tid %d, want %d", name, key[1], wantTrack[name])
+		}
+	}
+	if _, ok := threads[[2]int{0, 3}]; !ok {
+		t.Errorf("2.5D trace missing inter-depth track metadata")
+	}
+}
+
+func TestWriteChromeTraceDeterministic(t *testing.T) {
+	prob := gemm.Problem{M: 1 << 14, N: 8192, K: 8192, Dataflow: gemm.OS}
+	prog := sched.MeshSliceProgram(prob, topology.NewTorus(4, 4), testHW, 2)
+	r := Simulate(prog, testHW, Options{CollectTrace: true})
+	write := func() []byte {
+		var buf bytes.Buffer
+		if err := r.Trace.WriteChromeTrace(&buf, prog.Label); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if a, b := write(), write(); !bytes.Equal(a, b) {
+		t.Errorf("chrome trace serialisation is nondeterministic")
+	}
+}
+
+func TestWriteClusterChromeTrace(t *testing.T) {
+	prob := gemm.Problem{M: 1 << 14, N: 8192, K: 8192, Dataflow: gemm.OS}
+	prog := sched.MeshSliceProgram(prob, topology.NewTorus(4, 4), testHW, 2)
+	r := Simulate(prog, testHW, Options{TraceAllChips: true})
+	write := func() []byte {
+		var buf bytes.Buffer
+		if err := WriteClusterChromeTrace(&buf, r.Traces, prog.Label); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	data := write()
+	complete, threads, processes := decodeTraceEvents(t, data)
+	if len(processes) != prog.Torus.Size() {
+		t.Fatalf("cluster trace has %d processes, want one per chip (%d)",
+			len(processes), prog.Torus.Size())
+	}
+	for chip := 0; chip < prog.Torus.Size(); chip++ {
+		if _, ok := processes[chip]; !ok {
+			t.Errorf("no process metadata for chip %d", chip)
+		}
+	}
+	if want := prog.Torus.Size() * len(prog.Ops); len(complete) != want {
+		t.Errorf("cluster trace has %d complete events, want %d", len(complete), want)
+	}
+	for _, e := range complete {
+		if e["dur"].(float64) < 0 {
+			t.Errorf("negative duration event %v", e)
+		}
+		key := [2]int{int(e["pid"].(float64)), int(e["tid"].(float64))}
+		if _, ok := threads[key]; !ok {
+			t.Errorf("event %v on unnamed track %v", e["name"], key)
+		}
+	}
+	if b := write(); !bytes.Equal(data, b) {
+		t.Errorf("cluster trace serialisation is nondeterministic")
+	}
+}

@@ -1,0 +1,329 @@
+// Package obs is the repository's observability layer: a deterministic
+// in-process metrics registry the simulator stack (des, netsim, autotune)
+// and the functional runtime (mesh) publish into.
+//
+// Determinism is the design constraint everything else follows. Simulated
+// results are bit-for-bit reproducible, so their telemetry must be too:
+//
+//   - Metrics carry no wall-clock timestamps; any time-valued metric is
+//     simulated time (seconds on the des clock). meshlint's no-wallclock
+//     analyzer enforces this mechanically for the whole package.
+//   - Snapshots serialise with fully sorted keys — metrics by name then by
+//     their canonical label string, label sets by key — so two runs of the
+//     same workload produce byte-identical JSON.
+//   - Concurrent publishers (the mesh's chip goroutines) must only make
+//     integer-valued Add calls. Integer-valued float64 addition is exact
+//     (below 2^53), hence order-independent, hence deterministic even when
+//     goroutine interleaving is not. Fractional values are reserved for the
+//     single-threaded simulator, where program order fixes the float
+//     rounding sequence.
+//
+// The registry is intentionally tiny and stdlib-only: four metric kinds
+// (Counter, Gauge, Histogram, Series) cover the repo's needs — monotone
+// event counts, level/high-water readings, duration distributions, and
+// ordered trajectories such as the autotuner's best-so-far curve.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one key=value dimension of a metric.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// PadInt renders v zero-padded to the digit width of ceil-1, so label
+// values for indices in [0, ceil) sort lexicographically in numeric order
+// ("07" < "12"). Snapshots sort by label strings; without padding chip 10
+// would sort before chip 2.
+func PadInt(v, ceil int) string {
+	width := len(strconv.Itoa(ceil - 1))
+	s := strconv.Itoa(v)
+	for len(s) < width {
+		s = "0" + s
+	}
+	return s
+}
+
+// canonical returns the metric's identity string: name{k1=v1,k2=v2} with
+// label keys sorted. This string is both the registry map key and the
+// serialisation order key, which is what makes snapshots deterministic.
+func canonical(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Registry holds the metric instruments. The zero value is not usable; call
+// NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	series     map[string]*Series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		series:     make(map[string]*Series),
+	}
+}
+
+// Counter returns the counter with the given name and labels, creating it
+// on first use. Counters are monotone: Add panics on negative increments.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	key := canonical(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[key]
+	if c == nil {
+		c = &Counter{metricMeta: newMeta(name, key, labels)}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name and labels, creating it on
+// first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	key := canonical(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[key]
+	if g == nil {
+		g = &Gauge{metricMeta: newMeta(name, key, labels)}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, labels and upper
+// bucket bounds, creating it on first use. Bounds must be strictly
+// increasing; observations above the last bound land in the implicit
+// overflow bucket. Re-registering an existing histogram with different
+// bounds panics: silently returning either shape would corrupt one caller's
+// view.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not strictly increasing: %v", name, bounds)) // lint:invariant registration precondition
+		}
+	}
+	key := canonical(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[key]
+	if h == nil {
+		h = &Histogram{
+			metricMeta: newMeta(name, key, labels),
+			bounds:     append([]float64(nil), bounds...),
+			counts:     make([]int64, len(bounds)+1),
+		}
+		r.histograms[key] = h
+		return h
+	}
+	if len(h.bounds) != len(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with %d bounds, have %d", name, len(bounds), len(h.bounds))) // lint:invariant registration precondition
+	}
+	for i := range bounds {
+		if h.bounds[i] != bounds[i] { // lint:float-exact registration must match exactly; approximate bucket bounds would silently merge histograms
+			panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name)) // lint:invariant registration precondition
+		}
+	}
+	return h
+}
+
+// Series returns the ordered-point series with the given name and labels,
+// creating it on first use.
+func (r *Registry) Series(name string, labels ...Label) *Series {
+	key := canonical(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.series[key]
+	if s == nil {
+		s = &Series{metricMeta: newMeta(name, key, labels)}
+		r.series[key] = s
+	}
+	return s
+}
+
+// metricMeta is the identity shared by every instrument kind.
+type metricMeta struct {
+	name   string
+	key    string // canonical name{labels} string
+	labels []Label
+	mu     sync.Mutex
+}
+
+func newMeta(name, key string, labels []Label) metricMeta {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return metricMeta{name: name, key: key, labels: ls}
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	metricMeta
+	value float64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increments the counter. Negative deltas panic — a counter that can
+// decrease is a gauge. Concurrent callers must pass integer-valued deltas
+// (see the package comment's determinism rules).
+func (c *Counter) Add(delta float64) {
+	if delta < 0 {
+		panic(fmt.Sprintf("obs: counter %s: negative add %v", c.key, delta)) // lint:invariant monotonicity precondition
+	}
+	c.mu.Lock()
+	c.value += delta
+	c.mu.Unlock()
+}
+
+// AddInt increments the counter by an integer delta (negative deltas panic).
+func (c *Counter) AddInt(delta int64) { c.Add(float64(delta)) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.value
+}
+
+// Gauge is a value that can move both ways: a level, a high-water mark, a
+// fraction.
+type Gauge struct {
+	metricMeta
+	value float64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.value = v
+	g.mu.Unlock()
+}
+
+// Add shifts the gauge by delta (either sign).
+func (g *Gauge) Add(delta float64) {
+	g.mu.Lock()
+	g.value += delta
+	g.mu.Unlock()
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — the
+// high-water-mark update (e.g. the des queue depth).
+func (g *Gauge) SetMax(v float64) {
+	g.mu.Lock()
+	if v > g.value {
+		g.value = v
+	}
+	g.mu.Unlock()
+}
+
+// Value returns the current reading.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.value
+}
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations v with v <= bounds[i] (and > bounds[i-1]); one extra
+// overflow bucket counts v > bounds[len-1].
+type Histogram struct {
+	metricMeta
+	bounds []float64
+	counts []int64
+	sum    float64
+	n      int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v.
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[idx]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Series is an append-only ordered list of (x, y) points: a trajectory over
+// some deterministic progress coordinate (candidate index, simulated time).
+type Series struct {
+	metricMeta
+	xs, ys []float64
+}
+
+// Append adds one point. Callers append in a deterministic order; the
+// series preserves it.
+func (s *Series) Append(x, y float64) {
+	s.mu.Lock()
+	s.xs = append(s.xs, x)
+	s.ys = append(s.ys, y)
+	s.mu.Unlock()
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.xs)
+}
+
+// Last returns the most recent point; ok is false on an empty series.
+func (s *Series) Last() (x, y float64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.xs) == 0 {
+		return 0, 0, false
+	}
+	return s.xs[len(s.xs)-1], s.ys[len(s.ys)-1], true
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events")
+	c.Inc()
+	c.Add(2)
+	c.AddInt(3)
+	if got := c.Value(); got != 6 {
+		t.Errorf("counter = %v, want 6", got)
+	}
+	if r.Counter("events") != c {
+		t.Errorf("same name returned a different counter")
+	}
+	if r.Counter("events", L("algo", "summa")) == c {
+		t.Errorf("labeled counter aliased the unlabeled one")
+	}
+}
+
+func TestCounterNegativeAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("negative add did not panic")
+		}
+	}()
+	NewRegistry().Counter("x").Add(-1)
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	g.Set(4)
+	g.Add(-1)
+	if got := g.Value(); got != 3 {
+		t.Errorf("gauge = %v, want 3", got)
+	}
+	g.SetMax(10)
+	g.SetMax(5)
+	if got := g.Value(); got != 10 {
+		t.Errorf("high-water = %v, want 10", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 2, 50, 1000} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %d, want 1", len(snap.Histograms))
+	}
+	hp := snap.Histograms[0]
+	// 0.5 and 1 land in <=1; 2 in <=10; 50 in <=100; 1000 overflows.
+	want := []int64{2, 1, 1, 1}
+	for i, c := range hp.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d (%v)", i, c, want[i], hp.Counts)
+		}
+	}
+	if hp.Count != 5 {
+		t.Errorf("count = %d, want 5", hp.Count)
+	}
+	if hp.Sum != 1053.5 {
+		t.Errorf("sum = %v, want 1053.5", hp.Sum)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("non-increasing bounds did not panic")
+		}
+	}()
+	NewRegistry().Histogram("bad", []float64{1, 1})
+}
+
+func TestHistogramReboundsPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", []float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Errorf("re-registration with different bounds did not panic")
+		}
+	}()
+	r.Histogram("h", []float64{1, 3})
+}
+
+func TestSeries(t *testing.T) {
+	r := NewRegistry()
+	s := r.Series("best", L("phase", "2"))
+	if _, _, ok := s.Last(); ok {
+		t.Errorf("empty series has a last point")
+	}
+	s.Append(0, 5)
+	s.Append(1, 3)
+	x, y, ok := s.Last()
+	if !ok || x != 1 || y != 3 {
+		t.Errorf("last = (%v, %v, %v), want (1, 3, true)", x, y, ok)
+	}
+	if s.Len() != 2 {
+		t.Errorf("len = %d, want 2", s.Len())
+	}
+}
+
+func TestCanonicalLabelOrder(t *testing.T) {
+	a := canonical("m", []Label{L("b", "2"), L("a", "1")})
+	b := canonical("m", []Label{L("a", "1"), L("b", "2")})
+	if a != b {
+		t.Errorf("label order changed identity: %q vs %q", a, b)
+	}
+	if want := "m{a=1,b=2}"; a != want {
+		t.Errorf("canonical = %q, want %q", a, want)
+	}
+	if got := canonical("m", nil); got != "m" {
+		t.Errorf("unlabeled canonical = %q, want m", got)
+	}
+}
+
+// fill populates a registry the same way regardless of call order effects.
+func fill(r *Registry, order []int) {
+	names := []string{"zebra", "alpha", "mid"}
+	for _, i := range order {
+		r.Counter(names[i], L("idx", names[i])).AddInt(int64(i + 1))
+		r.Gauge("g_" + names[i]).Set(float64(i))
+	}
+	r.Histogram("h", []float64{1, 2, 3}).Observe(1.5)
+	r.Series("s").Append(1, 2)
+}
+
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	// Same contents registered in different orders must serialise to
+	// byte-identical JSON.
+	r1, r2 := NewRegistry(), NewRegistry()
+	fill(r1, []int{0, 1, 2})
+	fill(r2, []int{2, 0, 1})
+	var b1, b2 bytes.Buffer
+	if err := r1.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Errorf("snapshots differ:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	if !strings.Contains(b1.String(), `"alpha"`) {
+		t.Errorf("snapshot missing expected content:\n%s", b1.String())
+	}
+	// Sorted: alpha before mid before zebra.
+	s := b1.String()
+	if !(strings.Index(s, "alpha") < strings.Index(s, "mid") && strings.Index(s, "mid") < strings.Index(s, "zebra")) {
+		t.Errorf("counters not sorted by canonical key:\n%s", s)
+	}
+}
+
+func TestConcurrentIntegerAddsDeterministic(t *testing.T) {
+	// The mesh publishes from one goroutine per chip; integer-valued adds
+	// must land on an exact, order-independent total.
+	r := NewRegistry()
+	c := r.Counter("msgs")
+	h := r.Histogram("sizes", []float64{10, 100})
+	g := r.Gauge("hw")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.AddInt(3)
+				h.Observe(float64(i))
+				g.SetMax(float64(i))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := c.Value(); got != 48000 {
+		t.Errorf("counter = %v, want 48000", got)
+	}
+	if got := h.Count(); got != 16000 {
+		t.Errorf("histogram count = %v, want 16000", got)
+	}
+	if got := g.Value(); got != 15 {
+		t.Errorf("high-water = %v, want 15", got)
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	r := NewRegistry()
+	s := r.Series("traj")
+	s.Append(0, 1)
+	snap := r.Snapshot()
+	s.Append(1, 2)
+	if len(snap.Series[0].X) != 1 {
+		t.Errorf("snapshot aliased live series data")
+	}
+	h := r.Histogram("h", []float64{1})
+	h.Observe(0.5)
+	snap2 := r.Snapshot()
+	h.Observe(0.5)
+	if snap2.Histograms[0].Counts[0] != 1 {
+		t.Errorf("snapshot aliased live histogram data")
+	}
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Snapshot is a point-in-time, fully ordered copy of a registry's metrics.
+// Serialising it (WriteJSON) is deterministic: every slice is sorted by the
+// metric's canonical key, label maps render with sorted keys (encoding/json
+// sorts map keys), and values come from deterministic simulations.
+type Snapshot struct {
+	Counters   []CounterPoint   `json:"counters,omitempty"`
+	Gauges     []GaugePoint     `json:"gauges,omitempty"`
+	Histograms []HistogramPoint `json:"histograms,omitempty"`
+	Series     []SeriesPoint    `json:"series,omitempty"`
+}
+
+// CounterPoint is one counter's state.
+type CounterPoint struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// GaugePoint is one gauge's state.
+type GaugePoint struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// HistogramPoint is one histogram's state: Counts[i] pairs with Bounds[i],
+// with the final element of Counts holding the overflow bucket.
+type HistogramPoint struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Bounds []float64         `json:"bounds"`
+	Counts []int64           `json:"counts"`
+	Sum    float64           `json:"sum"`
+	Count  int64             `json:"count"`
+}
+
+// SeriesPoint is one series' state as parallel X/Y arrays.
+type SeriesPoint struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	X      []float64         `json:"x"`
+	Y      []float64         `json:"y"`
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// Snapshot copies the registry's current state into a sorted Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.histograms))
+	for _, h := range r.histograms {
+		hists = append(hists, h)
+	}
+	series := make([]*Series, 0, len(r.series))
+	for _, s := range r.series {
+		series = append(series, s)
+	}
+	r.mu.Unlock()
+
+	sort.Slice(counters, func(i, j int) bool { return counters[i].key < counters[j].key })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].key < gauges[j].key })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].key < hists[j].key })
+	sort.Slice(series, func(i, j int) bool { return series[i].key < series[j].key })
+
+	var snap Snapshot
+	for _, c := range counters {
+		c.mu.Lock()
+		snap.Counters = append(snap.Counters, CounterPoint{
+			Name: c.name, Labels: labelMap(c.labels), Value: c.value,
+		})
+		c.mu.Unlock()
+	}
+	for _, g := range gauges {
+		g.mu.Lock()
+		snap.Gauges = append(snap.Gauges, GaugePoint{
+			Name: g.name, Labels: labelMap(g.labels), Value: g.value,
+		})
+		g.mu.Unlock()
+	}
+	for _, h := range hists {
+		h.mu.Lock()
+		snap.Histograms = append(snap.Histograms, HistogramPoint{
+			Name: h.name, Labels: labelMap(h.labels),
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]int64(nil), h.counts...),
+			Sum:    h.sum, Count: h.n,
+		})
+		h.mu.Unlock()
+	}
+	for _, s := range series {
+		s.mu.Lock()
+		snap.Series = append(snap.Series, SeriesPoint{
+			Name: s.name, Labels: labelMap(s.labels),
+			X: append([]float64(nil), s.xs...),
+			Y: append([]float64(nil), s.ys...),
+		})
+		s.mu.Unlock()
+	}
+	return snap
+}
+
+// WriteJSON serialises the snapshot as indented JSON. Output is
+// deterministic: identical registry contents produce identical bytes.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteJSON snapshots the registry and serialises it in one step.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.Snapshot().WriteJSON(w)
+}
