@@ -1,0 +1,78 @@
+package main
+
+import (
+	"testing"
+
+	"meshslice/internal/fault"
+	"meshslice/internal/gemm"
+	"meshslice/internal/hw"
+	"meshslice/internal/netsim"
+	"meshslice/internal/sched"
+	"meshslice/internal/topology"
+)
+
+// faultBenches are the degraded-fabric scenarios (-faults-out): the same
+// flagship simulation as the main suite under representative fault plans,
+// so CI tracks the simulator's fault-hook overhead — including the
+// fault-free case, which must stay indistinguishable from the baseline —
+// alongside the healthy numbers.
+func faultBenches(chip hw.Chip, prob gemm.Problem, tor topology.Torus) []bench {
+	colDegrade := &fault.Plan{}
+	for c := 0; c < tor.Size(); c++ {
+		colDegrade.Degrades = append(colDegrade.Degrades, fault.LinkDegrade{
+			Link: fault.Link{Chip: c, Dir: topology.InterCol}, Factor: 6,
+		})
+	}
+	seeded := fault.Generate(7, tor.Size(), fault.ScenarioOptions{
+		Degrades: 4, Stragglers: 2, MaxFactor: 6, Horizon: 0.01,
+	})
+	deadLink := &fault.Plan{LinkFails: []fault.LinkFail{
+		{Link: fault.Link{Chip: 0, Dir: topology.InterCol}, At: 0},
+	}}
+
+	return []bench{
+		{"SimulateMeshSlice8x8EmptyFaultPlan", func(b *testing.B) {
+			prog := sched.MeshSliceProgram(prob, tor, chip, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				netsim.Simulate(prog, chip, netsim.Options{Faults: &fault.Plan{}})
+			}
+		}},
+		{"SimulateMeshSlice8x8ColDegrade", func(b *testing.B) {
+			prog := sched.MeshSliceProgram(prob, tor, chip, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				netsim.Simulate(prog, chip, netsim.Options{Faults: colDegrade})
+			}
+		}},
+		{"SimulateMeshSlice8x8SeededFaults", func(b *testing.B) {
+			prog := sched.MeshSliceProgram(prob, tor, chip, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				netsim.Simulate(prog, chip, netsim.Options{Faults: seeded})
+			}
+		}},
+		{"SimulateMeshSlice8x8Reroute", func(b *testing.B) {
+			prog := sched.MeshSliceProgram(prob, tor, chip, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				netsim.Simulate(prog, chip, netsim.Options{Faults: deadLink, FaultReroute: true})
+			}
+		}},
+		{"SimulateSUMMAStepLevel8x8Degraded", func(b *testing.B) {
+			prog := sched.SUMMAProgram(prob, tor, chip, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				netsim.Simulate(prog, chip, netsim.Options{StepLevel: true, Faults: colDegrade})
+			}
+		}},
+		{"FaultPlanLinkFactorLookup", func(b *testing.B) {
+			var sink float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += seeded.LinkFactor(fault.Link{Chip: 3, Dir: topology.InterRow}, 0.005)
+			}
+			_ = sink
+		}},
+	}
+}

@@ -36,8 +36,15 @@ type benchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// bench is one named benchmark.
+type bench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
 func main() {
 	out := flag.String("o", "BENCH_meshslice.json", "output JSON path (- for stdout)")
+	faultsOut := flag.String("faults-out", "", "also run the degraded-fabric scenarios and write their summary to this JSON path")
 	flag.Parse()
 
 	chip := hw.TPUv4()
@@ -45,10 +52,7 @@ func main() {
 	tor := topology.NewTorus(8, 8)
 
 	// Fixed order: the output file diffs cleanly between runs.
-	benches := []struct {
-		name string
-		fn   func(b *testing.B)
-	}{
+	benches := []bench{
 		{"SimulateMeshSlice8x8", func(b *testing.B) {
 			prog := sched.MeshSliceProgram(prob, tor, chip, 8)
 			b.ResetTimer()
@@ -100,6 +104,21 @@ func main() {
 		}},
 	}
 
+	if err := runSuite(benches, *out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *faultsOut != "" {
+		if err := runSuite(faultBenches(chip, prob, tor), *faultsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runSuite executes a benchmark list in order and writes the JSON summary
+// to path ("-" for stdout).
+func runSuite(benches []bench, path string) error {
 	results := make([]benchResult, 0, len(benches))
 	for _, bm := range benches {
 		r := testing.Benchmark(bm.fn)
@@ -115,19 +134,15 @@ func main() {
 	}
 
 	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
+	if path != "-" {
+		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	return enc.Encode(results)
 }

@@ -22,6 +22,11 @@
 //	meshslice timeline -m M -n N -k K -rows R -cols C [-chrome DIR]
 //	    Render per-algorithm ASCII timelines; -chrome also exports
 //	    whole-cluster Perfetto/Chrome traces (one process per chip).
+//
+//	meshslice faults -model gpt3 -chips 64 -scenario col-degrade [-o out.json] [-chrome trace.json]
+//	    Build a deterministic fault plan (degraded links, stragglers, or a
+//	    seeded mix), simulate the stale healthy-fabric tuning choice under
+//	    it, rerun the autotuner fault-aware, and compare the two.
 package main
 
 import (
@@ -59,13 +64,15 @@ func main() {
 		cmdCalibrate(os.Args[2:])
 	case "verify":
 		cmdVerify(os.Args[2:])
+	case "faults":
+		cmdFaults(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: meshslice {tune|sim|gemm|timeline|stats|plan|calibrate|verify} [flags]  (run a subcommand with -h for its flags)")
+	fmt.Fprintln(os.Stderr, "usage: meshslice {tune|sim|gemm|timeline|stats|plan|calibrate|verify|faults} [flags]  (run a subcommand with -h for its flags)")
 	os.Exit(2)
 }
 

@@ -1,0 +1,113 @@
+package autotune
+
+import (
+	"math"
+	"testing"
+
+	"meshslice/internal/fault"
+	"meshslice/internal/hw"
+	"meshslice/internal/model"
+	"meshslice/internal/topology"
+)
+
+// tinyModel is small enough to tune-and-simulate in test time but shards
+// onto every 2D factorisation of 16 chips.
+func tinyModel() model.Config {
+	return model.Config{Name: "tiny", Layers: 1, Hidden: 256, Heads: 4, FFHidden: 1024, SeqLen: 128}
+}
+
+// colDegradePlan slows every inter-col link on all 16 chips by 6x,
+// open-ended — the "one mesh axis went bad" scenario where a stale
+// healthy-fabric plan loses to fault-aware retuning.
+func colDegradePlan(chips int) *fault.Plan {
+	p := &fault.Plan{}
+	for c := 0; c < chips; c++ {
+		p.Degrades = append(p.Degrades, fault.LinkDegrade{
+			Link: fault.Link{Chip: c, Dir: topology.InterCol}, Factor: 6,
+		})
+	}
+	return p
+}
+
+func TestTuneUnderFaultsBeatsStalePlan(t *testing.T) {
+	const chips, tokens = 16, 2048
+	chip := hw.TPUv4()
+	plan := colDegradePlan(chips)
+	stale, err := Tune(tinyModel(), tokens, chips, chip, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleTime, staleFailed := SimulateChoice(stale, chip, plan, false)
+	if staleFailed != nil {
+		t.Fatalf("stale plan halted under a degrade-only fault plan: %v", staleFailed)
+	}
+	aware, err := TuneUnderFaults(tinyModel(), tokens, chips, chip, plan, false, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware.Failed != nil {
+		t.Fatalf("fault-aware plan halted: %v", aware.Failed)
+	}
+	// The stale configuration is always in the candidate set, so aware can
+	// never be worse...
+	if aware.SimTime > staleTime {
+		t.Fatalf("fault-aware plan simulates slower than stale: %v vs %v", aware.SimTime, staleTime)
+	}
+	// ...and on this scenario it must be strictly better: the healthy
+	// optimum leans on inter-col rings the degradation just crippled.
+	if !(aware.SimTime < staleTime) {
+		t.Fatalf("fault-aware retuning found nothing better than the stale plan (%v); acceptance criterion requires a strict win", staleTime)
+	}
+}
+
+func TestTuneUnderFaultsEmptyPlanMatchesTune(t *testing.T) {
+	const chips, tokens = 16, 2048
+	chip := hw.TPUv4()
+	healthy, err := Tune(tinyModel(), tokens, chips, chip, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := TuneUnderFaults(tinyModel(), tokens, chips, chip, &fault.Plan{}, false, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware.Shape != healthy.Shape {
+		t.Errorf("empty plan changed the tuned shape: %v vs %v", aware.Shape, healthy.Shape)
+	}
+	if math.IsInf(aware.SimTime, 1) || aware.SimTime <= 0 {
+		t.Errorf("degenerate simulated block time %v", aware.SimTime)
+	}
+}
+
+func TestTuneUnderFaultsDeterministic(t *testing.T) {
+	const chips, tokens = 16, 2048
+	chip := hw.TPUv4()
+	plan := fault.Generate(5, chips, fault.ScenarioOptions{Degrades: 3, Stragglers: 1, MaxFactor: 4, Horizon: 0.01})
+	a, err := TuneUnderFaults(tinyModel(), tokens, chips, chip, plan, false, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TuneUnderFaults(tinyModel(), tokens, chips, chip, plan, false, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Shape != b.Shape || a.SimTime != b.SimTime { // lint:float-exact determinism criterion: identical searches are byte-identical
+		t.Errorf("same plan, different tuning: %v/%v vs %v/%v", a.Shape, a.SimTime, b.Shape, b.SimTime)
+	}
+}
+
+func TestTuneUnderFaultsAllCandidatesHalt(t *testing.T) {
+	const chips, tokens = 16, 2048
+	chip := hw.TPUv4()
+	plan := &fault.Plan{ChipFails: []fault.ChipFail{{Chip: 0, At: 0}}}
+	aware, err := TuneUnderFaults(tinyModel(), tokens, chips, chip, plan, false, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(aware.SimTime, 1) {
+		t.Fatalf("every candidate includes dead chip 0, yet SimTime = %v", aware.SimTime)
+	}
+	if aware.Failed == nil || aware.Failed.Chip != 0 {
+		t.Fatalf("missing typed failure for the dead chip: %+v", aware.Failed)
+	}
+}

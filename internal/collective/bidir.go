@@ -1,8 +1,6 @@
 package collective
 
 import (
-	"fmt"
-
 	"meshslice/internal/mesh"
 	"meshslice/internal/tensor"
 )
@@ -50,11 +48,15 @@ func AllGatherBidir(cm *mesh.Comm, local *tensor.Matrix) []*tensor.Matrix {
 // meet at chip d, halving the step count. blocks must hold one block per
 // ring position.
 func ReduceScatterBidir(cm *mesh.Comm, blocks []*tensor.Matrix) *tensor.Matrix {
+	if err := checkBlocks("reducescatter-bidir", blocks, cm.Size); err != nil {
+		panic(err) // lint:invariant block-count precondition; ReduceScatterBidirE returns it as a value
+	}
+	return reduceScatterBidir(cm, blocks)
+}
+
+func reduceScatterBidir(cm *mesh.Comm, blocks []*tensor.Matrix) *tensor.Matrix {
 	cm.CountCollective("reducescatter-bidir")
 	p := cm.Size
-	if len(blocks) != p {
-		panic(fmt.Sprintf("collective: ReduceScatterBidir got %d blocks for ring of %d", len(blocks), p))
-	}
 	if p == 1 {
 		return blocks[0].Clone()
 	}

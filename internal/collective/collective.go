@@ -13,8 +13,6 @@
 package collective
 
 import (
-	"fmt"
-
 	"meshslice/internal/mesh"
 	"meshslice/internal/tensor"
 )
@@ -60,11 +58,15 @@ func AllGatherCols(cm *mesh.Comm, local *tensor.Matrix) *tensor.Matrix {
 // position d starts at chip d+1 and accumulates contributions as it travels
 // the ring, arriving fully reduced at chip d after P-1 steps.
 func ReduceScatter(cm *mesh.Comm, blocks []*tensor.Matrix) *tensor.Matrix {
+	if err := checkBlocks("reducescatter", blocks, cm.Size); err != nil {
+		panic(err) // lint:invariant block-count precondition; ReduceScatterE returns it as a value
+	}
+	return reduceScatter(cm, blocks)
+}
+
+func reduceScatter(cm *mesh.Comm, blocks []*tensor.Matrix) *tensor.Matrix {
 	cm.CountCollective("reducescatter")
 	p := cm.Size
-	if len(blocks) != p {
-		panic(fmt.Sprintf("collective: ReduceScatter got %d blocks for ring of %d", len(blocks), p)) // lint:invariant block-count precondition
-	}
 	cur := blocks[mod(cm.Pos-1, p)].Clone()
 	for t := 0; t < p-1; t++ {
 		cm.SendTo(cm.Pos+1, cur)
@@ -144,11 +146,15 @@ func Reduce(cm *mesh.Comm, root int, m *tensor.Matrix) *tensor.Matrix {
 // result holds, at index s, the block sent to this chip by position s.
 // Blocks may have heterogeneous shapes (real MoE routing is uneven).
 func AllToAll(cm *mesh.Comm, blocks []*tensor.Matrix) []*tensor.Matrix {
+	if err := checkBlocks("alltoall", blocks, cm.Size); err != nil {
+		panic(err) // lint:invariant block-count precondition; AllToAllE returns it as a value
+	}
+	return allToAll(cm, blocks)
+}
+
+func allToAll(cm *mesh.Comm, blocks []*tensor.Matrix) []*tensor.Matrix {
 	cm.CountCollective("alltoall")
 	p := cm.Size
-	if len(blocks) != p {
-		panic(fmt.Sprintf("collective: AllToAll got %d blocks for ring of %d", len(blocks), p))
-	}
 	out := make([]*tensor.Matrix, p)
 	out[cm.Pos] = blocks[cm.Pos].Clone()
 	// Shifted exchange order avoids head-of-line blocking: at round t,

@@ -8,6 +8,7 @@ package des
 import (
 	"container/heap"
 	"fmt"
+	"math"
 
 	"meshslice/internal/obs"
 )
@@ -33,8 +34,12 @@ func (s *Simulator) Now() float64 { return s.now }
 
 // Schedule enqueues fn to run at absolute simulated time at. Events at the
 // same time run in scheduling order (FIFO), which keeps runs deterministic.
-// Scheduling in the past is a programming error.
+// Scheduling in the past — or at NaN, which would corrupt the heap order
+// because every comparison against it is false — is a programming error.
 func (s *Simulator) Schedule(at float64, fn func()) {
+	if math.IsNaN(at) {
+		panic("des: scheduling at NaN") // lint:invariant NaN compares false with everything and silently corrupts heap order
+	}
 	if at < s.now {
 		panic(fmt.Sprintf("des: scheduling at %g before now %g", at, s.now)) // lint:invariant simulated-time precondition
 	}

@@ -1,6 +1,7 @@
 package des
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
@@ -33,6 +34,66 @@ func TestSimultaneousEventsFIFO(t *testing.T) {
 	if !reflect.DeepEqual(order, []int{0, 1, 2, 3, 4}) {
 		t.Errorf("simultaneous events not FIFO: %v", order)
 	}
+}
+
+func TestSimultaneousBurstFIFO(t *testing.T) {
+	// A large same-time burst — the shape a fault cascade produces when many
+	// link events land on one instant — must still drain in scheduling order.
+	s := New()
+	const burst = 1000
+	var order []int
+	for i := 0; i < burst; i++ {
+		i := i
+		s.Schedule(2, func() { order = append(order, i) })
+	}
+	// Earlier and later events surround the burst.
+	s.Schedule(3, func() { order = append(order, burst) })
+	s.Schedule(1, func() { order = append(order, -1) })
+	s.Run()
+	if len(order) != burst+2 || order[0] != -1 || order[burst+1] != burst {
+		t.Fatalf("burst drained out of time order: len=%d first=%d last=%d", len(order), order[0], order[len(order)-1])
+	}
+	for i := 0; i < burst; i++ {
+		if order[i+1] != i {
+			t.Fatalf("same-time burst not FIFO at %d: got %d", i, order[i+1])
+		}
+	}
+}
+
+func TestSameTimeCascadeFIFO(t *testing.T) {
+	// Events that schedule more events at the *same* timestamp (zero-delay
+	// cascades, as in barrier releases) run after everything already queued
+	// for that instant — FIFO is by scheduling order, not nesting depth.
+	s := New()
+	var order []string
+	s.Schedule(1, func() {
+		order = append(order, "a")
+		s.Schedule(1, func() { order = append(order, "a.child") })
+	})
+	s.Schedule(1, func() { order = append(order, "b") })
+	s.Run()
+	want := []string{"a", "b", "a.child"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("cascade order = %v, want %v", order, want)
+	}
+}
+
+func TestScheduleNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("scheduling at NaN should panic")
+		}
+	}()
+	New().Schedule(math.NaN(), func() {})
+}
+
+func TestAfterNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("NaN delay should panic")
+		}
+	}()
+	New().After(math.NaN(), func() {})
 }
 
 func TestNowAdvancesDuringRun(t *testing.T) {

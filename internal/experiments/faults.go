@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"meshslice/internal/autotune"
+	"meshslice/internal/fault"
+	"meshslice/internal/hw"
+	"meshslice/internal/model"
+	"meshslice/internal/netsim"
+	"meshslice/internal/topology"
+)
+
+// FaultRetuning quantifies the cost of running a stale healthy-fabric plan
+// on a degraded cluster, and how much fault-aware retuning
+// (autotune.TuneUnderFaults) claws back. For each fault scenario the stale
+// choice — tuned once on the healthy fabric — is simulated under the fault
+// plan and compared against the fault-aware winner on the same fabric.
+func FaultRetuning(chip hw.Chip, quick bool) []*Table {
+	chips := 64
+	cfg := model.GPT3()
+	if quick {
+		chips = 16
+	}
+	tokens := cfg.WeakScalingTokens(chips)
+	opts := autotune.Options{OptimizeDataflow: true}
+
+	scenarios := []struct {
+		name string
+		plan *fault.Plan
+	}{
+		{"inter-col links degraded 6x", colDegrade(chips, 6)},
+		{"two compute stragglers 3x", &fault.Plan{Stragglers: []fault.Straggler{
+			{Chip: 0, Slowdown: 3}, {Chip: 1, Slowdown: 3},
+		}}},
+		{"seeded mixed degradation (seed 7)", fault.Generate(7, chips, fault.ScenarioOptions{
+			Degrades: 3, Stragglers: 2, MaxFactor: 6, Horizon: 0.01,
+		})},
+	}
+
+	t := &Table{
+		ID:     "faults",
+		Title:  fmt.Sprintf("Fault-aware retuning vs stale healthy-fabric plan — %s, %d chips", cfg.Name, chips),
+		Header: []string{"scenario", "events", "stale plan", "stale sim", "fault-aware plan", "aware sim", "retuning gain"},
+	}
+	stale, err := autotune.Tune(cfg, tokens, chips, chip, opts)
+	if err != nil {
+		t.AddRow("error", err.Error(), "", "", "", "", "")
+		return []*Table{t}
+	}
+	for _, sc := range scenarios {
+		staleTime, staleFailed := autotune.SimulateChoice(stale, chip, sc.plan, false)
+		aware, err := autotune.TuneUnderFaults(cfg, tokens, chips, chip, sc.plan, false, opts)
+		if err != nil {
+			t.AddRow(sc.name, planEvents(sc.plan), stale.Shape.String(), "error", err.Error(), "", "")
+			continue
+		}
+		t.AddRow(sc.name, planEvents(sc.plan),
+			stale.Shape.String(), simCell(staleTime, staleFailed),
+			aware.Shape.String(), simCell(aware.SimTime, aware.Failed),
+			speedup(staleTime, aware.SimTime))
+	}
+	t.Notes = append(t.Notes,
+		"sim columns are simulated FC block times under the fault plan; the stale plan is always a retuning candidate, so the gain is never negative",
+		"degraded links multiply ring-step time, stragglers multiply compute time; both searches score candidates with the cluster simulator",
+	)
+	return []*Table{t}
+}
+
+// colDegrade degrades every chip's inter-col link by the given factor,
+// open-ended — the axis-asymmetric scenario where the healthy shape choice
+// goes stale.
+func colDegrade(chips int, factor float64) *fault.Plan {
+	p := &fault.Plan{}
+	for c := 0; c < chips; c++ {
+		p.Degrades = append(p.Degrades, fault.LinkDegrade{
+			Link: fault.Link{Chip: c, Dir: topology.InterCol}, Factor: factor,
+		})
+	}
+	return p
+}
+
+func planEvents(p *fault.Plan) string {
+	d, s, lf, cf := p.Events()
+	return fmt.Sprintf("%dD %dS %dLF %dCF", d, s, lf, cf)
+}
+
+func simCell(t float64, failed *netsim.Failure) string {
+	if failed != nil {
+		return "halted: " + failed.Error()
+	}
+	return ms(t)
+}

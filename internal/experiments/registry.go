@@ -29,13 +29,14 @@ var Registry = map[string]Runner{
 	"ablations": Ablations,
 	"calib":     Calib,
 	"hardware":  Hardware,
+	"faults":    FaultRetuning,
 }
 
 // order lists experiment IDs in presentation order.
 var order = []string{
 	"fig4", "fig9", "fig10", "fig11", "fig12", "table2",
 	"fig13", "fig14", "table3", "fig15", "sec6", "sec7", "endtoend", "zoo",
-	"ablations", "calib", "hardware",
+	"ablations", "calib", "hardware", "faults",
 }
 
 // IDs returns the known experiment IDs in presentation order.

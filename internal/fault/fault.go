@@ -1,0 +1,394 @@
+// Package fault models hardware misbehaviour for the MeshSlice stack: a
+// deterministic, seeded fault plan — degraded links, straggler chips, link
+// and chip failures — consumed by three layers:
+//
+//   - the cluster simulator (package netsim) stretches ring steps over
+//     degraded links and compute on straggler chips, and either halts the
+//     program with a typed diagnosis or re-routes rings around dead links;
+//   - the functional SPMD runtime (package mesh) perturbs goroutine
+//     scheduling on degraded edges and drops messages on failed ones,
+//     proving the collectives' numerical results survive delays and that
+//     losses are detected as typed errors, not deadlocks;
+//   - the autotuner (package autotune) re-runs its search with the plan
+//     applied, quantifying how far a stale healthy-fabric plan falls behind
+//     a fault-aware one.
+//
+// Everything here is pure data plus deterministic arithmetic: the same plan
+// yields byte-identical fault schedules, simulated makespans and metric
+// snapshots on every run (the package is free of wall-clock reads and
+// global randomness; the scenario generator threads an explicitly seeded
+// *rand.Rand).
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"meshslice/internal/hw"
+	"meshslice/internal/topology"
+)
+
+// Link identifies one chip's link controller in a mesh direction — the
+// unit the simulator's communication model serialises traffic on. A ring
+// collective is gated by the slowest link among its members, so degrading
+// one Link stretches every collective whose ring crosses it.
+type Link struct {
+	Chip int
+	Dir  topology.Direction
+}
+
+func (l Link) String() string { return fmt.Sprintf("chip %d %v", l.Chip, l.Dir) }
+
+// LinkDegrade stretches the wire time of one link by Factor while active.
+// The interval is [Start, End); End <= 0 means the degradation never lifts.
+type LinkDegrade struct {
+	Link   Link
+	Factor float64
+	Start  float64
+	End    float64
+}
+
+// Straggler stretches compute on one chip by Slowdown while active (a
+// thermally throttled or misbehaving chip). The interval is [Start, End);
+// End <= 0 means the chip never recovers.
+type Straggler struct {
+	Chip     int
+	Slowdown float64
+	Start    float64
+	End      float64
+}
+
+// LinkFail kills one link at time At: rings that cross it can no longer
+// complete a step, so collectives either halt with a diagnosis or — when
+// re-routing is enabled — detour the long way around the ring.
+type LinkFail struct {
+	Link Link
+	At   float64
+}
+
+// ChipFail fail-stops one chip at time At: operations that would start on
+// it at or after At never do, and every ring barrier it participates in
+// stays unreleased.
+type ChipFail struct {
+	Chip int
+	At   float64
+}
+
+// Plan is a complete fault schedule. The zero value is the healthy fabric:
+// every consumer treats an empty plan as a provable no-op.
+type Plan struct {
+	Degrades   []LinkDegrade
+	Stragglers []Straggler
+	LinkFails  []LinkFail
+	ChipFails  []ChipFail
+}
+
+// Empty reports whether the plan carries no events at all.
+func (p *Plan) Empty() bool {
+	return p == nil ||
+		len(p.Degrades) == 0 && len(p.Stragglers) == 0 &&
+			len(p.LinkFails) == 0 && len(p.ChipFails) == 0
+}
+
+// Validate checks every event against the cluster size: chips in range,
+// stretch factors at least 1, event times non-negative, intervals ordered.
+func (p *Plan) Validate(chips int) error {
+	if p == nil {
+		return nil
+	}
+	checkLink := func(kind string, l Link) error {
+		if l.Chip < 0 || l.Chip >= chips {
+			return fmt.Errorf("fault: %s chip %d outside [0,%d)", kind, l.Chip, chips)
+		}
+		switch l.Dir {
+		case topology.InterRow, topology.InterCol, topology.InterDepth:
+			return nil
+		}
+		return fmt.Errorf("fault: %s has unknown direction %d", kind, int(l.Dir))
+	}
+	checkWindow := func(kind string, start, end float64) error {
+		if start < 0 {
+			return fmt.Errorf("fault: %s starts at %g, before time zero", kind, start)
+		}
+		if end > 0 && end <= start {
+			return fmt.Errorf("fault: %s window [%g,%g) is empty", kind, start, end)
+		}
+		return nil
+	}
+	for _, d := range p.Degrades {
+		if err := checkLink("link-degrade", d.Link); err != nil {
+			return err
+		}
+		if d.Factor < 1 {
+			return fmt.Errorf("fault: link-degrade factor %g < 1 would speed the link up", d.Factor)
+		}
+		if err := checkWindow("link-degrade", d.Start, d.End); err != nil {
+			return err
+		}
+	}
+	for _, s := range p.Stragglers {
+		if s.Chip < 0 || s.Chip >= chips {
+			return fmt.Errorf("fault: straggler chip %d outside [0,%d)", s.Chip, chips)
+		}
+		if s.Slowdown < 1 {
+			return fmt.Errorf("fault: straggler slowdown %g < 1 would speed the chip up", s.Slowdown)
+		}
+		if err := checkWindow("straggler", s.Start, s.End); err != nil {
+			return err
+		}
+	}
+	for _, f := range p.LinkFails {
+		if err := checkLink("link-fail", f.Link); err != nil {
+			return err
+		}
+		if f.At < 0 {
+			return fmt.Errorf("fault: link-fail at %g, before time zero", f.At)
+		}
+	}
+	for _, f := range p.ChipFails {
+		if f.Chip < 0 || f.Chip >= chips {
+			return fmt.Errorf("fault: chip-fail chip %d outside [0,%d)", f.Chip, chips)
+		}
+		if f.At < 0 {
+			return fmt.Errorf("fault: chip-fail at %g, before time zero", f.At)
+		}
+	}
+	return nil
+}
+
+// active reports whether a [start, end) window (end <= 0 open-ended)
+// covers time t.
+func active(start, end, t float64) bool {
+	return t >= start && (end <= 0 || t < end)
+}
+
+// LinkFactor returns the wire-time stretch of the link at time t: the
+// worst active degradation, or 1 on a healthy link. Consumers sample the
+// factor at op (or ring-step) start, matching the contention model's
+// first-order processor-sharing approximation.
+func (p *Plan) LinkFactor(l Link, t float64) float64 {
+	f := 1.0
+	if p == nil {
+		return f
+	}
+	for _, d := range p.Degrades {
+		if d.Link == l && active(d.Start, d.End, t) && d.Factor > f {
+			f = d.Factor
+		}
+	}
+	return f
+}
+
+// ComputeFactor returns the compute stretch of the chip at time t: the
+// worst active straggler slowdown, or 1 on a healthy chip.
+func (p *Plan) ComputeFactor(chip int, t float64) float64 {
+	f := 1.0
+	if p == nil {
+		return f
+	}
+	for _, s := range p.Stragglers {
+		if s.Chip == chip && active(s.Start, s.End, t) && s.Slowdown > f {
+			f = s.Slowdown
+		}
+	}
+	return f
+}
+
+// LinkFailedBy reports whether the link is dead at time t.
+func (p *Plan) LinkFailedBy(l Link, t float64) bool {
+	if p == nil {
+		return false
+	}
+	for _, f := range p.LinkFails {
+		if f.Link == l && f.At <= t {
+			return true
+		}
+	}
+	return false
+}
+
+// ChipFailedBy reports whether the chip has fail-stopped by time t.
+func (p *Plan) ChipFailedBy(chip int, t float64) bool {
+	if p == nil {
+		return false
+	}
+	for _, f := range p.ChipFails {
+		if f.Chip == chip && f.At <= t {
+			return true
+		}
+	}
+	return false
+}
+
+// FailedRingLinks counts the dead links among the ring members' link
+// controllers in the given direction at time t, returning the lowest-rank
+// affected chip (deterministic diagnosis) and the count. One dead link
+// still leaves a re-route path; two or more partition the ring.
+func (p *Plan) FailedRingLinks(members []int, d topology.Direction, t float64) (chip, n int) {
+	chip = -1
+	if p == nil {
+		return chip, 0
+	}
+	for _, m := range members {
+		if p.LinkFailedBy(Link{Chip: m, Dir: d}, t) {
+			if chip < 0 || m < chip {
+				chip = m
+			}
+			n++
+		}
+	}
+	return chip, n
+}
+
+// WorstLinkFactor returns the plan's largest link degradation factor over
+// all links and times (1 for a plan without degradations) — the
+// conservative steady-state figure the degradation-aware autotuner feeds
+// the analytical cost model.
+func (p *Plan) WorstLinkFactor() float64 {
+	f := 1.0
+	if p == nil {
+		return f
+	}
+	for _, d := range p.Degrades {
+		if d.Factor > f {
+			f = d.Factor
+		}
+	}
+	return f
+}
+
+// WorstComputeFactor returns the plan's largest straggler slowdown (1 for
+// a plan without stragglers).
+func (p *Plan) WorstComputeFactor() float64 {
+	f := 1.0
+	if p == nil {
+		return f
+	}
+	for _, s := range p.Stragglers {
+		if s.Slowdown > f {
+			f = s.Slowdown
+		}
+	}
+	return f
+}
+
+// EffectiveChip returns the hardware calibration as the plan's worst-case
+// degraded fabric sees it: link bandwidth divided by the worst link
+// degradation and sustained compute throughput divided by the worst
+// straggler slowdown. PeakFLOPS is untouched so utilisation keeps its
+// healthy denominator. This is the first-order analytical view; the
+// fault-aware autotuner refines it by simulating candidates under the full
+// plan.
+func (p *Plan) EffectiveChip(c hw.Chip) hw.Chip {
+	c.LinkBandwidth /= p.WorstLinkFactor()
+	c.EffFLOPS /= p.WorstComputeFactor()
+	return c
+}
+
+// Span is one fault interval clipped to a simulation horizon, for trace
+// export and reports. Dir is meaningful for the link kinds only.
+type Span struct {
+	Kind   string // "link-degrade", "straggler", "link-fail", "chip-fail"
+	Chip   int
+	Dir    topology.Direction
+	Factor float64 // stretch factor (0 for failures)
+	Start  float64
+	End    float64
+}
+
+// Spans returns every fault event as an interval clipped to [0, horizon],
+// sorted by (Start, Kind, Chip, Dir) so the result is deterministic
+// regardless of plan slice order. Events starting after the horizon are
+// dropped; open-ended windows and failures extend to the horizon.
+func (p *Plan) Spans(horizon float64) []Span {
+	if p.Empty() {
+		return nil
+	}
+	clip := func(start, end float64) (float64, float64, bool) {
+		if start > horizon {
+			return 0, 0, false
+		}
+		if end <= 0 || end > horizon {
+			end = horizon
+		}
+		return start, end, end >= start
+	}
+	var out []Span
+	for _, d := range p.Degrades {
+		if s, e, ok := clip(d.Start, d.End); ok {
+			out = append(out, Span{Kind: "link-degrade", Chip: d.Link.Chip, Dir: d.Link.Dir, Factor: d.Factor, Start: s, End: e})
+		}
+	}
+	for _, st := range p.Stragglers {
+		if s, e, ok := clip(st.Start, st.End); ok {
+			out = append(out, Span{Kind: "straggler", Chip: st.Chip, Factor: st.Slowdown, Start: s, End: e})
+		}
+	}
+	for _, f := range p.LinkFails {
+		if s, e, ok := clip(f.At, 0); ok {
+			out = append(out, Span{Kind: "link-fail", Chip: f.Link.Chip, Dir: f.Link.Dir, Start: s, End: e})
+		}
+	}
+	for _, f := range p.ChipFails {
+		if s, e, ok := clip(f.At, 0); ok {
+			out = append(out, Span{Kind: "chip-fail", Chip: f.Chip, Start: s, End: e})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Start != b.Start { // lint:float-exact sort tie-break must be exact for a deterministic span order
+			return a.Start < b.Start
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Chip != b.Chip {
+			return a.Chip < b.Chip
+		}
+		return a.Dir < b.Dir
+	})
+	return out
+}
+
+// Canonical renders the plan as a sorted, newline-terminated schedule —
+// the byte-identical form the determinism checks compare. Two plans with
+// the same events in any slice order produce the same canonical text.
+func (p *Plan) Canonical() string {
+	if p.Empty() {
+		return "(healthy fabric)\n"
+	}
+	var lines []string
+	for _, d := range p.Degrades {
+		lines = append(lines, fmt.Sprintf("link-degrade chip=%d dir=%v factor=%g start=%g end=%s",
+			d.Link.Chip, d.Link.Dir, d.Factor, d.Start, endString(d.End)))
+	}
+	for _, s := range p.Stragglers {
+		lines = append(lines, fmt.Sprintf("straggler chip=%d slowdown=%g start=%g end=%s",
+			s.Chip, s.Slowdown, s.Start, endString(s.End)))
+	}
+	for _, f := range p.LinkFails {
+		lines = append(lines, fmt.Sprintf("link-fail chip=%d dir=%v at=%g", f.Link.Chip, f.Link.Dir, f.At))
+	}
+	for _, f := range p.ChipFails {
+		lines = append(lines, fmt.Sprintf("chip-fail chip=%d at=%g", f.Chip, f.At))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func endString(end float64) string {
+	if end <= 0 {
+		return "open"
+	}
+	return fmt.Sprintf("%g", end)
+}
+
+// Events returns the total event count by type, in a fixed order suitable
+// for metric publication: degrades, stragglers, link fails, chip fails.
+func (p *Plan) Events() (degrades, stragglers, linkFails, chipFails int) {
+	if p == nil {
+		return 0, 0, 0, 0
+	}
+	return len(p.Degrades), len(p.Stragglers), len(p.LinkFails), len(p.ChipFails)
+}

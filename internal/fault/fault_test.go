@@ -1,0 +1,266 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"meshslice/internal/hw"
+	"meshslice/internal/topology"
+)
+
+func TestEmptyPlan(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Empty() {
+		t.Fatal("nil plan must be empty")
+	}
+	p := &Plan{}
+	if !p.Empty() {
+		t.Fatal("zero plan must be empty")
+	}
+	if got := p.LinkFactor(Link{Chip: 0, Dir: topology.InterRow}, 0.5); got != 1 { // lint:float-exact healthy factor is the literal 1
+		t.Fatalf("empty plan LinkFactor = %g, want 1", got)
+	}
+	if got := p.ComputeFactor(3, 0.5); got != 1 { // lint:float-exact healthy factor is the literal 1
+		t.Fatalf("empty plan ComputeFactor = %g, want 1", got)
+	}
+	if p.ChipFailedBy(0, 1e9) || p.LinkFailedBy(Link{}, 1e9) {
+		t.Fatal("empty plan must report no failures")
+	}
+	if s := p.Spans(1.0); s != nil {
+		t.Fatalf("empty plan Spans = %v, want nil", s)
+	}
+	if err := p.Validate(16); err != nil {
+		t.Fatalf("empty plan Validate: %v", err)
+	}
+}
+
+func TestFactorsWindowed(t *testing.T) {
+	l := Link{Chip: 2, Dir: topology.InterCol}
+	p := &Plan{
+		Degrades: []LinkDegrade{
+			{Link: l, Factor: 4, Start: 1, End: 2},
+			{Link: l, Factor: 2, Start: 0, End: 0}, // open-ended
+		},
+		Stragglers: []Straggler{{Chip: 5, Slowdown: 3, Start: 0.5, End: 1.5}},
+	}
+	cases := []struct {
+		t    float64
+		want float64
+	}{
+		{0, 2}, {0.99, 2}, {1, 4}, {1.5, 4}, {2, 2}, {100, 2},
+	}
+	for _, c := range cases {
+		if got := p.LinkFactor(l, c.t); got != c.want { // lint:float-exact factors are copied literals, not arithmetic
+			t.Errorf("LinkFactor(t=%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	if got := p.LinkFactor(Link{Chip: 2, Dir: topology.InterRow}, 1.5); got != 1 { // lint:float-exact other direction is healthy
+		t.Errorf("other-direction LinkFactor = %g, want 1", got)
+	}
+	if got := p.ComputeFactor(5, 1.0); got != 3 { // lint:float-exact factors are copied literals
+		t.Errorf("ComputeFactor in window = %g, want 3", got)
+	}
+	if got := p.ComputeFactor(5, 1.5); got != 1 { // lint:float-exact window is half-open [start,end)
+		t.Errorf("ComputeFactor at window end = %g, want 1", got)
+	}
+	if got := p.ComputeFactor(4, 1.0); got != 1 { // lint:float-exact other chip is healthy
+		t.Errorf("other-chip ComputeFactor = %g, want 1", got)
+	}
+}
+
+func TestFailures(t *testing.T) {
+	l := Link{Chip: 1, Dir: topology.InterRow}
+	p := &Plan{
+		LinkFails: []LinkFail{{Link: l, At: 2}},
+		ChipFails: []ChipFail{{Chip: 7, At: 3}},
+	}
+	if p.LinkFailedBy(l, 1.99) {
+		t.Fatal("link dead before At")
+	}
+	if !p.LinkFailedBy(l, 2) {
+		t.Fatal("link alive at At")
+	}
+	if p.ChipFailedBy(7, 2.5) || !p.ChipFailedBy(7, 3) {
+		t.Fatal("chip failure time wrong")
+	}
+	chip, n := p.FailedRingLinks([]int{0, 1, 2, 3}, topology.InterRow, 5)
+	if chip != 1 || n != 1 {
+		t.Fatalf("FailedRingLinks = (%d, %d), want (1, 1)", chip, n)
+	}
+	_, n = p.FailedRingLinks([]int{0, 1, 2, 3}, topology.InterCol, 5)
+	if n != 0 {
+		t.Fatalf("wrong-direction FailedRingLinks count = %d, want 0", n)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Plan{
+		{Degrades: []LinkDegrade{{Link: Link{Chip: 16, Dir: topology.InterRow}, Factor: 2}}},
+		{Degrades: []LinkDegrade{{Link: Link{Chip: 0, Dir: topology.InterRow}, Factor: 0.5}}},
+		{Degrades: []LinkDegrade{{Link: Link{Chip: 0, Dir: topology.InterRow}, Factor: 2, Start: 2, End: 1}}},
+		{Stragglers: []Straggler{{Chip: -1, Slowdown: 2}}},
+		{Stragglers: []Straggler{{Chip: 0, Slowdown: 0.9}}},
+		{LinkFails: []LinkFail{{Link: Link{Chip: 0, Dir: topology.InterRow}, At: -1}}},
+		{ChipFails: []ChipFail{{Chip: 99, At: 0}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(16); err == nil {
+			t.Errorf("bad plan %d validated", i)
+		}
+	}
+	good := &Plan{
+		Degrades:   []LinkDegrade{{Link: Link{Chip: 3, Dir: topology.InterDepth}, Factor: 1.5, Start: 0.1, End: 0.9}},
+		Stragglers: []Straggler{{Chip: 15, Slowdown: 10}},
+		LinkFails:  []LinkFail{{Link: Link{Chip: 0, Dir: topology.InterCol}, At: 0}},
+		ChipFails:  []ChipFail{{Chip: 0, At: 0.5}},
+	}
+	if err := good.Validate(16); err != nil {
+		t.Fatalf("good plan rejected: %v", err)
+	}
+}
+
+func TestEffectiveChip(t *testing.T) {
+	c := hw.TPUv4()
+	p := &Plan{
+		Degrades:   []LinkDegrade{{Link: Link{Chip: 0, Dir: topology.InterRow}, Factor: 4}},
+		Stragglers: []Straggler{{Chip: 1, Slowdown: 2}},
+	}
+	eff := p.EffectiveChip(c)
+	if eff.LinkBandwidth != c.LinkBandwidth/4 { // lint:float-exact single division is exact to compare
+		t.Fatalf("EffectiveChip bandwidth = %g, want %g", eff.LinkBandwidth, c.LinkBandwidth/4)
+	}
+	if eff.EffFLOPS != c.EffFLOPS/2 { // lint:float-exact single division is exact to compare
+		t.Fatalf("EffectiveChip FLOPS = %g, want %g", eff.EffFLOPS, c.EffFLOPS/2)
+	}
+	if eff.PeakFLOPS != c.PeakFLOPS { // lint:float-exact untouched field must be copied verbatim
+		t.Fatal("EffectiveChip must not touch PeakFLOPS")
+	}
+	healthy := (&Plan{}).EffectiveChip(c)
+	if healthy != c {
+		t.Fatal("empty plan EffectiveChip must be the identity")
+	}
+}
+
+func TestCanonicalOrderIndependent(t *testing.T) {
+	a := &Plan{
+		Degrades: []LinkDegrade{
+			{Link: Link{Chip: 1, Dir: topology.InterRow}, Factor: 2, Start: 0, End: 1},
+			{Link: Link{Chip: 0, Dir: topology.InterCol}, Factor: 3, Start: 0.5, End: 0},
+		},
+		ChipFails: []ChipFail{{Chip: 2, At: 0.25}},
+	}
+	b := &Plan{
+		Degrades: []LinkDegrade{
+			{Link: Link{Chip: 0, Dir: topology.InterCol}, Factor: 3, Start: 0.5, End: 0},
+			{Link: Link{Chip: 1, Dir: topology.InterRow}, Factor: 2, Start: 0, End: 1},
+		},
+		ChipFails: []ChipFail{{Chip: 2, At: 0.25}},
+	}
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("canonical text depends on slice order:\n%s\nvs\n%s", a.Canonical(), b.Canonical())
+	}
+	if !strings.Contains(a.Canonical(), "end=open") {
+		t.Fatalf("open-ended window missing from canonical text:\n%s", a.Canonical())
+	}
+	if got := (&Plan{}).Canonical(); got != "(healthy fabric)\n" {
+		t.Fatalf("empty canonical = %q", got)
+	}
+}
+
+func TestSpans(t *testing.T) {
+	p := &Plan{
+		Degrades: []LinkDegrade{
+			{Link: Link{Chip: 0, Dir: topology.InterRow}, Factor: 2, Start: 0.2, End: 0}, // open → clipped
+			{Link: Link{Chip: 1, Dir: topology.InterRow}, Factor: 2, Start: 5, End: 6},   // beyond horizon → dropped
+		},
+		Stragglers: []Straggler{{Chip: 3, Slowdown: 4, Start: 0, End: 0.5}},
+		LinkFails:  []LinkFail{{Link: Link{Chip: 2, Dir: topology.InterCol}, At: 0.9}},
+	}
+	spans := p.Spans(1.0)
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %v", len(spans), spans)
+	}
+	if spans[0].Kind != "straggler" || spans[1].Kind != "link-degrade" || spans[2].Kind != "link-fail" {
+		t.Fatalf("span order wrong: %v", spans)
+	}
+	if spans[1].End != 1.0 { // lint:float-exact clip assigns the horizon literal
+		t.Fatalf("open-ended span end = %g, want horizon", spans[1].End)
+	}
+	if spans[2].Start != 0.9 || spans[2].End != 1.0 { // lint:float-exact copied literals
+		t.Fatalf("failure span = [%g,%g], want [0.9,1]", spans[2].Start, spans[2].End)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	opts := ScenarioOptions{Degrades: 3, Stragglers: 2, LinkFails: 1, ChipFails: 1, MaxFactor: 6, Horizon: 2}
+	a := Generate(42, 32, opts)
+	b := Generate(42, 32, opts)
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("same seed produced different plans:\n%s\nvs\n%s", a.Canonical(), b.Canonical())
+	}
+	c := Generate(43, 32, opts)
+	if a.Canonical() == c.Canonical() {
+		t.Fatal("different seeds produced identical plans")
+	}
+	if err := a.Validate(32); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+	d, s, lf, cf := a.Events()
+	if d != 3 || s != 2 || lf != 1 || cf != 1 {
+		t.Fatalf("event counts = (%d,%d,%d,%d), want (3,2,1,1)", d, s, lf, cf)
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	p := Generate(7, 16, ScenarioOptions{})
+	if err := p.Validate(16); err != nil {
+		t.Fatalf("default scenario invalid: %v", err)
+	}
+	d, s, lf, cf := p.Events()
+	if d != 2 || s != 1 || lf != 0 || cf != 0 {
+		t.Fatalf("default counts = (%d,%d,%d,%d), want (2,1,0,0)", d, s, lf, cf)
+	}
+	if p.WorstLinkFactor() < 1.5 || p.WorstComputeFactor() < 1.5 {
+		t.Fatalf("default factors below generator floor: link %g compute %g",
+			p.WorstLinkFactor(), p.WorstComputeFactor())
+	}
+}
+
+func TestMeshFaultsTranslation(t *testing.T) {
+	tor := topology.Torus{Rows: 4, Cols: 4}
+	p := &Plan{
+		Degrades:  []LinkDegrade{{Link: Link{Chip: 5, Dir: topology.InterCol}, Factor: 3}},
+		LinkFails: []LinkFail{{Link: Link{Chip: 2, Dir: topology.InterRow}, At: 0}},
+		ChipFails: []ChipFail{{Chip: 9, At: 0}},
+		// Stragglers must be ignored: compute speed has no functional analogue.
+		Stragglers: []Straggler{{Chip: 0, Slowdown: 5}},
+	}
+	mf := p.MeshFaults(tor)
+	if len(mf.Delays) != 4 {
+		t.Fatalf("got %d delay edges, want 4 (both neighbours, both directions)", len(mf.Delays))
+	}
+	for _, d := range mf.Delays {
+		if d.Yields != 3 {
+			t.Fatalf("delay yields = %d, want 3", d.Yields)
+		}
+		if d.From != 5 && d.To != 5 {
+			t.Fatalf("delay edge %v does not touch the degraded chip", d)
+		}
+	}
+	if len(mf.Drops) != 1 {
+		t.Fatalf("got %d drops, want 1", len(mf.Drops))
+	}
+	// Chip 2's next InterRow neighbour on a 4x4 torus (row ring = column
+	// ring of coordinates in the same column... direction semantics are
+	// the torus's); the drop must originate at chip 2.
+	if mf.Drops[0].From != 2 {
+		t.Fatalf("drop edge %v does not originate at the failed link's chip", mf.Drops[0])
+	}
+	if len(mf.ChipFails) != 1 || mf.ChipFails[0].Chip != 9 {
+		t.Fatalf("chip fails = %v, want chip 9", mf.ChipFails)
+	}
+	empty := (&Plan{}).MeshFaults(tor)
+	if !empty.Empty() {
+		t.Fatal("empty plan must translate to empty mesh faults")
+	}
+}

@@ -1,0 +1,120 @@
+package fault
+
+import (
+	"sort"
+
+	"meshslice/internal/topology"
+)
+
+// The functional SPMD runtime (package mesh) has no simulated clock, so a
+// time-based Plan cannot be applied to it directly. MeshFaults is the
+// runtime-level translation: delays counted in scheduler yields, drops and
+// chip failures counted in messages. Deterministic given a deterministic
+// program, because the counts are per-edge and each edge's messages are
+// produced by exactly one goroutine in program order.
+
+// EdgeDelay makes every message on the directed edge From→To eligible for
+// Yields cooperative scheduler yields on the receive side — perturbing
+// goroutine interleaving the way a slow link perturbs arrival order,
+// without changing any payload.
+type EdgeDelay struct {
+	From, To int
+	Yields   int
+}
+
+// EdgeDrop silently discards the Nth message (0-based) sent on the
+// directed edge From→To. The receiver must surface the loss as a typed
+// stall error, not hang.
+type EdgeDrop struct {
+	From, To int
+	Nth      int
+}
+
+// MeshChipFail fail-stops a chip after it has sent AfterSends messages:
+// its goroutine aborts with a typed error and its peers observe the death
+// instead of deadlocking.
+type MeshChipFail struct {
+	Chip       int
+	AfterSends int
+}
+
+// MeshFaults is a fault plan in the functional runtime's vocabulary.
+type MeshFaults struct {
+	Delays    []EdgeDelay
+	Drops     []EdgeDrop
+	ChipFails []MeshChipFail
+}
+
+// Empty reports whether there is nothing to inject.
+func (f *MeshFaults) Empty() bool {
+	return f == nil || len(f.Delays) == 0 && len(f.Drops) == 0 && len(f.ChipFails) == 0
+}
+
+// MeshFaults translates the plan onto a 2D torus's directed edges:
+//
+//   - each LinkDegrade becomes delays on the degraded chip's ring edges
+//     (both neighbours, both directions) with yields proportional to the
+//     degradation factor;
+//   - each LinkFail becomes a drop of the first message the dead chip
+//     sends to its next ring neighbour in the failed direction;
+//   - each ChipFail fail-stops the chip before its first send.
+//
+// Stragglers have no functional-runtime analogue (compute speed does not
+// change numerics) and are ignored. Results are sorted for determinism.
+func (p *Plan) MeshFaults(t topology.Torus) MeshFaults {
+	var mf MeshFaults
+	if p.Empty() {
+		return mf
+	}
+	for _, d := range p.Degrades {
+		c := t.Coord(d.Link.Chip)
+		next := t.Rank(t.Next(c, d.Link.Dir))
+		prev := t.Rank(t.Prev(c, d.Link.Dir))
+		yields := int(d.Factor)
+		if yields < 1 {
+			yields = 1
+		}
+		mf.Delays = append(mf.Delays,
+			EdgeDelay{From: d.Link.Chip, To: next, Yields: yields},
+			EdgeDelay{From: d.Link.Chip, To: prev, Yields: yields},
+			EdgeDelay{From: next, To: d.Link.Chip, Yields: yields},
+			EdgeDelay{From: prev, To: d.Link.Chip, Yields: yields},
+		)
+	}
+	for _, f := range p.LinkFails {
+		c := t.Coord(f.Link.Chip)
+		next := t.Rank(t.Next(c, f.Link.Dir))
+		mf.Drops = append(mf.Drops, EdgeDrop{From: f.Link.Chip, To: next, Nth: 0})
+	}
+	for _, f := range p.ChipFails {
+		mf.ChipFails = append(mf.ChipFails, MeshChipFail{Chip: f.Chip, AfterSends: 0})
+	}
+	sort.Slice(mf.Delays, func(i, j int) bool {
+		a, b := mf.Delays[i], mf.Delays[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Yields < b.Yields
+	})
+	sort.Slice(mf.Drops, func(i, j int) bool {
+		a, b := mf.Drops[i], mf.Drops[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Nth < b.Nth
+	})
+	sort.Slice(mf.ChipFails, func(i, j int) bool {
+		a, b := mf.ChipFails[i], mf.ChipFails[j]
+		if a.Chip != b.Chip {
+			return a.Chip < b.Chip
+		}
+		return a.AfterSends < b.AfterSends
+	})
+	return mf
+}

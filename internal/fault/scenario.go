@@ -1,0 +1,96 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"meshslice/internal/topology"
+)
+
+// ScenarioOptions bounds the seeded scenario generator. The zero value is
+// usable: Generate fills in the defaults below.
+type ScenarioOptions struct {
+	// Degrades, Stragglers, LinkFails, ChipFails count events of each type
+	// to draw. Defaults: 2 degrades, 1 straggler, 0 failures — a degraded
+	// but survivable fabric.
+	Degrades   int
+	Stragglers int
+	LinkFails  int
+	ChipFails  int
+	// MaxFactor caps degrade factors and straggler slowdowns (drawn
+	// uniformly in [1.5, MaxFactor]). Default 8.
+	MaxFactor float64
+	// Horizon bounds event start times (degrade/straggler windows start in
+	// [0, Horizon/2) and last at least Horizon/4; failures strike in
+	// [Horizon/4, Horizon)). Default 1.0 simulated second.
+	Horizon float64
+	// Depth > 1 additionally draws InterDepth links (3D torus). Default 1.
+	Depth int
+}
+
+func (o ScenarioOptions) withDefaults() ScenarioOptions {
+	if o.Degrades == 0 && o.Stragglers == 0 && o.LinkFails == 0 && o.ChipFails == 0 {
+		o.Degrades, o.Stragglers = 2, 1
+	}
+	if o.MaxFactor < 1.5 {
+		o.MaxFactor = 8
+	}
+	if o.Horizon <= 0 {
+		o.Horizon = 1.0
+	}
+	if o.Depth < 1 {
+		o.Depth = 1
+	}
+	return o
+}
+
+// Generate draws a random fault plan for a cluster of the given size from
+// an explicitly seeded stream: the same (seed, chips, options) triple
+// always yields the same plan, byte-for-byte (compare with Canonical).
+func Generate(seed int64, chips int, opts ScenarioOptions) *Plan {
+	if chips <= 0 {
+		panic(fmt.Sprintf("fault: Generate on %d chips", chips)) // lint:invariant scenario generation needs a real cluster
+	}
+	o := opts.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	dirs := []topology.Direction{topology.InterRow, topology.InterCol}
+	if o.Depth > 1 {
+		dirs = append(dirs, topology.InterDepth)
+	}
+	randLink := func() Link {
+		return Link{Chip: rng.Intn(chips), Dir: dirs[rng.Intn(len(dirs))]}
+	}
+	randFactor := func() float64 {
+		return 1.5 + rng.Float64()*(o.MaxFactor-1.5)
+	}
+	// Degradations and stragglers open in the first half of the horizon and
+	// hold for at least a quarter of it, so they overlap real work instead
+	// of expiring before the program warms up.
+	randWindow := func() (start, end float64) {
+		start = rng.Float64() * o.Horizon / 2
+		end = start + o.Horizon/4 + rng.Float64()*o.Horizon/2
+		return start, end
+	}
+	p := &Plan{}
+	for i := 0; i < o.Degrades; i++ {
+		start, end := randWindow()
+		p.Degrades = append(p.Degrades, LinkDegrade{
+			Link: randLink(), Factor: randFactor(), Start: start, End: end,
+		})
+	}
+	for i := 0; i < o.Stragglers; i++ {
+		start, end := randWindow()
+		p.Stragglers = append(p.Stragglers, Straggler{
+			Chip: rng.Intn(chips), Slowdown: randFactor(), Start: start, End: end,
+		})
+	}
+	for i := 0; i < o.LinkFails; i++ {
+		at := o.Horizon/4 + rng.Float64()*o.Horizon*3/4
+		p.LinkFails = append(p.LinkFails, LinkFail{Link: randLink(), At: at})
+	}
+	for i := 0; i < o.ChipFails; i++ {
+		at := o.Horizon/4 + rng.Float64()*o.Horizon*3/4
+		p.ChipFails = append(p.ChipFails, ChipFail{Chip: rng.Intn(chips), At: at})
+	}
+	return p
+}

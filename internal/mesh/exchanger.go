@@ -1,8 +1,11 @@
 package mesh
 
 import (
+	"runtime"
+	"sort"
 	"sync"
 
+	"meshslice/internal/fault"
 	"meshslice/internal/tensor"
 )
 
@@ -11,6 +14,14 @@ import (
 // DMA engine writing into the receiver's HBM — which makes the symmetric
 // send-then-receive patterns of ring algorithms deadlock-free without
 // requiring chips to agree on call ordering.
+//
+// The exchanger doubles as the fault-injection interposer (SetFaults):
+// delayed edges yield the receiving goroutine to the scheduler, dropped
+// messages vanish at send, and fail-stopped chips abort at a configured
+// send count. A quiescence detector turns the resulting permanent stalls
+// into typed panics: when every alive chip is blocked in recv on an empty
+// mailbox, no message can ever arrive again — only chip goroutines send —
+// so the stall is provable, not a timeout heuristic.
 type exchanger struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -21,6 +32,29 @@ type exchanger struct {
 	// agnostic): per ordered chip pair, and totals.
 	pairElems map[pair]int64
 	messages  int64
+
+	// Fault injection (configured by setFaults before a run; read-only
+	// while chips execute). delays is keyed by directed edge and counted
+	// in scheduler yields; drops maps an edge to the 0-based send indices
+	// to discard; chipFails maps a rank to the send count it dies at.
+	delays    map[pair]int
+	drops     map[pair]map[int]bool
+	chipFails map[int]int
+
+	// Per-run fault progress, reset by beginRun: messages sent per edge
+	// (for drop matching) and per chip (for failure matching).
+	edgeSends map[pair]int
+	chipSends map[int]int
+
+	// Quiescence detection: alive counts chip goroutines still running,
+	// waiting counts those blocked in recv, waitEdges the edges they are
+	// blocked on. stalled flips once waiting == alive; stallEdges snapshots
+	// the blocked edges for the typed error.
+	alive      int
+	waiting    int
+	waitEdges  map[pair]int
+	stalled    bool
+	stallEdges []Edge
 }
 
 type pair struct{ from, to int }
@@ -34,15 +68,115 @@ func newExchanger() *exchanger {
 	e := &exchanger{
 		queues:    make(map[pair][]*tensor.Matrix),
 		pairElems: make(map[pair]int64),
+		waitEdges: make(map[pair]int),
 	}
 	e.cond = sync.NewCond(&e.mu)
 	return e
+}
+
+// setFaults installs (or, with an empty plan, removes) the fault plan.
+// Duplicate delay edges accumulate; duplicate chip failures keep the
+// earliest send count.
+func (e *exchanger) setFaults(f fault.MeshFaults) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.delays, e.drops, e.chipFails = nil, nil, nil
+	if f.Empty() {
+		return
+	}
+	e.delays = make(map[pair]int)
+	for _, d := range f.Delays {
+		e.delays[pair{d.From, d.To}] += d.Yields
+	}
+	e.drops = make(map[pair]map[int]bool)
+	for _, d := range f.Drops {
+		k := pair{d.From, d.To}
+		if e.drops[k] == nil {
+			e.drops[k] = make(map[int]bool)
+		}
+		e.drops[k][d.Nth] = true
+	}
+	e.chipFails = make(map[int]int)
+	for _, c := range f.ChipFails {
+		if at, ok := e.chipFails[c.Chip]; !ok || c.AfterSends < at {
+			e.chipFails[c.Chip] = c.AfterSends
+		}
+	}
+}
+
+// beginRun arms the per-run counters for n chip goroutines.
+func (e *exchanger) beginRun(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.alive = n
+	e.waiting = 0
+	e.stalled = false
+	e.stallEdges = nil
+	e.edgeSends = make(map[pair]int)
+	e.chipSends = make(map[int]int)
+}
+
+// chipDone retires a finished (or panicked) chip goroutine: it will never
+// send again, so the remaining waiters may now constitute a stall.
+func (e *exchanger) chipDone() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.alive--
+	e.maybeStall()
+}
+
+// maybeStall declares a permanent stall when every alive chip goroutine is
+// blocked in recv: nothing outside chip goroutines ever sends, so no
+// blocked receive can complete. Callers hold e.mu.
+func (e *exchanger) maybeStall() {
+	if e.stalled || e.poisoned || e.alive <= 0 || e.waiting < e.alive {
+		return
+	}
+	// A receiver woken by a send stays counted in waiting until it
+	// actually resumes; if any awaited mailbox has a message, that wake-up
+	// is in flight and the system is not quiescent.
+	for k, n := range e.waitEdges {
+		if n > 0 && len(e.queues[k]) > 0 {
+			return
+		}
+	}
+	e.stalled = true
+	e.stallEdges = make([]Edge, 0, len(e.waitEdges))
+	for k, n := range e.waitEdges {
+		if n > 0 {
+			e.stallEdges = append(e.stallEdges, Edge{From: k.from, To: k.to})
+		}
+	}
+	sort.Slice(e.stallEdges, func(i, j int) bool {
+		a, b := e.stallEdges[i], e.stallEdges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	e.cond.Broadcast()
 }
 
 func (e *exchanger) send(from, to int, m *tensor.Matrix) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	k := pair{from, to}
+	if e.chipFails != nil {
+		if at, ok := e.chipFails[from]; ok && e.chipSends[from] >= at {
+			panic(&ChipFailedError{Chip: from, Sends: e.chipSends[from]}) // lint:invariant injected fail-stop, recovered and typed by RunE
+		}
+		e.chipSends[from]++
+	}
+	if e.drops != nil {
+		nth := e.edgeSends[k]
+		e.edgeSends[k]++
+		if e.drops[k][nth] {
+			// The message vanishes on the wire: no mailbox append, no
+			// traffic accounting — the receiver must detect the loss via
+			// the quiescence stall, not here.
+			return
+		}
+	}
 	e.queues[k] = append(e.queues[k], m)
 	e.pairElems[k] += int64(m.Rows) * int64(m.Cols)
 	e.messages++
@@ -50,6 +184,16 @@ func (e *exchanger) send(from, to int, m *tensor.Matrix) {
 }
 
 func (e *exchanger) recv(from, to int) *tensor.Matrix {
+	// A degraded edge yields the receiver to the scheduler: arrival order
+	// across chips shifts exactly as behind a slow link, while payloads
+	// and per-edge FIFO order — hence all numerics — stay untouched.
+	if e.delays != nil {
+		if n := e.delays[pair{from, to}]; n > 0 {
+			for i := 0; i < n; i++ {
+				runtime.Gosched()
+			}
+		}
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	k := pair{from, to}
@@ -58,7 +202,20 @@ func (e *exchanger) recv(from, to int) *tensor.Matrix {
 			// A peer chip panicked; give up instead of blocking forever.
 			panic(errPeerFailed) // lint:invariant aborts receive after peer failure
 		}
-		e.cond.Wait()
+		if e.stalled {
+			panic(&RecvStallError{Edges: e.stallEdges}) // lint:invariant quiescence-proved stall, recovered and typed by RunE
+		}
+		e.waiting++
+		e.waitEdges[k]++
+		e.maybeStall()
+		if !e.stalled {
+			e.cond.Wait()
+		}
+		e.waiting--
+		e.waitEdges[k]--
+		if e.waitEdges[k] == 0 {
+			delete(e.waitEdges, k)
+		}
 	}
 	q := e.queues[k]
 	m := q[0]
@@ -75,12 +232,17 @@ func (e *exchanger) poison() {
 }
 
 // reset clears leftover state between SPMD runs on the same mesh; the
-// traffic counters survive so callers can read them after Run returns.
+// traffic counters survive so callers can read them after Run returns, and
+// the fault plan survives so repeated runs replay identical faults.
 func (e *exchanger) reset() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.queues = make(map[pair][]*tensor.Matrix)
 	e.poisoned = false
+	e.stalled = false
+	e.stallEdges = nil
+	e.waitEdges = make(map[pair]int)
+	e.waiting = 0
 }
 
 // stats snapshots the traffic counters.

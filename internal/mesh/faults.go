@@ -1,0 +1,103 @@
+package mesh
+
+import (
+	"fmt"
+
+	"meshslice/internal/fault"
+)
+
+// Fault injection on the functional runtime: SetFaults arms the exchanger
+// with a fault.MeshFaults plan — per-edge scheduler-yield delays, message
+// drops, and send-counted chip failures. Delays perturb goroutine
+// interleaving the way slow links perturb arrival order, without touching
+// any payload, so collective and GeMM results must be bit-identical to a
+// healthy run. Drops and chip failures must surface as the typed errors
+// below (via RunE) instead of deadlocked goroutines: the exchanger
+// detects quiescence — every alive chip blocked in a receive — which on
+// this runtime proves a permanent stall, because only chip goroutines
+// send.
+
+// Edge is one directed chip-to-chip connection.
+type Edge struct {
+	From, To int
+}
+
+// ChipFailedError reports a chip that fail-stopped mid-program (injected
+// via fault.MeshChipFail).
+type ChipFailedError struct {
+	// Chip is the failed chip's rank.
+	Chip int
+	// Sends is the number of messages it had sent when it died.
+	Sends int
+}
+
+func (e *ChipFailedError) Error() string {
+	return fmt.Sprintf("mesh: chip %d fail-stopped after %d sends", e.Chip, e.Sends)
+}
+
+// RecvStallError reports a permanently stalled run: every alive chip was
+// blocked in a receive, so no message could ever arrive again (the typed
+// surface of a dropped message).
+type RecvStallError struct {
+	// Edges lists the (from, to) pairs the stalled receivers were blocked
+	// on, sorted, with duplicates collapsed.
+	Edges []Edge
+}
+
+func (e *RecvStallError) Error() string {
+	return fmt.Sprintf("mesh: all chips stalled in recv (blocked edges %v) — a message was lost", e.Edges)
+}
+
+// SetFaults arms (or, with an empty plan, disarms) fault injection for
+// subsequent Run/RunE calls. Must not be called while a run is in flight.
+// The plan persists across runs — drops and chip failures replay
+// identically on every Run because the per-edge and per-chip message
+// counters reset between runs.
+func (m *Mesh) SetFaults(f fault.MeshFaults) {
+	m.ex.setFaults(f)
+}
+
+// RunE executes fn once per chip like Run, but returns injected-fault
+// outcomes as typed errors instead of panicking: a *ChipFailedError when
+// a chip fail-stopped (taking priority, as the root cause, over the
+// peer aborts it triggers), or a *RecvStallError when a lost message
+// stalled the run. Genuine chip panics — anything the fault injector did
+// not raise — still re-panic with Run's SPMD failure semantics.
+func (m *Mesh) RunE(fn func(c *Chip)) error {
+	panics := m.runAll(fn)
+	var chipFail *ChipFailedError
+	var stall *RecvStallError
+	var fallback string
+	for rank, p := range panics {
+		if p == nil {
+			continue
+		}
+		switch v := p.(type) {
+		case *ChipFailedError:
+			if chipFail == nil {
+				chipFail = v
+			}
+		case *RecvStallError:
+			if stall == nil {
+				stall = v
+			}
+		default:
+			msg := fmt.Sprintf("mesh: chip %d panicked: %v", rank, p)
+			if p == errPeerFailed {
+				fallback = msg
+				continue
+			}
+			panic(msg) // lint:invariant re-raises chip panic, documented SPMD failure semantics
+		}
+	}
+	if chipFail != nil {
+		return chipFail
+	}
+	if stall != nil {
+		return stall
+	}
+	if fallback != "" {
+		panic(fallback) // lint:invariant re-raises chip panic, documented SPMD failure semantics
+	}
+	return nil
+}

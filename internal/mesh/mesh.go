@@ -134,31 +134,10 @@ func (c *Chip) WithRings(row, col []int) *Chip {
 // Run executes fn once per chip, each on its own goroutine, and waits for
 // all of them. It panics (after all goroutines finish or deadlock is
 // avoided) with the first chip panic, preserving SPMD failure semantics.
+// With fault injection armed (SetFaults), injected outcomes also surface
+// as panics here; RunE returns them as typed errors instead.
 func (m *Mesh) Run(fn func(c *Chip)) {
-	n := m.Torus.Size()
-	var wg sync.WaitGroup
-	wg.Add(n)
-	panics := make([]any, n)
-	for r := 0; r < n; r++ {
-		go func(rank int) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					panics[rank] = p
-					// Unblock peers waiting on this chip forever.
-					m.ex.poison()
-				}
-			}()
-			// Label the goroutine so CPU/goroutine profiles attribute
-			// samples to the chip they ran for (veScale-style per-rank
-			// debugging of eager SPMD code).
-			pprof.Do(context.Background(), pprof.Labels("chip", strconv.Itoa(rank)), func(context.Context) {
-				fn(&Chip{Coord: m.Torus.Coord(rank), Rank: rank, mesh: m})
-			})
-		}(r)
-	}
-	wg.Wait()
-	m.ex.reset()
+	panics := m.runAll(fn)
 	// Report the root cause: a chip that panicked on its own, not one that
 	// merely aborted a receive because a peer had already failed.
 	var fallback string
@@ -176,6 +155,40 @@ func (m *Mesh) Run(fn func(c *Chip)) {
 	if fallback != "" {
 		panic(fallback) // lint:invariant re-raises chip panic, documented SPMD failure semantics
 	}
+}
+
+// runAll spawns one goroutine per chip, waits for them all, and returns
+// the recovered panic values by rank (the shared engine of Run and RunE).
+func (m *Mesh) runAll(fn func(c *Chip)) []any {
+	n := m.Torus.Size()
+	m.ex.beginRun(n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	panics := make([]any, n)
+	for r := 0; r < n; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			// A finished chip will never send again; telling the exchanger
+			// lets its quiescence detector exclude it (see chipDone).
+			defer m.ex.chipDone()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+					// Unblock peers waiting on this chip forever.
+					m.ex.poison()
+				}
+			}()
+			// Label the goroutine so CPU/goroutine profiles attribute
+			// samples to the chip they ran for (veScale-style per-rank
+			// debugging of eager SPMD code).
+			pprof.Do(context.Background(), pprof.Labels("chip", strconv.Itoa(rank)), func(context.Context) {
+				fn(&Chip{Coord: m.Torus.Coord(rank), Rank: rank, mesh: m})
+			})
+		}(r)
+	}
+	wg.Wait()
+	m.ex.reset()
+	return panics
 }
 
 // RowComm returns the communicator for c's horizontal ring (inter-column

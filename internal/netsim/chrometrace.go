@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"meshslice/internal/fault"
 	"meshslice/internal/topology"
 )
 
@@ -95,6 +96,51 @@ func WriteClusterChromeTrace(w io.Writer, traces []Trace, label string) error {
 	var out []any
 	for chip, t := range traces {
 		out = appendChipEvents(out, t, chip, fmt.Sprintf("chip %d — %s", chip, label))
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// WriteFaultyClusterChromeTrace is WriteClusterChromeTrace plus a final
+// "faults" process whose tracks carry the fault plan's intervals (as
+// clipped by Result.FaultSpans): the viewer shows degraded windows,
+// straggler windows and failure onsets aligned under the chip timelines
+// that they stretch or strand.
+func WriteFaultyClusterChromeTrace(w io.Writer, traces []Trace, spans []fault.Span, label string) error {
+	var out []any
+	for chip, t := range traces {
+		out = appendChipEvents(out, t, chip, fmt.Sprintf("chip %d — %s", chip, label))
+	}
+	if len(spans) > 0 {
+		pid := len(traces)
+		out = append(out, chromeMeta{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": fmt.Sprintf("faults — %s", label)},
+		})
+		out = append(out, chromeMeta{
+			Name: "thread_name", Ph: "M", PID: pid, TID: 0,
+			Args: map[string]any{"name": "fault intervals"},
+		})
+		for _, sp := range spans {
+			name := fmt.Sprintf("%s chip %d", sp.Kind, sp.Chip)
+			args := map[string]string{"kind": sp.Kind, "chip": fmt.Sprint(sp.Chip)}
+			if sp.Kind == "link-degrade" || sp.Kind == "link-fail" {
+				name = fmt.Sprintf("%s chip %d %v", sp.Kind, sp.Chip, sp.Dir)
+				args["dir"] = sp.Dir.String()
+			}
+			if sp.Factor > 0 {
+				args["factor"] = fmt.Sprintf("%g", sp.Factor)
+			}
+			out = append(out, chromeEvent{
+				Name: name,
+				Cat:  "fault",
+				Ph:   "X",
+				TS:   sp.Start * 1e6,
+				Dur:  (sp.End - sp.Start) * 1e6,
+				PID:  pid,
+				TID:  0,
+				Args: args,
+			})
+		}
 	}
 	return json.NewEncoder(w).Encode(out)
 }

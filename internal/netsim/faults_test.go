@@ -1,0 +1,274 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+
+	"meshslice/internal/fault"
+	"meshslice/internal/obs"
+	"meshslice/internal/sched"
+	"meshslice/internal/topology"
+)
+
+// stretchPlan degrades chip 0's links in both directions and slows chip 1,
+// open-ended from t=0 — active fault pressure on every builtin program
+// (all of them run compute on chip 1 and most run collectives over chip
+// 0's links) without killing anything.
+func stretchPlan() *fault.Plan {
+	return &fault.Plan{
+		Degrades: []fault.LinkDegrade{
+			{Link: fault.Link{Chip: 0, Dir: topology.InterRow}, Factor: 3},
+			{Link: fault.Link{Chip: 0, Dir: topology.InterCol}, Factor: 2},
+		},
+		Stragglers: []fault.Straggler{{Chip: 1, Slowdown: 2.5}},
+	}
+}
+
+// TestCriticalPathUnderFaultsAllAlgorithms is the acceptance criterion:
+// with a nonzero fault plan active, launch+sync+transfer+compute still
+// telescopes to the makespan within 1e-9 on every builtin program — the
+// attribution scales fault-stretched durations proportionally instead of
+// dropping the added time.
+func TestCriticalPathUnderFaultsAllAlgorithms(t *testing.T) {
+	for name, prog := range builtinPrograms() {
+		healthy := Simulate(prog, testHW, Options{CriticalPath: true})
+		r := Simulate(prog, testHW, Options{CriticalPath: true, Faults: stretchPlan()})
+		checkCriticalPath(t, name, r)
+		if r.Failed != nil {
+			t.Errorf("%s: stretch-only plan reported failure: %v", name, r.Failed)
+		}
+		if r.Makespan < healthy.Makespan {
+			t.Errorf("%s: faults sped the program up: %v < healthy %v", name, r.Makespan, healthy.Makespan)
+		}
+	}
+}
+
+func TestCriticalPathUnderFaultsStepLevel(t *testing.T) {
+	prog := sched.MeshSliceProgram(critProb, topology.NewTorus(4, 4), testHW, 4)
+	r := Simulate(prog, testHW, Options{CriticalPath: true, StepLevel: true, Faults: stretchPlan()})
+	checkCriticalPath(t, "stepLevel", r)
+	if r.Failed != nil {
+		t.Fatalf("stretch-only plan reported failure: %v", r.Failed)
+	}
+}
+
+// TestZeroFaultPlanIsNoOp is the other acceptance criterion: an empty
+// fault.Plan{} reproduces the healthy run byte-identically — same
+// makespan bit pattern, same metric snapshot bytes.
+func TestZeroFaultPlanIsNoOp(t *testing.T) {
+	run := func(faults *fault.Plan) (Result, []byte) {
+		reg := obs.NewRegistry()
+		prog := sched.MeshSliceProgram(critProb, topology.NewTorus(4, 4), testHW, 4)
+		prog.Label = "zero"
+		r := Simulate(prog, testHW, Options{CriticalPath: true, Metrics: reg, Faults: faults})
+		var buf bytes.Buffer
+		if err := reg.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return r, buf.Bytes()
+	}
+	base, baseSnap := run(nil)
+	zero, zeroSnap := run(&fault.Plan{})
+	if zero.Makespan != base.Makespan { // lint:float-exact acceptance criterion: empty plan is byte-identical, not merely close
+		t.Errorf("empty plan changed the makespan: %v vs %v", zero.Makespan, base.Makespan)
+	}
+	if zero.CritPath.Attribution != base.CritPath.Attribution {
+		t.Errorf("empty plan changed the attribution: %+v vs %+v",
+			zero.CritPath.Attribution, base.CritPath.Attribution)
+	}
+	if !bytes.Equal(baseSnap, zeroSnap) {
+		t.Errorf("empty plan changed the metrics snapshot")
+	}
+	if zero.Failed != nil || zero.FaultSpans != nil {
+		t.Errorf("empty plan populated fault outputs: %v, %v", zero.Failed, zero.FaultSpans)
+	}
+}
+
+func TestFaultSimulationDeterministic(t *testing.T) {
+	plan := fault.Generate(99, 16, fault.ScenarioOptions{Degrades: 4, Stragglers: 2, MaxFactor: 5, Horizon: 0.05})
+	run := func() (Result, []byte) {
+		reg := obs.NewRegistry()
+		prog := sched.MeshSliceProgram(critProb, topology.NewTorus(4, 4), testHW, 4)
+		prog.Label = "det"
+		r := Simulate(prog, testHW, Options{CriticalPath: true, Metrics: reg, Faults: plan})
+		var buf bytes.Buffer
+		if err := reg.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return r, buf.Bytes()
+	}
+	a, aSnap := run()
+	b, bSnap := run()
+	if a.Makespan != b.Makespan { // lint:float-exact determinism criterion: identical runs are byte-identical
+		t.Errorf("same plan, different makespans: %v vs %v", a.Makespan, b.Makespan)
+	}
+	if !bytes.Equal(aSnap, bSnap) {
+		t.Errorf("same plan, different metric snapshots")
+	}
+}
+
+func TestFaultStretchSlowsProgram(t *testing.T) {
+	prog := sched.MeshSliceProgram(critProb, topology.NewTorus(4, 4), testHW, 4)
+	healthy := Simulate(prog, testHW, Options{})
+	faulty := Simulate(prog, testHW, Options{Faults: stretchPlan()})
+	if faulty.Makespan <= healthy.Makespan {
+		t.Fatalf("degraded fabric not slower: %v vs healthy %v", faulty.Makespan, healthy.Makespan)
+	}
+	if faulty.Failed != nil {
+		t.Fatalf("stretch-only plan reported failure: %v", faulty.Failed)
+	}
+	if len(faulty.FaultSpans) == 0 {
+		t.Fatal("active plan produced no fault spans")
+	}
+}
+
+// TestChipFailureHaltsTyped: a dead chip strands its ops; the simulator
+// returns a typed Result.Failed instead of panicking, on every builtin
+// program.
+func TestChipFailureHaltsTyped(t *testing.T) {
+	plan := &fault.Plan{ChipFails: []fault.ChipFail{{Chip: 1, At: 0}}}
+	for name, prog := range builtinPrograms() {
+		r := Simulate(prog, testHW, Options{Faults: plan})
+		if r.Failed == nil {
+			t.Errorf("%s: dead chip went undetected", name)
+			continue
+		}
+		if r.Failed.Kind != FailChip || r.Failed.Chip != 1 {
+			t.Errorf("%s: diagnosis %+v, want chip-fail on chip 1", name, r.Failed)
+		}
+		if r.Failed.Error() == "" {
+			t.Errorf("%s: empty failure message", name)
+		}
+	}
+}
+
+// TestLinkFailureHaltsTyped: a dead link partitions rings that cross it;
+// without re-routing the collective halts with a link-fail diagnosis.
+func TestLinkFailureHaltsTyped(t *testing.T) {
+	plan := &fault.Plan{LinkFails: []fault.LinkFail{
+		{Link: fault.Link{Chip: 0, Dir: topology.InterRow}, At: 0},
+		{Link: fault.Link{Chip: 0, Dir: topology.InterCol}, At: 0},
+	}}
+	prog := sched.MeshSliceProgram(critProb, topology.NewTorus(4, 4), testHW, 4)
+	r := Simulate(prog, testHW, Options{Faults: plan})
+	if r.Failed == nil {
+		t.Fatal("dead link went undetected")
+	}
+	if r.Failed.Kind != FailLink {
+		t.Fatalf("diagnosis %+v, want link-fail", r.Failed)
+	}
+	// The diagnosis carries the op that hit the dead link.
+	if r.Failed.OpName == "" {
+		t.Fatalf("diagnosis %+v has no op name", r.Failed)
+	}
+}
+
+func TestLinkFailureHaltsTypedStepLevel(t *testing.T) {
+	// Kill the link partway through the run so a step-level collective
+	// hits it at a step boundary mid-operation.
+	prog := sched.MeshSliceProgram(critProb, topology.NewTorus(4, 4), testHW, 4)
+	healthy := Simulate(prog, testHW, Options{StepLevel: true})
+	plan := &fault.Plan{LinkFails: []fault.LinkFail{
+		{Link: fault.Link{Chip: 0, Dir: topology.InterRow}, At: healthy.Makespan / 2},
+		{Link: fault.Link{Chip: 0, Dir: topology.InterCol}, At: healthy.Makespan / 2},
+	}}
+	r := Simulate(prog, testHW, Options{StepLevel: true, Faults: plan})
+	if r.Failed == nil {
+		t.Fatal("mid-run dead link went undetected under StepLevel")
+	}
+	if r.Failed.At < healthy.Makespan/2 {
+		t.Fatalf("failure detected at %v, before the link died at %v", r.Failed.At, healthy.Makespan/2)
+	}
+	if r.Makespan > healthy.Makespan {
+		// The makespan of a halted run is the last event that did
+		// complete; it can never exceed the healthy run.
+		t.Fatalf("halted run's makespan %v exceeds healthy %v", r.Makespan, healthy.Makespan)
+	}
+}
+
+// TestFaultReroute: with re-routing on, a single dead link on a >2-member
+// ring stretches the affected collectives by (P-1)× instead of halting.
+func TestFaultReroute(t *testing.T) {
+	plan := &fault.Plan{LinkFails: []fault.LinkFail{
+		{Link: fault.Link{Chip: 0, Dir: topology.InterCol}, At: 0},
+	}}
+	prog := sched.MeshSliceProgram(critProb, topology.NewTorus(4, 4), testHW, 4)
+	healthy := Simulate(prog, testHW, Options{})
+	halted := Simulate(prog, testHW, Options{Faults: plan})
+	if halted.Failed == nil {
+		t.Fatal("without reroute the dead link must halt the program")
+	}
+	rerouted := Simulate(prog, testHW, Options{Faults: plan, FaultReroute: true})
+	if rerouted.Failed != nil {
+		t.Fatalf("reroute failed to save the program: %v", rerouted.Failed)
+	}
+	if rerouted.Makespan <= healthy.Makespan {
+		t.Fatalf("rerouted makespan %v not slower than healthy %v", rerouted.Makespan, healthy.Makespan)
+	}
+}
+
+// TestFaultRerouteTwoDeadLinksStillHalts: re-routing only survives a
+// single dead link; a second one partitions the ring for good.
+func TestFaultRerouteTwoDeadLinksStillHalts(t *testing.T) {
+	// Chips 0 and 2 share the inter-col ring of row 0 on a 4x4 torus.
+	plan := &fault.Plan{LinkFails: []fault.LinkFail{
+		{Link: fault.Link{Chip: 0, Dir: topology.InterCol}, At: 0},
+		{Link: fault.Link{Chip: 2, Dir: topology.InterCol}, At: 0},
+	}}
+	prog := sched.MeshSliceProgram(critProb, topology.NewTorus(4, 4), testHW, 4)
+	r := Simulate(prog, testHW, Options{Faults: plan, FaultReroute: true})
+	if r.Failed == nil || r.Failed.Kind != FailLink {
+		t.Fatalf("two dead links on one ring must halt even with reroute; got %+v", r.Failed)
+	}
+}
+
+func TestFaultMetricsPublished(t *testing.T) {
+	reg := obs.NewRegistry()
+	prog := sched.MeshSliceProgram(critProb, topology.NewTorus(4, 4), testHW, 4)
+	prog.Label = "fm"
+	r := Simulate(prog, testHW, Options{Metrics: reg, Faults: stretchPlan()})
+	lbl := obs.L("prog", "fm")
+	if got := reg.Gauge("netsim_fault_events", lbl, obs.L("type", "link-degrade")).Value(); got != 2 {
+		t.Errorf("fault event gauge = %v, want 2", got)
+	}
+	if reg.Counter("netsim_fault_stretched_ops", lbl).Value() == 0 {
+		t.Error("no ops recorded as fault-stretched")
+	}
+	if reg.Gauge("netsim_fault_extra_seconds", lbl).Value() <= 0 {
+		t.Error("no fault-added time recorded")
+	}
+	if got := reg.Gauge("netsim_failed", lbl).Value(); got != 0 {
+		t.Errorf("netsim_failed = %v on a surviving run", got)
+	}
+	if r.Failed != nil {
+		t.Fatalf("stretch plan failed the run: %v", r.Failed)
+	}
+	// A halting plan flips the gauge.
+	reg2 := obs.NewRegistry()
+	prog2 := sched.MeshSliceProgram(critProb, topology.NewTorus(4, 4), testHW, 4)
+	prog2.Label = "fm"
+	Simulate(prog2, testHW, Options{Metrics: reg2, Faults: &fault.Plan{
+		ChipFails: []fault.ChipFail{{Chip: 0, At: 0}},
+	}})
+	if got := reg2.Gauge("netsim_failed", lbl).Value(); got != 1 {
+		t.Errorf("netsim_failed = %v on a halted run, want 1", got)
+	}
+}
+
+func TestFaultyClusterChromeTrace(t *testing.T) {
+	prog := sched.MeshSliceProgram(critProb, topology.NewTorus(4, 4), testHW, 4)
+	r := Simulate(prog, testHW, Options{TraceAllChips: true, Faults: stretchPlan()})
+	var a, b bytes.Buffer
+	if err := WriteFaultyClusterChromeTrace(&a, r.Traces, r.FaultSpans, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFaultyClusterChromeTrace(&b, r.Traces, r.FaultSpans, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("fault trace export not deterministic")
+	}
+	if !bytes.Contains(a.Bytes(), []byte("link-degrade")) || !bytes.Contains(a.Bytes(), []byte("straggler")) {
+		t.Error("fault spans missing from trace export")
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"meshslice/internal/chipsim"
 	"meshslice/internal/des"
+	"meshslice/internal/fault"
 	"meshslice/internal/hw"
 	"meshslice/internal/obs"
 	"meshslice/internal/sched"
@@ -86,6 +87,15 @@ type Options struct {
 	// ⌈(P-1)/2⌉. Current TPU runtimes only drive one direction (§5.3.1);
 	// this option quantifies the headroom.
 	BidirectionalRings bool
+	// Faults injects a deterministic fault plan (package fault): degraded
+	// links stretch ring steps, stragglers stretch compute, and failures
+	// halt the program with a typed Result.Failed diagnosis. A nil or
+	// empty plan is a provable no-op — every fault hook short-circuits.
+	Faults *fault.Plan
+	// FaultReroute lets a ring collective survive a single dead link by
+	// detouring its traffic the long way around the ring, at (P-1)× the
+	// per-step wire cost. Two or more dead links on one ring still halt.
+	FaultReroute bool
 }
 
 // Breakdown is the per-chip communication time split of paper Fig. 10.
@@ -126,6 +136,13 @@ type Result struct {
 	// CritPath is the critical-path attribution (only when
 	// Options.CriticalPath is set).
 	CritPath *CriticalPath
+	// Failed is the typed diagnosis of the first fault that halted the
+	// program (nil when the program ran to completion). A failed run's
+	// Makespan is the time of the last event that did complete.
+	Failed *Failure
+	// FaultSpans lists the fault plan's intervals clipped to the makespan
+	// (only when Options.Faults is a non-empty plan), for trace export.
+	FaultSpans []fault.Span
 }
 
 const (
@@ -192,6 +209,15 @@ type sim struct {
 
 	// durHists caches the per-kind op-duration histograms (Metrics only).
 	durHists [8]*obs.Histogram
+
+	// fault state: flt is nil unless Options.Faults is a non-empty plan,
+	// so every fault hook short-circuits on a healthy fabric and the run
+	// is byte-identical to one without the fault model compiled in.
+	flt            *fault.Plan
+	failure        *Failure
+	faultStretched int64   // ops/steps stretched by a fault factor
+	faultExtra     float64 // seconds added by fault stretching
+	faultReroutes  int64   // ring ops/steps that detoured a dead link
 }
 
 // numCommDirs is the number of link directions tracked per chip
@@ -243,6 +269,12 @@ func newSim(p *sched.Program, c hw.Chip, opts Options) *sim {
 	if opts.TraceAllChips {
 		s.traces = make([]Trace, n)
 	}
+	if !opts.Faults.Empty() {
+		if err := opts.Faults.Validate(n); err != nil {
+			panic(fmt.Sprintf("netsim: %v", err)) // lint:invariant fault-plan precondition
+		}
+		s.flt = opts.Faults
+	}
 	s.curCause = -1
 	if opts.CriticalPath {
 		s.startAt = make([]float64, n*len(p.Ops))
@@ -291,6 +323,12 @@ func (s *sim) run() {
 		s.tryGrant(chip)
 	}
 	s.des.Run()
+	if s.failure != nil {
+		// A recorded failure halts part of the program by design: stranded
+		// ops never complete, and the typed diagnosis lands in
+		// Result.Failed instead of a deadlock panic.
+		return
+	}
 	// A stuck simulation (ops never completed) indicates a model bug.
 	for chip := 0; chip < s.nChips; chip++ {
 		for i := range s.prog.Ops {
@@ -340,6 +378,12 @@ func (s *sim) tryGrant(chip int) {
 // arrive at their ring barrier and start when the whole ring has arrived.
 func (s *sim) grant(chip, opIdx int) {
 	op := s.prog.Ops[opIdx]
+	if s.flt != nil && s.flt.ChipFailedBy(chip, s.des.Now()) {
+		// A fail-stopped chip strands the op: the resource stays busy and
+		// nothing downstream of it ever runs.
+		s.recordFailure(FailChip, chip, op.Dir, opIdx, op)
+		return
+	}
 	if !op.Kind.IsComm() {
 		dur := s.computeDuration(chip, op)
 		s.startAccounting(chip, opIdx, op, dur)
@@ -359,6 +403,12 @@ func (s *sim) grant(chip, opIdx int) {
 	}
 	// Last arrival: the collective starts now on every member.
 	delete(s.barriers, key)
+	if kind, failedChip, halt := s.faultHalt(members, op); halt {
+		// The ring cannot complete a step: every member's link controller
+		// stays busy and the collective never finishes.
+		s.recordFailure(kind, failedChip, op.Dir, opIdx, op)
+		return
+	}
 	if s.opts.StepLevel && stepwiseKind(op.Kind) {
 		s.runCollectiveSteps(members, opIdx, op)
 		return
@@ -403,6 +453,14 @@ func (s *sim) runCollectiveSteps(members []int, opIdx int, op sched.Op) {
 
 	var doStep func(t int)
 	doStep = func(t int) {
+		if t > 0 {
+			// A fault can strike mid-collective: re-check ring viability at
+			// every step boundary (step 0 was vetted at barrier release).
+			if kind, failedChip, halt := s.faultHalt(members, op); halt {
+				s.recordFailure(kind, failedChip, op.Dir, opIdx, op)
+				return
+			}
+		}
 		dur := perStep
 		if t == 0 {
 			dur += s.hw.LaunchOverhead
@@ -423,6 +481,7 @@ func (s *sim) runCollectiveSteps(members []int, opIdx int, op sched.Op) {
 		if f := s.fabricFactor(members, op); f > worst {
 			worst = f
 		}
+		worst *= s.faultCommStretch(members, op, dur*worst)
 		s.des.After(dur*worst, func() {
 			if t+1 < s.effSteps(op) {
 				doStep(t + 1)
@@ -535,6 +594,7 @@ func (s *sim) computeDuration(chip int, op sched.Op) float64 {
 			dur = hbm
 		}
 	}
+	dur *= s.faultComputeStretch(chip, dur)
 	return dur * s.contentionFactor(chip, op, dur)
 }
 
@@ -552,7 +612,9 @@ func (s *sim) commDuration(members []int, op sched.Op) float64 {
 	if f := s.fabricFactor(members, op); f > worst {
 		worst = f
 	}
-	return dur * worst
+	// Fault degradation divides the link's bandwidth, so it multiplies the
+	// duration rather than competing with contention for the max.
+	return dur * worst * s.faultCommStretch(members, op, dur*worst)
 }
 
 // fabricFactor returns the logical-mesh contention stretch: the configured
@@ -726,6 +788,10 @@ func (s *sim) result() Result {
 		cp := s.criticalPath()
 		r.CritPath = &cp
 	}
+	if s.flt != nil {
+		r.Failed = s.failure
+		r.FaultSpans = s.flt.Spans(r.Makespan)
+	}
 	s.publishMetrics(r)
 	return r
 }
@@ -785,6 +851,30 @@ func (s *sim) publishMetrics(r Result) {
 		reg.Gauge("netsim_critpath_seconds", prog, obs.L("part", "transfer")).Set(a.Transfer)
 		reg.Gauge("netsim_critpath_seconds", prog, obs.L("part", "compute")).Set(a.Compute)
 		reg.Gauge("netsim_critpath_hops", prog).Set(float64(len(r.CritPath.Steps)))
+	}
+	// Fault telemetry is only emitted when a plan is active, so healthy
+	// snapshots stay byte-identical with fault-free builds:
+	//
+	//	netsim_fault_events        gauge   — plan event counts, by type
+	//	netsim_fault_stretched_ops counter — ops/steps a fault factor stretched
+	//	netsim_fault_extra_seconds gauge   — time added by fault stretching
+	//	netsim_fault_reroutes      counter — ring ops/steps detoured around a
+	//	                                     dead link
+	//	netsim_failed              gauge   — 1 when the program halted
+	if s.flt != nil {
+		deg, str, lf, cf := s.flt.Events()
+		reg.Gauge("netsim_fault_events", prog, obs.L("type", "link-degrade")).Set(float64(deg))
+		reg.Gauge("netsim_fault_events", prog, obs.L("type", "straggler")).Set(float64(str))
+		reg.Gauge("netsim_fault_events", prog, obs.L("type", "link-fail")).Set(float64(lf))
+		reg.Gauge("netsim_fault_events", prog, obs.L("type", "chip-fail")).Set(float64(cf))
+		reg.Counter("netsim_fault_stretched_ops", prog).AddInt(s.faultStretched)
+		reg.Gauge("netsim_fault_extra_seconds", prog).Set(s.faultExtra)
+		reg.Counter("netsim_fault_reroutes", prog).AddInt(s.faultReroutes)
+		failed := 0.0
+		if s.failure != nil {
+			failed = 1
+		}
+		reg.Gauge("netsim_failed", prog).Set(failed)
 	}
 	s.des.PublishMetrics(reg, prog)
 }
