@@ -1,0 +1,197 @@
+package main
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"meshslice/internal/autotune"
+	"meshslice/internal/collective"
+	"meshslice/internal/costmodel"
+	"meshslice/internal/hw"
+	"meshslice/internal/mesh"
+	"meshslice/internal/model"
+	"meshslice/internal/tensor"
+	"meshslice/internal/topology"
+)
+
+// The kernels suite (-kernels-out) tracks the three hot paths the simulator
+// spends its time in: the local GeMM kernels, the ring collectives, and the
+// autotuner's analytical search. Each optimised entry is paired with a
+// frozen "Naive" replica of the pre-optimisation code path, so the JSON
+// records the speedup ratio itself rather than requiring a checkout of the
+// old commit to reproduce the baseline.
+
+// naiveMatMulAdd is the original serial ikj kernel: no row-strip fan-out,
+// no cache tiling. Kept verbatim as the MatMulAdd baseline.
+func naiveMatMulAdd(c, a, b *tensor.Matrix) {
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := arow[k]
+			if aik == 0 { // lint:float-exact sparsity fast path skips exact zeros only
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				crow[j] += aik * bv
+			}
+		}
+	}
+}
+
+// naiveMatMulAddNT is the original serial dot-product kernel for C += A·Bᵀ.
+func naiveMatMulAddNT(c, a, b *tensor.Matrix) {
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			sum := 0.0
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			crow[j] += sum
+		}
+	}
+}
+
+// naiveMatMulAddTN is the original serial kij kernel for C += Aᵀ·B.
+func naiveMatMulAddTN(c, a, b *tensor.Matrix) {
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 { // lint:float-exact sparsity fast path skips exact zeros only
+				continue
+			}
+			crow := c.Row(i)
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// naiveTune replicates the pre-optimisation analytical search: O(g) trial
+// division for the slice counts and a full costmodel.MeshSlice estimate per
+// candidate S, with no memoisation and no worker pool. It reuses the public
+// phase-1 planner so the two searches walk the identical candidate space.
+func naiveTune(cfg model.Config, tokens, chips int, chip hw.Chip) float64 {
+	plans := autotune.PlanModel(cfg, tokens, true)
+	best := math.Inf(1)
+	for _, shape := range topology.MeshShapes2D(chips) {
+		total := 0.0
+		ok := true
+		for _, plan := range plans {
+			for _, p := range plan.Passes {
+				passBest := math.Inf(1)
+				found := false
+				for _, s := range autotune.ValidSliceCounts(p, shape, chip) {
+					if t := costmodel.MeshSlice(p, shape, chip, s).Total(); !found || t < passBest {
+						passBest = t
+						found = true
+					}
+				}
+				if !found {
+					ok = false
+					break
+				}
+				total += passBest
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok && total < best {
+			best = total
+		}
+	}
+	return best
+}
+
+// benchGeMM pairs one kernel variant with fresh deterministic 512³
+// operands. The output matrix is zeroed, not reallocated, between
+// iterations so the measurement is pure kernel time.
+func benchGeMM(dim int, fn func(c, a, b *tensor.Matrix)) func(b *testing.B) {
+	return func(b *testing.B) {
+		rng := rand.New(rand.NewSource(42))
+		a := tensor.Random(dim, dim, rng)
+		bm := tensor.Random(dim, dim, rng)
+		c := tensor.New(dim, dim)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Zero()
+			fn(c, a, bm)
+		}
+	}
+}
+
+// benchAllGatherRows measures an 8-chip ring all-gather, either through
+// the allocating API or the arena-backed Into variant.
+func benchAllGatherRows(into bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		const p, dim = 8, 64
+		m := mesh.New(topology.NewTorus(1, p))
+		rng := rand.New(rand.NewSource(42))
+		locals := make([]*tensor.Matrix, p)
+		dsts := make([]*tensor.Matrix, p)
+		for r := range locals {
+			locals[r] = tensor.Random(dim, dim, rng)
+			dsts[r] = tensor.New(dim*p, dim)
+		}
+		b.ResetTimer()
+		m.Run(func(c *mesh.Chip) {
+			cm := c.RowComm()
+			for i := 0; i < b.N; i++ {
+				if into {
+					collective.AllGatherRowsInto(cm, locals[c.Rank], dsts[c.Rank])
+				} else {
+					dsts[c.Rank] = collective.AllGatherRows(cm, locals[c.Rank])
+				}
+			}
+		})
+	}
+}
+
+// benchTune runs the full two-phase search for gpt3 on 64 chips with the
+// given worker count (1 = serial, 0 = one worker per core).
+func benchTune(cfg model.Config, chip hw.Chip, workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := autotune.Tune(cfg, 1<<15, 64, chip, autotune.Options{
+				OptimizeDataflow: true, Workers: workers,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func kernelBenches(chip hw.Chip) []bench {
+	const dim = 512
+	cfg, ok := model.ByName("gpt3")
+	if !ok {
+		panic("meshbench: gpt3 builtin missing")
+	}
+	return []bench{
+		{"MatMulAdd512Naive", benchGeMM(dim, naiveMatMulAdd)},
+		{"MatMulAdd512", benchGeMM(dim, tensor.MatMulAdd)},
+		{"MatMulAddNT512Naive", benchGeMM(dim, naiveMatMulAddNT)},
+		{"MatMulAddNT512", benchGeMM(dim, tensor.MatMulAddNT)},
+		{"MatMulAddTN512Naive", benchGeMM(dim, naiveMatMulAddTN)},
+		{"MatMulAddTN512", benchGeMM(dim, tensor.MatMulAddTN)},
+		{"AllGatherRows8", benchAllGatherRows(false)},
+		{"AllGatherRows8Into", benchAllGatherRows(true)},
+		{"TuneNaive64", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if math.IsInf(naiveTune(cfg, 1<<15, 64, chip), 1) {
+					b.Fatal("naive tune found no configuration")
+				}
+			}
+		}},
+		{"TuneSerial64", benchTune(cfg, chip, 1)},
+		{"TuneParallel64", benchTune(cfg, chip, 0)},
+	}
+}

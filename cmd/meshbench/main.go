@@ -45,6 +45,7 @@ type bench struct {
 func main() {
 	out := flag.String("o", "BENCH_meshslice.json", "output JSON path (- for stdout)")
 	faultsOut := flag.String("faults-out", "", "also run the degraded-fabric scenarios and write their summary to this JSON path")
+	kernelsOut := flag.String("kernels-out", "", "also run the hot-path suite (GeMM kernels, ring collectives, autotuner search, each paired with its pre-optimisation baseline) and write its summary to this JSON path")
 	flag.Parse()
 
 	chip := hw.TPUv4()
@@ -110,6 +111,12 @@ func main() {
 	}
 	if *faultsOut != "" {
 		if err := runSuite(faultBenches(chip, prob, tor), *faultsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *kernelsOut != "" {
+		if err := runSuite(kernelBenches(chip), *kernelsOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -27,6 +27,11 @@ func ExhaustiveDataflow(cfg model.Config, tokens int, shape topology.Torus, chip
 	best := Choice{Shape: shape, BlockTime: math.Inf(1)}
 	found := false
 
+	// The 3^L assignments share a fixed (shape, chip, maxS) context and
+	// each layer only has three distinct plans, so almost every tunePass
+	// is a repeat — one memo across the whole recursion collapses the
+	// slice-count searches to the handful of unique problems.
+	memo := make(passMemo)
 	var recurse func(i int)
 	recurse = func(i int) {
 		if i == len(fcs) {
@@ -34,7 +39,7 @@ func ExhaustiveDataflow(cfg model.Config, tokens int, shape topology.Torus, chip
 			for j, fc := range fcs {
 				plans[j] = PlanFor(fc, tokens, assignment[j])
 			}
-			if c, ok := tuneShape(plans, shape, chip, maxS, nil); ok && c.BlockTime < best.BlockTime {
+			if c, ok := tuneShape(plans, shape, chip, maxS, nil, memo); ok && c.BlockTime < best.BlockTime {
 				best = c
 				found = true
 			}
@@ -54,7 +59,7 @@ func ExhaustiveDataflow(cfg model.Config, tokens int, shape topology.Torus, chip
 // cost-model block times; ok is false when the model cannot shard at all.
 func HeuristicGap(cfg model.Config, tokens int, shape topology.Torus, chip hw.Chip) (heuristic, exhaustive float64, ok bool) {
 	plans := PlanModel(cfg, tokens, true)
-	h, hOK := tuneShape(plans, shape, chip, 0, nil)
+	h, hOK := tuneShape(plans, shape, chip, 0, nil, nil)
 	e, eOK := ExhaustiveDataflow(cfg, tokens, shape, chip, 0)
 	if !hOK || !eOK {
 		return 0, 0, false

@@ -91,21 +91,26 @@ func TuneUnderFaults(cfg model.Config, tokens, chips int, chip hw.Chip, plan *fa
 	if eff := plan.EffectiveChip(chip); eff != chip {
 		views = append(views, eff)
 	}
+	// Candidates are scored by the same worker pool as Tune — one unit of
+	// work per (shape, view) pair — then deduplicated in index order so
+	// the candidate list is identical for any worker count.
+	staged := make([]shapeResult, len(shapes)*len(views))
+	forEachShape(len(staged), opts.Workers, func(i int) {
+		c, ok := tuneShape(plans, shapes[i/len(views)], views[i%len(views)], opts.MaxS, opts.Metrics, nil)
+		staged[i] = shapeResult{c, ok}
+	})
 	var cands []Choice
 	seen := make(map[string]bool)
-	for _, shape := range shapes {
-		for _, view := range views {
-			c, ok := tuneShape(plans, shape, view, opts.MaxS, opts.Metrics)
-			if !ok {
-				continue
-			}
-			key := candidateKey(c)
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			cands = append(cands, c)
+	for _, r := range staged {
+		if !r.ok {
+			continue
 		}
+		key := candidateKey(r.c)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		cands = append(cands, r.c)
 	}
 	if len(cands) == 0 {
 		return FaultChoice{}, fmt.Errorf("autotune: no shape can shard %s with %d tokens on %d chips", cfg.Name, tokens, chips)

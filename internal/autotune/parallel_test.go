@@ -1,0 +1,140 @@
+package autotune
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"meshslice/internal/gemm"
+	"meshslice/internal/model"
+	"meshslice/internal/obs"
+	"meshslice/internal/topology"
+)
+
+// TestTuneByteIdenticalAcrossWorkers pins the deterministic-merge contract:
+// the Choice and the full metrics snapshot must be byte-identical whatever
+// the worker count and whatever GOMAXPROCS the pool actually runs on.
+func TestTuneByteIdenticalAcrossWorkers(t *testing.T) {
+	cfg, ok := model.ByName("gpt3")
+	if !ok {
+		t.Fatal("gpt3 builtin missing")
+	}
+	run := func(workers, procs int) (Choice, []byte) {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		r := obs.NewRegistry()
+		c, err := Tune(cfg, 1<<15, 64, testHW, Options{OptimizeDataflow: true, Metrics: r, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return c, buf.Bytes()
+	}
+	wantChoice, wantJSON := run(1, 1)
+	for _, tc := range []struct{ workers, procs int }{{2, 2}, {8, 8}, {3, 1}, {0, 8}} {
+		c, j := run(tc.workers, tc.procs)
+		if !reflect.DeepEqual(c, wantChoice) {
+			t.Errorf("workers=%d GOMAXPROCS=%d: Choice differs from serial", tc.workers, tc.procs)
+		}
+		if !bytes.Equal(j, wantJSON) {
+			t.Errorf("workers=%d GOMAXPROCS=%d: metrics snapshot differs from serial", tc.workers, tc.procs)
+		}
+	}
+}
+
+// TestTuneUnderFaultsByteIdenticalAcrossWorkers extends the contract to the
+// degradation-aware search, whose candidate generation runs on the same
+// pool.
+func TestTuneUnderFaultsByteIdenticalAcrossWorkers(t *testing.T) {
+	const chips, tokens = 16, 2048
+	plan := colDegradePlan(chips)
+	run := func(workers int) FaultChoice {
+		fc, err := TuneUnderFaults(tinyModel(), tokens, chips, testHW, plan, false, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fc
+	}
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: FaultChoice differs from serial", workers)
+		}
+	}
+}
+
+// TestValidSliceCountsMatchesTrialDivision checks the O(√g) divisor
+// enumeration against the straightforward trial division it replaced.
+func TestValidSliceCountsMatchesTrialDivision(t *testing.T) {
+	shapes := []topology.Torus{topology.NewTorus(2, 2), topology.NewTorus(4, 8), topology.NewTorus(8, 8), topology.NewTorus(1, 16)}
+	probs := []gemm.Problem{
+		{M: 1 << 15, N: 12288, K: 12288, Dataflow: gemm.OS},
+		{M: 1 << 15, N: 12288, K: 12288, Dataflow: gemm.LS},
+		{M: 1 << 15, N: 12288, K: 12288, Dataflow: gemm.RS},
+		{M: 4096, N: 6720, K: 13440, Dataflow: gemm.OS},
+	}
+	for _, shape := range shapes {
+		for _, p := range probs {
+			got := ValidSliceCounts(p, shape, testHW)
+			want := trialDivisionSliceCounts(p, shape)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%v on %v: ValidSliceCounts = %v, want %v", p.Dataflow, shape, got, want)
+			}
+		}
+	}
+}
+
+// trialDivisionSliceCounts is the reference O(g) enumeration.
+func trialDivisionSliceCounts(p gemm.Problem, shape topology.Torus) []int {
+	if !shardable(p, shape) {
+		return nil
+	}
+	d1, d2 := slicedDims(p, shape)
+	b := testHW.SliceBlock
+	if d1%b != 0 || d2%b != 0 {
+		b = 1
+	}
+	g := gcd(d1/b, d2/b)
+	var out []int
+	for s := 1; s <= g; s++ {
+		if g%s == 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TestExhaustiveDataflowMemoMatchesHeuristicGapInvariants re-runs the
+// memoised exhaustive search twice and requires identical results — the
+// memo must be a pure cache.
+func TestExhaustiveDataflowDeterministicWithMemo(t *testing.T) {
+	shape := topology.NewTorus(4, 4)
+	a, okA := ExhaustiveDataflow(tinyModel(), 2048, shape, testHW, 0)
+	b, okB := ExhaustiveDataflow(tinyModel(), 2048, shape, testHW, 0)
+	if okA != okB || !reflect.DeepEqual(a, b) {
+		t.Errorf("two identical exhaustive searches disagree")
+	}
+}
+
+func benchTune(b *testing.B, workers int) {
+	cfg, ok := model.ByName("gpt3")
+	if !ok {
+		b.Fatal("gpt3 builtin missing")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Tune(cfg, 1<<15, 64, testHW, Options{OptimizeDataflow: true, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTuneSerial vs BenchmarkTuneParallel: the serial baseline pins
+// the single-worker cost (already sped up by the O(√g) divisor walk); the
+// parallel variant adds the worker-pool fan-out across candidate shapes.
+func BenchmarkTuneSerial(b *testing.B)   { benchTune(b, 1) }
+func BenchmarkTuneParallel(b *testing.B) { benchTune(b, 0) }

@@ -3,6 +3,8 @@ package autotune
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"meshslice/internal/costmodel"
 	"meshslice/internal/gemm"
@@ -60,6 +62,11 @@ type Options struct {
 	// counts, cost-model call counts, and the best-so-far trajectory
 	// (see Tune).
 	Metrics *obs.Registry
+	// Workers bounds the goroutines scoring candidate mesh shapes
+	// concurrently (0 means GOMAXPROCS). Shapes are scored independently
+	// and folded in index order, so the Choice and every published metric
+	// are byte-identical for any worker count.
+	Workers int
 }
 
 // Tune runs the full autotuner for the model on a cluster of `chips`
@@ -96,17 +103,26 @@ func Tune(cfg model.Config, tokens, chips int, chip hw.Chip, opts Options) (Choi
 		shapesPruned = opts.Metrics.Counter("autotune_shapes_pruned")
 		trajectory = opts.Metrics.Series("autotune_best_blocktime")
 	}
+	// Shapes are scored independently by a bounded worker pool, then folded
+	// in index order: the argmin (strict <, so the first-indexed minimum
+	// wins, exactly like the serial loop) and the best-so-far trajectory
+	// are computed serially over the index-ordered results, which makes the
+	// Choice and the metrics snapshot byte-identical for any worker count.
+	results := make([]shapeResult, len(shapes))
+	forEachShape(len(shapes), opts.Workers, func(i int) {
+		c, ok := tuneShape(plans, shapes[i], chip, opts.MaxS, opts.Metrics, nil)
+		results[i] = shapeResult{c, ok}
+	})
 	best := Choice{BlockTime: math.Inf(1)}
-	for i, shape := range shapes {
-		c, ok := tuneShape(plans, shape, chip, opts.MaxS, opts.Metrics)
+	for i, r := range results {
 		if opts.Metrics != nil {
 			shapesEvaluated.Inc()
-			if !ok {
+			if !r.ok {
 				shapesPruned.Inc()
 			}
 		}
-		if ok && c.BlockTime < best.BlockTime {
-			best = c
+		if r.ok && r.c.BlockTime < best.BlockTime {
+			best = r.c
 		}
 		if trajectory != nil && !math.IsInf(best.BlockTime, 1) {
 			trajectory.Append(float64(i), best.BlockTime)
@@ -118,15 +134,54 @@ func Tune(cfg model.Config, tokens, chips int, chip hw.Chip, opts Options) (Choi
 	return best, nil
 }
 
+// shapeResult is one candidate shape's score, staged so a worker pool can
+// fill them out of order and the caller can fold them in index order.
+type shapeResult struct {
+	c  Choice
+	ok bool
+}
+
+// forEachShape runs fn(i) for every shape index using up to `workers`
+// goroutines (0 means GOMAXPROCS). Work is divided by index stride, so the
+// division itself is deterministic; fn must write only to its own index.
+func forEachShape(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // tuneShape tunes every pass's slice count on one candidate shape; ok is
 // false when some pass cannot be sharded on it at all. The per-layer S
 // values are independent, so each is optimised in isolation (§3.2.2).
-func tuneShape(plans []LayerPlan, shape topology.Torus, chip hw.Chip, maxS int, reg *obs.Registry) (Choice, bool) {
+// memo, when non-nil, caches tunePass results — callers that re-tune the
+// same (shape, chip) for many plan combinations (ExhaustiveDataflow) pass
+// one; it must not be shared across shapes or hardware views.
+func tuneShape(plans []LayerPlan, shape topology.Torus, chip hw.Chip, maxS int, reg *obs.Registry, memo passMemo) (Choice, bool) {
 	c := Choice{Shape: shape, Layers: make([]LayerChoice, len(plans))}
 	for i, plan := range plans {
 		lc := LayerChoice{Plan: plan}
 		for pass, prob := range plan.Passes {
-			pc, ok := tunePass(prob, shape, chip, maxS, reg)
+			pc, ok := tunePassMemo(prob, shape, chip, maxS, reg, memo)
 			if !ok {
 				return Choice{}, false
 			}
@@ -136,6 +191,28 @@ func tuneShape(plans []LayerPlan, shape topology.Torus, chip hw.Chip, maxS int, 
 		c.BlockTime += lc.Time()
 	}
 	return c, true
+}
+
+// passMemo caches tunePass results by problem for one fixed (shape, chip,
+// maxS) context.
+type passMemo map[gemm.Problem]passResult
+
+type passResult struct {
+	pc PassChoice
+	ok bool
+}
+
+func tunePassMemo(p gemm.Problem, shape topology.Torus, chip hw.Chip, maxS int, reg *obs.Registry, memo passMemo) (PassChoice, bool) {
+	if memo != nil {
+		if r, hit := memo[p]; hit {
+			return r.pc, r.ok
+		}
+	}
+	pc, ok := tunePass(p, shape, chip, maxS, reg)
+	if memo != nil {
+		memo[p] = passResult{pc, ok}
+	}
+	return pc, ok
 }
 
 // TunePass finds the best slice count for one GeMM problem on one shape.
@@ -155,17 +232,29 @@ func tunePass(p gemm.Problem, shape topology.Torus, chip hw.Chip, maxS int, reg 
 		maxS = 64
 	}
 	best := PassChoice{Problem: p}
+	bestTotal := math.Inf(1)
 	found := false
 	calls := 0
-	for _, s := range ValidSliceCounts(p, shape, chip) {
-		if s > maxS {
-			break
+	// Trial division bounded by maxS instead of materialising the full
+	// divisor list: the search only ever looks at slice counts ≤ maxS, so
+	// this visits the same candidates ValidSliceCounts would, in the same
+	// ascending order, in O(maxS) with no allocation. The prepared
+	// evaluator hoists the cost model's S-independent terms out of the
+	// sweep (bit-identical to costmodel.MeshSlice).
+	if g, ok := sliceCountGCD(p, shape, chip); ok {
+		eval := costmodel.NewMeshSliceEval(p, shape, chip)
+		for s := 1; s <= g && s <= maxS; s++ {
+			if g%s != 0 {
+				continue
+			}
+			calls++
+			if tot := eval.Total(s); !found || tot < bestTotal {
+				best.S, bestTotal = s, tot
+				found = true
+			}
 		}
-		est := costmodel.MeshSlice(p, shape, chip, s)
-		calls++
-		if !found || est.Total() < best.Estimate.Total() {
-			best.S, best.Estimate = s, est
-			found = true
+		if found {
+			best.Estimate = eval.Estimate(best.S)
 		}
 	}
 	if reg != nil {
@@ -180,8 +269,36 @@ func tunePass(p gemm.Problem, shape topology.Torus, chip hw.Chip, maxS int, reg 
 // §3.1.2), and the operands must shard evenly at all. Results are in
 // increasing order; empty means the problem cannot run on this shape.
 func ValidSliceCounts(p gemm.Problem, shape topology.Torus, chip hw.Chip) []int {
-	if !shardable(p, shape) {
+	g, ok := sliceCountGCD(p, shape, chip)
+	if !ok {
 		return nil
+	}
+	// Divisors in O(√g) pairs rather than trial division over [1, g] —
+	// that loop dominated Tune's profile at large chip counts, where the
+	// sliced local dimensions reach the tens of thousands. Each divisor
+	// s ≤ √g pairs with g/s ≥ √g, so appending the large half in reverse
+	// yields ascending order without a sort.
+	var small, large []int
+	for s := 1; s*s <= g; s++ {
+		if g%s == 0 {
+			small = append(small, s)
+			if q := g / s; q != s {
+				large = append(large, q)
+			}
+		}
+	}
+	for i := len(large) - 1; i >= 0; i-- {
+		small = append(small, large[i])
+	}
+	return small
+}
+
+// sliceCountGCD returns the number g whose divisors are the valid slice
+// counts for the problem on the shape; ok is false when the operands do not
+// shard at all.
+func sliceCountGCD(p gemm.Problem, shape topology.Torus, chip hw.Chip) (int, bool) {
+	if !shardable(p, shape) {
+		return 0, false
 	}
 	d1, d2 := slicedDims(p, shape)
 	b := chip.SliceBlock
@@ -190,14 +307,7 @@ func ValidSliceCounts(p gemm.Problem, shape topology.Torus, chip hw.Chip) []int 
 		// does not fit (never the case on the evaluated shapes).
 		b = 1
 	}
-	g := gcd(d1/b, d2/b)
-	var out []int
-	for s := 1; s <= g; s++ {
-		if g%s == 0 {
-			out = append(out, s)
-		}
-	}
-	return out
+	return gcd(d1/b, d2/b), true
 }
 
 // slicedDims returns the two local dimensions MeshSlice slices for the
@@ -217,12 +327,9 @@ func slicedDims(p gemm.Problem, t topology.Torus) (int, int) {
 
 func shardable(p gemm.Problem, t topology.Torus) bool {
 	aR, aC, bR, bC := p.OperandShapes()
-	for _, pair := range [][2]int{{aR, t.Rows}, {aC, t.Cols}, {bR, t.Rows}, {bC, t.Cols}, {p.M, t.Rows}, {p.N, t.Cols}} {
-		if pair[0]%pair[1] != 0 {
-			return false
-		}
-	}
-	return true
+	return aR%t.Rows == 0 && aC%t.Cols == 0 &&
+		bR%t.Rows == 0 && bC%t.Cols == 0 &&
+		p.M%t.Rows == 0 && p.N%t.Cols == 0
 }
 
 func gcd(a, b int) int {

@@ -10,9 +10,20 @@
 // whole shard (Fig. 3 right); a Broadcast forwards from the root around the
 // ring. Timing is out of scope here (see package netsim); these primitives
 // exist so correctness of every distributed GeMM can be verified end to end.
+//
+// Each primitive comes in two forms with identical wire behaviour and
+// bit-identical results. The allocating form (AllGather, ReduceScatter,
+// Broadcast, Reduce, AllReduce) returns freshly allocated matrices the
+// caller owns outright — results never alias inputs, on any rank. It is a
+// thin wrapper over the buffer-reusing form (AllGatherInto,
+// ReduceScatterInto, ... in into.go), which writes into caller-provided
+// storage and recycles one ring buffer through the mesh pool so its steady
+// state allocates nothing.
 package collective
 
 import (
+	"fmt"
+
 	"meshslice/internal/mesh"
 	"meshslice/internal/tensor"
 )
@@ -22,17 +33,11 @@ import (
 // in step t every chip forwards the shard it received in step t-1 (its own
 // shard in step 0) to its downstream neighbour.
 func AllGather(cm *mesh.Comm, local *tensor.Matrix) []*tensor.Matrix {
-	cm.CountCollective("allgather")
-	p := cm.Size
-	out := make([]*tensor.Matrix, p)
-	out[cm.Pos] = local.Clone()
-	cur := local
-	for t := 0; t < p-1; t++ {
-		cm.SendTo(cm.Pos+1, cur)
-		cur = cm.RecvFrom(cm.Pos - 1)
-		origin := mod(cm.Pos-t-1, p)
-		out[origin] = cur
+	out := make([]*tensor.Matrix, cm.Size)
+	for i := range out {
+		out[i] = tensor.New(local.Rows, local.Cols)
 	}
+	AllGatherInto(cm, local, out)
 	return out
 }
 
@@ -40,13 +45,17 @@ func AllGather(cm *mesh.Comm, local *tensor.Matrix) []*tensor.Matrix {
 // order (the layout AG_row/AG_col produce when the gathered dimension is
 // the row dimension).
 func AllGatherRows(cm *mesh.Comm, local *tensor.Matrix) *tensor.Matrix {
-	return tensor.ConcatRows(AllGather(cm, local))
+	dst := tensor.New(cm.Size*local.Rows, local.Cols)
+	AllGatherRowsInto(cm, local, dst)
+	return dst
 }
 
 // AllGatherCols gathers shards and concatenates them horizontally in ring
 // order.
 func AllGatherCols(cm *mesh.Comm, local *tensor.Matrix) *tensor.Matrix {
-	return tensor.ConcatCols(AllGather(cm, local))
+	dst := tensor.New(local.Rows, cm.Size*local.Cols)
+	AllGatherColsInto(cm, local, dst)
+	return dst
 }
 
 // ReduceScatter reduces element-wise across the ring and scatters: blocks
@@ -65,15 +74,10 @@ func ReduceScatter(cm *mesh.Comm, blocks []*tensor.Matrix) *tensor.Matrix {
 }
 
 func reduceScatter(cm *mesh.Comm, blocks []*tensor.Matrix) *tensor.Matrix {
-	cm.CountCollective("reducescatter")
-	p := cm.Size
-	cur := blocks[mod(cm.Pos-1, p)].Clone()
-	for t := 0; t < p-1; t++ {
-		cm.SendTo(cm.Pos+1, cur)
-		cur = cm.RecvFrom(cm.Pos - 1)
-		cur.Add(blocks[mod(cm.Pos-t-2, p)])
-	}
-	return cur
+	mine := blocks[cm.Pos]
+	dst := tensor.New(mine.Rows, mine.Cols)
+	reduceScatterInto(cm, blocks, dst)
+	return dst
 }
 
 // ReduceScatterRows reduces a matrix whose rows are split evenly across the
@@ -81,19 +85,35 @@ func reduceScatter(cm *mesh.Comm, blocks []*tensor.Matrix) *tensor.Matrix {
 // horizontal strip for its ring position. m.Rows must divide by the ring
 // size.
 func ReduceScatterRows(cm *mesh.Comm, m *tensor.Matrix) *tensor.Matrix {
-	return ReduceScatter(cm, tensor.SplitRows(m, cm.Size))
+	if m.Rows%cm.Size != 0 {
+		panic(fmt.Sprintf("tensor: SplitRows %dx%d into %d", m.Rows, m.Cols, cm.Size)) // lint:invariant shape precondition
+	}
+	dst := tensor.New(m.Rows/cm.Size, m.Cols)
+	ReduceScatterRowsInto(cm, m, dst)
+	return dst
 }
 
 // ReduceScatterCols is ReduceScatterRows for vertical strips: each chip
 // receives the reduced column strip for its ring position.
 func ReduceScatterCols(cm *mesh.Comm, m *tensor.Matrix) *tensor.Matrix {
-	return ReduceScatter(cm, tensor.SplitCols(m, cm.Size))
+	if m.Cols%cm.Size != 0 {
+		panic(fmt.Sprintf("tensor: SplitCols %dx%d into %d", m.Rows, m.Cols, cm.Size)) // lint:invariant shape precondition
+	}
+	dst := tensor.New(m.Rows, m.Cols/cm.Size)
+	ReduceScatterColsInto(cm, m, dst)
+	return dst
 }
 
 // Broadcast distributes root's matrix to every ring member and returns it.
 // Non-root chips pass nil (or any value; it is ignored). The shard is
 // forwarded around the ring from the root (the fine-grain packetisation of
 // Fig. 3 affects timing only, not the data movement modelled here).
+//
+// Ownership is symmetric on every rank: the returned matrix is freshly
+// allocated, owned by the caller, and never aliases m or any internal ring
+// buffer. (Root used to get a clone while non-roots got the received
+// buffer; with pooled ring buffers that asymmetry would leak a recycled
+// buffer to the caller.)
 func Broadcast(cm *mesh.Comm, root int, m *tensor.Matrix) *tensor.Matrix {
 	cm.CountCollective("broadcast")
 	p := cm.Size
@@ -103,41 +123,31 @@ func Broadcast(cm *mesh.Comm, root int, m *tensor.Matrix) *tensor.Matrix {
 	}
 	dist := mod(cm.Pos-root, p) // hops from root to this chip
 	if dist == 0 {
-		cm.SendTo(cm.Pos+1, m)
+		cur := cm.AcquireBuf(m.Rows, m.Cols)
+		cur.CopyFrom(m)
+		cm.SendOwnedTo(cm.Pos+1, cur)
 		return m.Clone()
 	}
-	got := cm.RecvFrom(cm.Pos - 1)
+	cur := cm.RecvFrom(cm.Pos - 1)
+	out := cur.Clone()
 	if dist < p-1 {
-		cm.SendTo(cm.Pos+1, got)
+		cm.SendOwnedTo(cm.Pos+1, cur)
+	} else {
+		cm.ReleaseBuf(cur)
 	}
-	return got
+	return out
 }
 
 // Reduce accumulates every ring member's matrix into the root and returns
 // the sum at the root; non-root chips receive nil. The partial sum travels
-// the ring from root+1 toward the root.
+// the ring from root+1 toward the root. The root's result is freshly
+// allocated and never aliases m.
 func Reduce(cm *mesh.Comm, root int, m *tensor.Matrix) *tensor.Matrix {
-	cm.CountCollective("reduce")
-	p := cm.Size
-	root = mod(root, p)
-	if p == 1 {
-		return m.Clone()
+	dst := tensor.New(m.Rows, m.Cols)
+	if ReduceInto(cm, root, m, dst) {
+		return dst
 	}
-	dist := mod(cm.Pos-root, p)
-	switch dist {
-	case 1: // journey start
-		cm.SendTo(cm.Pos+1, m)
-		return nil
-	case 0: // root: last to accumulate
-		acc := cm.RecvFrom(cm.Pos - 1)
-		acc.Add(m)
-		return acc
-	default:
-		acc := cm.RecvFrom(cm.Pos - 1)
-		acc.Add(m)
-		cm.SendTo(cm.Pos+1, acc)
-		return nil
-	}
+	return nil
 }
 
 // AllToAll performs the personalised exchange of expert parallelism
@@ -171,12 +181,9 @@ func allToAll(cm *mesh.Comm, blocks []*tensor.Matrix) []*tensor.Matrix {
 // all members, implemented as Reduce to position 0 followed by Broadcast —
 // the composition property the tests verify against ReduceScatter+AllGather.
 func AllReduce(cm *mesh.Comm, m *tensor.Matrix) *tensor.Matrix {
-	cm.CountCollective("allreduce")
-	sum := Reduce(cm, 0, m)
-	if cm.Pos == 0 {
-		return Broadcast(cm, 0, sum)
-	}
-	return Broadcast(cm, 0, nil)
+	dst := tensor.New(m.Rows, m.Cols)
+	AllReduceInto(cm, m, dst)
+	return dst
 }
 
 func mod(a, n int) int { return ((a % n) + n) % n }

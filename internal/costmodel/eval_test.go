@@ -1,0 +1,42 @@
+package costmodel
+
+import (
+	"testing"
+
+	"meshslice/internal/gemm"
+	"meshslice/internal/hw"
+	"meshslice/internal/topology"
+)
+
+// TestMeshSliceEvalBitIdentical pins the evaluator's contract: for every
+// dataflow, shape, and slice count, the prepared form reproduces
+// MeshSlice's Estimate exactly — not within tolerance, bit for bit.
+func TestMeshSliceEvalBitIdentical(t *testing.T) {
+	chip := hw.TPUv4()
+	shapes := []topology.Torus{
+		topology.NewTorus(1, 4), topology.NewTorus(2, 2), topology.NewTorus(4, 8),
+		topology.NewTorus(8, 8), topology.NewTorus(16, 4),
+	}
+	probs := []gemm.Problem{
+		{M: 1 << 15, N: 12288, K: 12288, Dataflow: gemm.OS},
+		{M: 1 << 15, N: 12288, K: 12288, Dataflow: gemm.LS},
+		{M: 1 << 15, N: 12288, K: 12288, Dataflow: gemm.RS},
+		{M: 4096, N: 6720, K: 13440, Dataflow: gemm.OS},
+		{M: 4096, N: 6720, K: 13440, Dataflow: gemm.LS},
+		{M: 4096, N: 6720, K: 13440, Dataflow: gemm.RS},
+	}
+	for _, shape := range shapes {
+		for _, p := range probs {
+			eval := NewMeshSliceEval(p, shape, chip)
+			for s := 1; s <= 96; s++ {
+				want := MeshSlice(p, shape, chip, s)
+				if got := eval.Estimate(s); got != want {
+					t.Fatalf("%v on %v S=%d: eval %+v != MeshSlice %+v", p.Dataflow, shape, s, got, want)
+				}
+				if got := eval.Total(s); got != want.Total() {
+					t.Fatalf("%v on %v S=%d: eval.Total %v != MeshSlice Total %v", p.Dataflow, shape, s, got, want.Total())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package gemm
+
+import (
+	"runtime"
+	"testing"
+
+	"meshslice/internal/tensor"
+	"meshslice/internal/topology"
+)
+
+// TestRegistryDeterministicAcrossGOMAXPROCS runs every registry algorithm ×
+// dataflow through the full stack — parallel tiled kernels, pooled
+// buffer-reusing collectives, the goroutine-per-chip mesh — and requires the
+// assembled global result to be byte-identical regardless of GOMAXPROCS.
+// The 256³ problem makes the per-chip GeMMs large enough to cross the
+// kernels' parallel fan-out threshold, so this pins the whole-stack
+// determinism contract, not just the serial path.
+func TestRegistryDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	tor := topology.NewTorus(2, 2)
+	opts := AlgOptions{S: 2, Block: 2}
+	for _, alg := range Algorithms() {
+		for _, df := range alg.Dataflows {
+			p := Problem{M: 256, N: 256, K: 256, Dataflow: df}
+			if err := alg.Validate(p, tor, opts); err != nil {
+				t.Fatalf("%s/%v: unexpected invalid config: %v", alg.Name, df, err)
+			}
+			a, b, _ := makeProblem(p, int64(42))
+			var want *tensor.Matrix
+			for _, procs := range []int{1, 2, 8} {
+				prev := runtime.GOMAXPROCS(procs)
+				got := Multiply(tor, alg.Build(df, opts), a, b)
+				runtime.GOMAXPROCS(prev)
+				if want == nil {
+					want = got
+					continue
+				}
+				if !got.Equal(want, 0) {
+					t.Errorf("%s/%v: result at GOMAXPROCS=%d differs from GOMAXPROCS=1 (max diff %g)",
+						alg.Name, df, procs, got.MaxAbsDiff(want))
+				}
+			}
+		}
+	}
+}

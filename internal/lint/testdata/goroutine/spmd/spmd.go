@@ -55,3 +55,40 @@ func channelJoin() int {
 	go func() { done <- 1 }()
 	return <-done
 }
+
+// workerPoolStrips is the bounded worker-pool shape the tensor kernels
+// use: each worker takes its row strip as arguments and the launcher waits
+// before returning. Must produce no findings.
+func workerPoolStrips(rows, workers int, kernel func(lo, hi int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * rows / workers
+		hi := (w + 1) * rows / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			kernel(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// workerPoolStrided is the autotuner's deterministic fan-out: worker w
+// owns indices w, w+workers, ... so the work division is independent of
+// scheduling. Must produce no findings.
+func workerPoolStrided(n, workers int, fn func(i int)) {
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,59 @@
+package mesh
+
+import (
+	"sync"
+
+	"meshslice/internal/tensor"
+)
+
+// bufPool recycles matrix buffers across collective calls, keyed by shape.
+// Ring collectives acquire one scratch buffer per call, circulate it with
+// ownership-transfer sends (SendOwned), and the chip holding it after the
+// last step releases it back here — so a chip may release a buffer some
+// other chip acquired, and the pool must be mesh-global for the credits to
+// balance. Acquire/release happen once per collective call, not per ring
+// step, so the mutex is far off the hot path (the per-step path is the
+// exchanger).
+type bufPool struct {
+	mu   sync.Mutex
+	free map[[2]int][]*tensor.Matrix
+}
+
+// maxPooledPerShape bounds how many idle buffers of one shape the pool
+// retains; releases beyond that are left to the GC.
+const maxPooledPerShape = 64
+
+func newBufPool() *bufPool {
+	return &bufPool{free: make(map[[2]int][]*tensor.Matrix)}
+}
+
+// acquire returns a rows×cols matrix with unspecified contents: a recycled
+// buffer when one of that shape is free, a fresh allocation otherwise.
+func (p *bufPool) acquire(rows, cols int) *tensor.Matrix {
+	k := [2]int{rows, cols}
+	p.mu.Lock()
+	if s := p.free[k]; len(s) > 0 {
+		m := s[len(s)-1]
+		s[len(s)-1] = nil
+		p.free[k] = s[:len(s)-1]
+		p.mu.Unlock()
+		return m
+	}
+	p.mu.Unlock()
+	return tensor.New(rows, cols)
+}
+
+// release returns a buffer to the pool. The caller must hold the only live
+// reference: the next acquire of this shape may hand the buffer to any chip,
+// which will overwrite it.
+func (p *bufPool) release(m *tensor.Matrix) {
+	if m == nil {
+		return
+	}
+	k := [2]int{m.Rows, m.Cols}
+	p.mu.Lock()
+	if len(p.free[k]) < maxPooledPerShape {
+		p.free[k] = append(p.free[k], m)
+	}
+	p.mu.Unlock()
+}

@@ -25,7 +25,7 @@ import (
 type exchanger struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
-	queues   map[pair][]*tensor.Matrix
+	queues   map[pair]*mailbox
 	poisoned bool
 
 	// Traffic accounting (elements, not bytes — the runtime is precision
@@ -59,6 +59,39 @@ type exchanger struct {
 
 type pair struct{ from, to int }
 
+// mailbox is one ordered (sender, receiver) FIFO. It is a deque over a
+// reusable slice: popping advances head instead of reslicing the front away,
+// and pushing onto a drained mailbox rewinds to the slice start — so
+// steady-state ring traffic reuses one small backing array per edge instead
+// of leaking capacity and reallocating.
+type mailbox struct {
+	buf  []*tensor.Matrix
+	head int
+}
+
+// pending returns the number of undelivered messages; safe on nil.
+func (mb *mailbox) pending() int {
+	if mb == nil {
+		return 0
+	}
+	return len(mb.buf) - mb.head
+}
+
+func (mb *mailbox) push(m *tensor.Matrix) {
+	if mb.head > 0 && mb.head == len(mb.buf) {
+		mb.buf = mb.buf[:0]
+		mb.head = 0
+	}
+	mb.buf = append(mb.buf, m)
+}
+
+func (mb *mailbox) pop() *tensor.Matrix {
+	m := mb.buf[mb.head]
+	mb.buf[mb.head] = nil
+	mb.head++
+	return m
+}
+
 // errPeerFailed is the sentinel panic value raised by receives that were
 // aborted because another chip failed; Run reports it only when no chip
 // carries an original failure.
@@ -66,7 +99,7 @@ const errPeerFailed = "mesh: receive aborted because a peer chip failed"
 
 func newExchanger() *exchanger {
 	e := &exchanger{
-		queues:    make(map[pair][]*tensor.Matrix),
+		queues:    make(map[pair]*mailbox),
 		pairElems: make(map[pair]int64),
 		waitEdges: make(map[pair]int),
 	}
@@ -136,7 +169,7 @@ func (e *exchanger) maybeStall() {
 	// actually resumes; if any awaited mailbox has a message, that wake-up
 	// is in flight and the system is not quiescent.
 	for k, n := range e.waitEdges {
-		if n > 0 && len(e.queues[k]) > 0 {
+		if n > 0 && e.queues[k].pending() > 0 {
 			return
 		}
 	}
@@ -177,7 +210,12 @@ func (e *exchanger) send(from, to int, m *tensor.Matrix) {
 			return
 		}
 	}
-	e.queues[k] = append(e.queues[k], m)
+	mb := e.queues[k]
+	if mb == nil {
+		mb = &mailbox{}
+		e.queues[k] = mb
+	}
+	mb.push(m)
 	e.pairElems[k] += int64(m.Rows) * int64(m.Cols)
 	e.messages++
 	e.cond.Broadcast()
@@ -197,7 +235,7 @@ func (e *exchanger) recv(from, to int) *tensor.Matrix {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	k := pair{from, to}
-	for len(e.queues[k]) == 0 {
+	for e.queues[k].pending() == 0 {
 		if e.poisoned {
 			// A peer chip panicked; give up instead of blocking forever.
 			panic(errPeerFailed) // lint:invariant aborts receive after peer failure
@@ -217,10 +255,7 @@ func (e *exchanger) recv(from, to int) *tensor.Matrix {
 			delete(e.waitEdges, k)
 		}
 	}
-	q := e.queues[k]
-	m := q[0]
-	e.queues[k] = q[1:]
-	return m
+	return e.queues[k].pop()
 }
 
 // poison wakes every blocked receiver so a panicking SPMD run terminates.
@@ -237,7 +272,7 @@ func (e *exchanger) poison() {
 func (e *exchanger) reset() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.queues = make(map[pair][]*tensor.Matrix)
+	e.queues = make(map[pair]*mailbox)
 	e.poisoned = false
 	e.stalled = false
 	e.stallEdges = nil

@@ -28,6 +28,8 @@ import (
 type Mesh struct {
 	Torus topology.Torus
 	ex    *exchanger
+	// pool recycles collective scratch buffers across calls (see AcquireBuf).
+	pool *bufPool
 	// metrics, when set, receives live collective-op counts and on-demand
 	// traffic publication (see SetMetrics / PublishMetrics).
 	metrics *obs.Registry
@@ -102,7 +104,7 @@ func (m *Mesh) PublishMetrics() {
 
 // New creates a mesh with the given torus shape.
 func New(t topology.Torus) *Mesh {
-	return &Mesh{Torus: t, ex: newExchanger()}
+	return &Mesh{Torus: t, ex: newExchanger(), pool: newBufPool()}
 }
 
 // Chip is the per-goroutine handle an SPMD function receives: its own
@@ -231,10 +233,36 @@ func (c *Chip) Send(to int, m *tensor.Matrix) {
 	c.mesh.ex.send(c.Rank, to, m.Clone())
 }
 
+// SendOwned delivers m to the chip with the given rank, transferring
+// ownership instead of cloning: the receiver gets this exact matrix, and
+// the sender must not read or write it afterwards. This is the
+// zero-allocation path the buffer-reusing collectives use to circulate one
+// scratch buffer around a ring; use Send when the sender keeps the buffer.
+func (c *Chip) SendOwned(to int, m *tensor.Matrix) {
+	c.mesh.ex.send(c.Rank, to, m)
+}
+
 // Recv blocks until a matrix from the given rank arrives and returns it.
-// Messages from one sender arrive in the order they were sent.
+// Messages from one sender arrive in the order they were sent. The caller
+// owns the returned matrix exclusively.
 func (c *Chip) Recv(from int) *tensor.Matrix {
 	return c.mesh.ex.recv(from, c.Rank)
+}
+
+// AcquireBuf returns a rows×cols scratch matrix from the mesh's buffer
+// pool. Its contents are unspecified; the caller must fully overwrite it.
+// Every acquired buffer must eventually be balanced by exactly one
+// ReleaseBuf — on whichever chip holds it last, not necessarily the one
+// that acquired it — or be handed off for good via SendOwned.
+func (c *Chip) AcquireBuf(rows, cols int) *tensor.Matrix {
+	return c.mesh.pool.acquire(rows, cols)
+}
+
+// ReleaseBuf returns a buffer to the mesh's pool. The caller must hold the
+// only live reference; the buffer may be handed to any chip by a later
+// AcquireBuf and overwritten.
+func (c *Chip) ReleaseBuf(m *tensor.Matrix) {
+	c.mesh.pool.release(m)
 }
 
 // Comm is a ring communicator: an ordered set of chips (one row or column
@@ -309,9 +337,27 @@ func (cm *Comm) SendTo(pos int, m *tensor.Matrix) {
 	cm.chip.Send(cm.rankAt(mod(pos, cm.Size)), m)
 }
 
+// SendOwnedTo sends m to the ring member at position pos with ownership
+// transfer (see Chip.SendOwned): the sender must not touch m afterwards.
+func (cm *Comm) SendOwnedTo(pos int, m *tensor.Matrix) {
+	cm.chip.SendOwned(cm.rankAt(mod(pos, cm.Size)), m)
+}
+
 // RecvFrom receives the next matrix from the ring member at position pos.
 func (cm *Comm) RecvFrom(pos int) *tensor.Matrix {
 	return cm.chip.Recv(cm.rankAt(mod(pos, cm.Size)))
+}
+
+// AcquireBuf returns a scratch buffer from the mesh pool (see
+// Chip.AcquireBuf).
+func (cm *Comm) AcquireBuf(rows, cols int) *tensor.Matrix {
+	return cm.chip.AcquireBuf(rows, cols)
+}
+
+// ReleaseBuf returns a scratch buffer to the mesh pool (see
+// Chip.ReleaseBuf).
+func (cm *Comm) ReleaseBuf(m *tensor.Matrix) {
+	cm.chip.ReleaseBuf(m)
 }
 
 // Shift performs a circular SendRecv: it sends m to the member `steps`

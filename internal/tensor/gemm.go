@@ -6,9 +6,47 @@ import (
 	"sync"
 )
 
-// parallelFLOPThreshold is the work size above which MatMulAdd fans out
-// across cores; below it the goroutine overhead outweighs the gain.
+// parallelFLOPThreshold is the work size above which the GeMM kernels fan
+// out across cores; below it the goroutine overhead outweighs the gain.
 const parallelFLOPThreshold = 1 << 22
+
+// Cache-blocking parameters shared by the three GeMM variants. A tileK×tileJ
+// panel of B (512 KiB at float64) stays resident in L2 while a strip of A
+// streams past it; tileBR plays the same role for the NT kernel, where the
+// panel is tileBR rows of B.
+const (
+	tileK  = 128
+	tileJ  = 512
+	tileBR = 64
+)
+
+// parallelRows partitions rows [0, rows) into one contiguous strip per
+// worker and runs kernel on each strip concurrently. Strips are disjoint, so
+// as long as the kernel's per-element reduction order does not depend on the
+// strip boundaries the fan-out is race-free and bitwise identical to
+// kernel(0, rows). Small problems (work below parallelFLOPThreshold) run
+// serially.
+func parallelRows(rows int, work int64, kernel func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelFLOPThreshold || workers < 2 || rows < 2*workers {
+		kernel(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * rows / workers
+		hi := (w + 1) * rows / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			kernel(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
 
 // MatMul computes C = A·B and returns C as a new matrix.
 // A is m×k and B is k×n, so C is m×n.
@@ -20,10 +58,13 @@ func MatMul(a, b *Matrix) *Matrix {
 
 // MatMulAdd accumulates C += A·B in place. A is m×k, B is k×n, C is m×n.
 //
-// The kernel is the classic ikj loop order so the inner loop streams both B
-// and C rows contiguously. Large products are partitioned by output rows
-// across cores — each goroutine owns a disjoint strip of C, so the
-// parallelism is race-free and bitwise identical to the serial path.
+// The kernel streams B and C rows contiguously and is cache-blocked: the k
+// and j loops are tiled so a tileK×tileJ panel of B is reused across every
+// row of the strip before the next panel is touched. Large products are
+// partitioned by output rows across cores — each goroutine owns a disjoint
+// strip of C, and each element's reduction runs over k in ascending order
+// regardless of tile or strip boundaries, so the parallel path is race-free
+// and bitwise identical to the serial one.
 func MatMulAdd(c, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulAdd inner dim mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)) // lint:invariant shape precondition
@@ -32,40 +73,36 @@ func MatMulAdd(c, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: MatMulAdd output %dx%d for %dx%d · %dx%d", c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols)) // lint:invariant shape precondition
 	}
 	work := int64(a.Rows) * int64(a.Cols) * int64(b.Cols)
-	workers := runtime.GOMAXPROCS(0)
-	if work < parallelFLOPThreshold || workers < 2 || a.Rows < 2*workers {
-		matMulAddRows(c, a, b, 0, a.Rows)
-		return
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * a.Rows / workers
-		hi := (w + 1) * a.Rows / workers
-		if lo == hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matMulAddRows(c, a, b, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	parallelRows(a.Rows, work, func(lo, hi int) {
+		matMulAddRows(c, a, b, lo, hi)
+	})
 }
 
 // matMulAddRows accumulates rows [lo, hi) of C += A·B.
+//
+// Loop order is kb → jb → i → k → j: a tileK×tileJ panel of B is held hot
+// while the whole row strip sweeps it. For a fixed output element the k
+// blocks are visited in ascending order and k ascends within each block, so
+// the element's reduction order is plain ascending k — identical to an
+// untiled ikj kernel and independent of lo/hi.
 func matMulAddRows(c, a, b *Matrix, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		arow := a.Row(i)
-		crow := c.Row(i)
-		for k := 0; k < a.Cols; k++ {
-			aik := arow[k]
-			if aik == 0 { // lint:float-exact sparsity fast path skips exact zeros only
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				crow[j] += aik * bv
+	for kb := 0; kb < a.Cols; kb += tileK {
+		ke := min(kb+tileK, a.Cols)
+		for jb := 0; jb < b.Cols; jb += tileJ {
+			je := min(jb+tileJ, b.Cols)
+			for i := lo; i < hi; i++ {
+				arow := a.Row(i)
+				crow := c.Row(i)[jb:je]
+				for k := kb; k < ke; k++ {
+					aik := arow[k]
+					if aik == 0 { // lint:float-exact sparsity fast path skips exact zeros only
+						continue
+					}
+					brow := b.Row(k)[jb:je]
+					for j, bv := range brow {
+						crow[j] += aik * bv
+					}
+				}
 			}
 		}
 	}
@@ -80,6 +117,13 @@ func MatMulNT(a, b *Matrix) *Matrix {
 }
 
 // MatMulAddNT accumulates C += A·Bᵀ in place.
+//
+// Each output element is an independent dot product, accumulated in a
+// private register over k in ascending order and added to C once. The j
+// loop is register-blocked four wide (four concurrent dot products break
+// the FMA latency chain) and the B rows are tiled so a tileBR-row panel
+// stays in cache across the strip. Neither changes any element's reduction
+// order, so serial, tiled and row-parallel paths are all bitwise identical.
 func MatMulAddNT(c, a, b *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulAddNT inner dim mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols)) // lint:invariant shape precondition
@@ -87,16 +131,45 @@ func MatMulAddNT(c, a, b *Matrix) {
 	if c.Rows != a.Rows || c.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulAddNT output %dx%d for %dx%d · (%dx%d)ᵀ", c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols)) // lint:invariant shape precondition
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		crow := c.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			sum := 0.0
-			for k, av := range arow {
-				sum += av * brow[k]
+	work := int64(a.Rows) * int64(a.Cols) * int64(b.Rows)
+	parallelRows(a.Rows, work, func(lo, hi int) {
+		matMulAddNTRows(c, a, b, lo, hi)
+	})
+}
+
+// matMulAddNTRows accumulates rows [lo, hi) of C += A·Bᵀ.
+func matMulAddNTRows(c, a, b *Matrix, lo, hi int) {
+	for jb := 0; jb < b.Rows; jb += tileBR {
+		je := min(jb+tileBR, b.Rows)
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)
+			j := jb
+			for ; j+4 <= je; j += 4 {
+				b0 := b.Row(j)[:len(arow)]
+				b1 := b.Row(j + 1)[:len(arow)]
+				b2 := b.Row(j + 2)[:len(arow)]
+				b3 := b.Row(j + 3)[:len(arow)]
+				var s0, s1, s2, s3 float64
+				for k, av := range arow {
+					s0 += av * b0[k]
+					s1 += av * b1[k]
+					s2 += av * b2[k]
+					s3 += av * b3[k]
+				}
+				crow[j] += s0
+				crow[j+1] += s1
+				crow[j+2] += s2
+				crow[j+3] += s3
 			}
-			crow[j] += sum
+			for ; j < je; j++ {
+				brow := b.Row(j)
+				sum := 0.0
+				for k, av := range arow {
+					sum += av * brow[k]
+				}
+				crow[j] += sum
+			}
 		}
 	}
 }
@@ -110,6 +183,15 @@ func MatMulTN(a, b *Matrix) *Matrix {
 }
 
 // MatMulAddTN accumulates C += Aᵀ·B in place.
+//
+// The reduction runs over A's rows. They are consumed four at a time
+// (grouping four rank-1 updates into one fused pass over the C row) inside
+// tileK-deep blocks, with the quad boundaries fixed by the global k grid —
+// never by the strip — so every element's reduction order is a function of
+// the shapes alone and the row-parallel fan-out is bitwise identical to the
+// serial kernel. The sparsity fast path skips a quad only when all four of
+// its A values are exactly zero, so only exactly-zero contributions are
+// ever dropped.
 func MatMulAddTN(c, a, b *Matrix) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulAddTN inner dim mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)) // lint:invariant shape precondition
@@ -117,16 +199,45 @@ func MatMulAddTN(c, a, b *Matrix) {
 	if c.Rows != a.Cols || c.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulAddTN output %dx%d for (%dx%d)ᵀ · %dx%d", c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols)) // lint:invariant shape precondition
 	}
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, av := range arow {
-			if av == 0 { // lint:float-exact sparsity fast path skips exact zeros only
-				continue
-			}
+	work := int64(a.Rows) * int64(a.Cols) * int64(b.Cols)
+	parallelRows(a.Cols, work, func(lo, hi int) {
+		matMulAddTNRows(c, a, b, lo, hi)
+	})
+}
+
+// matMulAddTNRows accumulates rows [lo, hi) of C += Aᵀ·B; rows of C
+// correspond to columns of A.
+func matMulAddTNRows(c, a, b *Matrix, lo, hi int) {
+	for kb := 0; kb < a.Rows; kb += tileK {
+		ke := min(kb+tileK, a.Rows)
+		for i := lo; i < hi; i++ {
 			crow := c.Row(i)
-			for j, bv := range brow {
-				crow[j] += av * bv
+			k := kb
+			for ; k+4 <= ke; k += 4 {
+				v0 := a.Row(k)[i]
+				v1 := a.Row(k + 1)[i]
+				v2 := a.Row(k + 2)[i]
+				v3 := a.Row(k + 3)[i]
+				if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 { // lint:float-exact sparsity fast path skips exact zeros only
+					continue
+				}
+				b0 := b.Row(k)[:len(crow)]
+				b1 := b.Row(k + 1)[:len(crow)]
+				b2 := b.Row(k + 2)[:len(crow)]
+				b3 := b.Row(k + 3)[:len(crow)]
+				for j := range crow {
+					crow[j] += v0*b0[j] + v1*b1[j] + v2*b2[j] + v3*b3[j]
+				}
+			}
+			for ; k < ke; k++ {
+				av := a.Row(k)[i]
+				if av == 0 { // lint:float-exact sparsity fast path skips exact zeros only
+					continue
+				}
+				brow := b.Row(k)[:len(crow)]
+				for j := range crow {
+					crow[j] += av * brow[j]
+				}
 			}
 		}
 	}

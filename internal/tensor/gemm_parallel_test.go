@@ -1,0 +1,95 @@
+package tensor
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// The row-parallel fan-out must be bitwise deterministic: every GOMAXPROCS
+// value partitions the output rows differently, but each element's reduction
+// order is fixed by the shapes alone, so the results must match with
+// tolerance zero. 256³ is above parallelFLOPThreshold, so the fan-out is
+// actually exercised whenever more than one proc is available.
+
+func TestMatMulVariantsDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const n = 256
+	a := Random(n, n, rng)
+	b := Random(n, n, rng)
+
+	variants := []struct {
+		name string
+		run  func(c *Matrix)
+	}{
+		{"MatMulAdd", func(c *Matrix) { MatMulAdd(c, a, b) }},
+		{"MatMulAddNT", func(c *Matrix) { MatMulAddNT(c, a, b) }},
+		{"MatMulAddTN", func(c *Matrix) { MatMulAddTN(c, a, b) }},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(0)
+			defer runtime.GOMAXPROCS(prev)
+			var want *Matrix
+			for _, procs := range []int{1, 2, 8} {
+				runtime.GOMAXPROCS(procs)
+				c := New(n, n)
+				v.run(c)
+				if want == nil {
+					want = c
+					continue
+				}
+				if !want.Equal(c, 0) {
+					t.Errorf("GOMAXPROCS=%d result differs from GOMAXPROCS=1: max diff %g", procs, c.MaxAbsDiff(want))
+				}
+			}
+		})
+	}
+}
+
+func TestMatMulNTParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(322))
+	const n = 256
+	a := Random(n, n, rng)
+	b := Random(n, n, rng)
+	got := New(n, n)
+	MatMulAddNT(got, a, b)
+	want := New(n, n)
+	matMulAddNTRows(want, a, b, 0, n)
+	if !got.Equal(want, 0) {
+		t.Errorf("parallel result differs from serial: max diff %g", got.MaxAbsDiff(want))
+	}
+}
+
+func TestMatMulTNParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(323))
+	const n = 256
+	a := Random(n, n, rng)
+	b := Random(n, n, rng)
+	got := New(n, n)
+	MatMulAddTN(got, a, b)
+	want := New(n, n)
+	matMulAddTNRows(want, a, b, 0, n)
+	if !got.Equal(want, 0) {
+		t.Errorf("parallel result differs from serial: max diff %g", got.MaxAbsDiff(want))
+	}
+}
+
+// benchMatMul times one GeMM variant at 512³ — the shape the acceptance
+// numbers in BENCH_kernels.json are quoted at.
+func benchMatMul(b *testing.B, run func(c, x, y *Matrix)) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 512
+	x := Random(n, n, rng)
+	y := Random(n, n, rng)
+	c := New(n, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Zero()
+		run(c, x, y)
+	}
+}
+
+func BenchmarkMatMulAdd(b *testing.B)   { benchMatMul(b, MatMulAdd) }
+func BenchmarkMatMulAddNT(b *testing.B) { benchMatMul(b, MatMulAddNT) }
+func BenchmarkMatMulAddTN(b *testing.B) { benchMatMul(b, MatMulAddTN) }

@@ -87,6 +87,40 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
+// CopyFrom overwrites m with the contents of src, retaining m's
+// allocation. Shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, src.Rows, src.Cols)) // lint:invariant shape precondition
+	}
+	copy(m.Data, src.Data)
+}
+
+// CopySub overwrites m with the block of src whose top-left corner is
+// (r0, c0) and whose shape is m's — SubMatrix into existing storage.
+func (m *Matrix) CopySub(src *Matrix, r0, c0 int) {
+	if r0 < 0 || c0 < 0 || r0+m.Rows > src.Rows || c0+m.Cols > src.Cols {
+		panic(fmt.Sprintf("tensor: CopySub (%d,%d)+%dx%d out of range for %dx%d", r0, c0, m.Rows, m.Cols, src.Rows, src.Cols)) // lint:invariant bounds precondition
+	}
+	for r := 0; r < m.Rows; r++ {
+		copy(m.Row(r), src.Data[(r0+r)*src.Cols+c0:(r0+r)*src.Cols+c0+m.Cols])
+	}
+}
+
+// AddSub accumulates into m the same block of src that CopySub would copy.
+func (m *Matrix) AddSub(src *Matrix, r0, c0 int) {
+	if r0 < 0 || c0 < 0 || r0+m.Rows > src.Rows || c0+m.Cols > src.Cols {
+		panic(fmt.Sprintf("tensor: AddSub (%d,%d)+%dx%d out of range for %dx%d", r0, c0, m.Rows, m.Cols, src.Rows, src.Cols)) // lint:invariant bounds precondition
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		srow := src.Data[(r0+r)*src.Cols+c0 : (r0+r)*src.Cols+c0+m.Cols]
+		for i, v := range srow {
+			row[i] += v
+		}
+	}
+}
+
 // Zero resets every element of m to zero, retaining the allocation.
 func (m *Matrix) Zero() {
 	for i := range m.Data {

@@ -46,47 +46,75 @@ func Assemble(shards []*Matrix, pr, pc int) *Matrix {
 // ConcatRows stacks the matrices vertically in order. All must have the
 // same column count.
 func ConcatRows(parts []*Matrix) *Matrix {
-	if len(parts) == 0 {
-		return New(0, 0)
-	}
-	cols := parts[0].Cols
+	cols := 0
 	rows := 0
+	if len(parts) > 0 {
+		cols = parts[0].Cols
+	}
 	for _, p := range parts {
-		if p.Cols != cols {
-			panic(fmt.Sprintf("tensor: ConcatRows column mismatch %d vs %d", p.Cols, cols)) // lint:invariant shape precondition
-		}
 		rows += p.Rows
 	}
 	out := New(rows, cols)
+	ConcatRowsInto(out, parts)
+	return out
+}
+
+// ConcatRowsInto stacks the matrices vertically in order into dst, which
+// must already have the combined shape. All parts must have dst's column
+// count.
+func ConcatRowsInto(dst *Matrix, parts []*Matrix) {
+	rows := 0
+	for _, p := range parts {
+		if p.Cols != dst.Cols {
+			panic(fmt.Sprintf("tensor: ConcatRows column mismatch %d vs %d", p.Cols, dst.Cols)) // lint:invariant shape precondition
+		}
+		rows += p.Rows
+	}
+	if rows != dst.Rows {
+		panic(fmt.Sprintf("tensor: ConcatRowsInto %d rows into %dx%d", rows, dst.Rows, dst.Cols)) // lint:invariant shape precondition
+	}
 	r0 := 0
 	for _, p := range parts {
-		out.SetSubMatrix(r0, 0, p)
+		dst.SetSubMatrix(r0, 0, p)
 		r0 += p.Rows
 	}
-	return out
 }
 
 // ConcatCols stacks the matrices horizontally in order. All must have the
 // same row count.
 func ConcatCols(parts []*Matrix) *Matrix {
-	if len(parts) == 0 {
-		return New(0, 0)
-	}
-	rows := parts[0].Rows
+	rows := 0
 	cols := 0
+	if len(parts) > 0 {
+		rows = parts[0].Rows
+	}
 	for _, p := range parts {
-		if p.Rows != rows {
-			panic(fmt.Sprintf("tensor: ConcatCols row mismatch %d vs %d", p.Rows, rows)) // lint:invariant shape precondition
-		}
 		cols += p.Cols
 	}
 	out := New(rows, cols)
+	ConcatColsInto(out, parts)
+	return out
+}
+
+// ConcatColsInto stacks the matrices horizontally in order into dst, which
+// must already have the combined shape. All parts must have dst's row
+// count.
+func ConcatColsInto(dst *Matrix, parts []*Matrix) {
+	cols := 0
+	for _, p := range parts {
+		if p.Rows != dst.Rows {
+			panic(fmt.Sprintf("tensor: ConcatCols row mismatch %d vs %d", p.Rows, dst.Rows)) // lint:invariant shape precondition
+		}
+		cols += p.Cols
+	}
+	if cols != dst.Cols {
+		panic(fmt.Sprintf("tensor: ConcatColsInto %d cols into %dx%d", cols, dst.Rows, dst.Cols)) // lint:invariant shape precondition
+	}
 	c0 := 0
 	for _, p := range parts {
-		out.SetSubMatrix(0, c0, p)
+		dst.SetSubMatrix(0, c0, p)
 		c0 += p.Cols
 	}
-	return out
 }
 
 // SplitRows divides m into n equal horizontal strips (m.Rows % n == 0).
