@@ -7,15 +7,19 @@
 //
 //	go run ./cmd/meshlint ./...
 //
-// Each finding prints as "file:line: [rule] message" and any finding makes
-// the command exit 1 (load or usage errors exit 2). Rules are suppressed
+// Each finding prints as "file:line: [rule] message" — or, with -json, as
+// a canonical JSON report sorted by file, line, rule, and message so two
+// runs over the same tree are byte-identical — and any finding makes the
+// command exit 1 (load or usage errors exit 2). Rules are suppressed
 // either inline ("// lint:invariant reason", "// lint:float-exact reason",
 // "// lint:allow rule reason") or through an allowlist file (-allowlist,
 // default .meshlint-allow) with one "rule path[:line]" entry per line, so
-// new rules can be adopted incrementally.
+// new rules can be adopted incrementally. "// lint:hotpath reason" above a
+// function declaration marks it as a hot-path root for hotpath-alloc.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +35,7 @@ func main() {
 		allowFile = flag.String("allowlist", ".meshlint-allow", "allowlist file (\"rule path[:line]\" per line; missing file = empty)")
 		listRules = flag.Bool("rules", false, "print the rule suite and exit")
 		panics    = flag.Bool("panics", false, "print the panic-site inventory and exit")
+		jsonOut   = flag.Bool("json", false, "emit findings as a JSON report on stdout (deterministic: sorted by file, line, rule, message)")
 	)
 	flag.Parse()
 
@@ -75,13 +80,54 @@ func main() {
 	}
 	diags := lint.Run(m, analyzers, allow)
 	diags = filterPatterns(root, diags, flag.Args())
-	for _, d := range diags {
-		fmt.Printf("%s:%d: [%s] %s\n", rel(root, d.Pos.Filename), d.Pos.Line, d.Rule, d.Msg)
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, root, analyzers, diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d: [%s] %s\n", rel(root, d.Pos.Filename), d.Pos.Line, d.Rule, d.Msg)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "meshlint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// jsonReport is the -json output schema (documented in README.md): the
+// rule suite that ran and every surviving finding, already in lint.Run's
+// canonical (file, line, rule, message) order, so two runs over the same
+// tree produce byte-identical reports — CI diffs them to prove the
+// analyzers themselves are deterministic.
+type jsonReport struct {
+	Rules    []string      `json:"rules"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+type jsonFinding struct {
+	File string `json:"file"` // module-root-relative, slash-separated
+	Line int    `json:"line"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+func writeJSON(w *os.File, root string, analyzers []*lint.Analyzer, diags []lint.Diagnostic) error {
+	report := jsonReport{Rules: []string{}, Findings: []jsonFinding{}}
+	for _, a := range analyzers {
+		report.Rules = append(report.Rules, a.Name)
+	}
+	for _, d := range diags {
+		report.Findings = append(report.Findings, jsonFinding{
+			File: rel(root, d.Pos.Filename),
+			Line: d.Pos.Line,
+			Rule: d.Rule,
+			Msg:  d.Msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
 }
 
 // filterPatterns narrows diagnostics to the requested package patterns.

@@ -89,7 +89,6 @@ func Fit(samples []Sample) (FitResult, error) {
 		slope, intercept float64
 	}
 	var lines []line
-	var bwEstimates []float64
 	for p, group := range byRing {
 		slope, intercept, err := linreg(group, func(s Sample) float64 { return s.ShardBytes })
 		if err != nil {
@@ -99,9 +98,15 @@ func Fit(samples []Sample) (FitResult, error) {
 			return FitResult{}, fmt.Errorf("calibrate: ring %d has non-positive byte slope %v", p, slope)
 		}
 		lines = append(lines, line{p: p, slope: slope, intercept: intercept})
-		bwEstimates = append(bwEstimates, float64(p-1)/slope)
 	}
 	sort.Slice(lines, func(i, j int) bool { return lines[i].p < lines[j].p })
+	// Bandwidth estimates are accumulated into a float mean, so they must
+	// be produced in sorted ring order, not map order, for bit-identical
+	// fits across runs.
+	bwEstimates := make([]float64, len(lines))
+	for i, l := range lines {
+		bwEstimates[i] = float64(l.p-1) / l.slope
+	}
 
 	// Intercepts versus (P-1): slope is t_sync, intercept is t_launch.
 	interceptSamples := make([]Sample, len(lines))

@@ -40,7 +40,7 @@ func (e *MemberError) Error() string {
 // checkBlocks validates a one-block-per-position argument.
 func checkBlocks(op string, blocks []*tensor.Matrix, ring int) error {
 	if len(blocks) != ring {
-		return &RingSizeError{Op: op, Blocks: len(blocks), Ring: ring}
+		return &RingSizeError{Op: op, Blocks: len(blocks), Ring: ring} // lint:allow hotpath-alloc error construction on the failure path only
 	}
 	return nil
 }

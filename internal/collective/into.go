@@ -24,6 +24,7 @@ import (
 // AllGatherInto gathers each ring member's local shard into out, ordered by
 // ring position. out must hold one matrix of local's shape per ring
 // position; every entry is overwritten.
+// lint:hotpath steady-state: must not allocate
 func AllGatherInto(cm *mesh.Comm, local *tensor.Matrix, out []*tensor.Matrix) {
 	if err := checkBlocks("allgather", out, cm.Size); err != nil {
 		panic(err) // lint:invariant block-count precondition, mirrors AllGather's ring contract
@@ -46,6 +47,7 @@ func AllGatherInto(cm *mesh.Comm, local *tensor.Matrix, out []*tensor.Matrix) {
 
 // AllGatherRowsInto gathers shards and concatenates them vertically in ring
 // order directly into dst, which must be (Size·local.Rows)×local.Cols.
+// lint:hotpath steady-state: must not allocate
 func AllGatherRowsInto(cm *mesh.Comm, local, dst *tensor.Matrix) {
 	p := cm.Size
 	if dst.Rows != p*local.Rows || dst.Cols != local.Cols {
@@ -68,6 +70,7 @@ func AllGatherRowsInto(cm *mesh.Comm, local, dst *tensor.Matrix) {
 
 // AllGatherColsInto gathers shards and concatenates them horizontally in
 // ring order directly into dst, which must be local.Rows×(Size·local.Cols).
+// lint:hotpath steady-state: must not allocate
 func AllGatherColsInto(cm *mesh.Comm, local, dst *tensor.Matrix) {
 	p := cm.Size
 	if dst.Rows != local.Rows || dst.Cols != p*local.Cols {
@@ -92,6 +95,7 @@ func AllGatherColsInto(cm *mesh.Comm, local, dst *tensor.Matrix) {
 // dst: blocks must hold one block per ring position, and dst receives the
 // sum over all chips of their block for this chip's position. The caller's
 // blocks are never mutated.
+// lint:hotpath steady-state: must not allocate
 func ReduceScatterInto(cm *mesh.Comm, blocks []*tensor.Matrix, dst *tensor.Matrix) {
 	if err := checkBlocks("reducescatter", blocks, cm.Size); err != nil {
 		panic(err) // lint:invariant block-count precondition; ReduceScatterE returns it as a value
@@ -121,6 +125,7 @@ func reduceScatterInto(cm *mesh.Comm, blocks []*tensor.Matrix, dst *tensor.Matri
 // the ring into dst: every chip contributes the full matrix m and dst
 // receives the reduced horizontal strip for this chip's ring position. The
 // strips are read straight out of m — no split copies are made.
+// lint:hotpath steady-state: must not allocate
 func ReduceScatterRowsInto(cm *mesh.Comm, m, dst *tensor.Matrix) {
 	p := cm.Size
 	if m.Rows%p != 0 || dst.Rows != m.Rows/p || dst.Cols != m.Cols {
@@ -145,6 +150,7 @@ func ReduceScatterRowsInto(cm *mesh.Comm, m, dst *tensor.Matrix) {
 
 // ReduceScatterColsInto is ReduceScatterRowsInto for vertical strips: dst
 // receives the reduced column strip for this chip's ring position.
+// lint:hotpath steady-state: must not allocate
 func ReduceScatterColsInto(cm *mesh.Comm, m, dst *tensor.Matrix) {
 	p := cm.Size
 	if m.Cols%p != 0 || dst.Rows != m.Rows || dst.Cols != m.Cols/p {
@@ -179,6 +185,7 @@ func ReduceScatterColsInto(cm *mesh.Comm, m, dst *tensor.Matrix) {
 // interleaved receive, the pool recycles fully and calls stop allocating.
 // The same applies to ReduceInto's stream starter (the chip after the
 // root).
+// lint:hotpath steady-state: must not allocate
 func BroadcastInto(cm *mesh.Comm, root int, m, dst *tensor.Matrix) {
 	cm.CountCollective("broadcast")
 	p := cm.Size
@@ -213,6 +220,7 @@ func BroadcastInto(cm *mesh.Comm, root int, m, dst *tensor.Matrix) {
 // and the call returns true; elsewhere dst is untouched and the call
 // returns false. The accumulation order matches Reduce, so results are
 // bit-identical.
+// lint:hotpath steady-state: must not allocate
 func ReduceInto(cm *mesh.Comm, root int, m, dst *tensor.Matrix) bool {
 	cm.CountCollective("reduce")
 	p := cm.Size
@@ -246,6 +254,7 @@ func ReduceInto(cm *mesh.Comm, root int, m, dst *tensor.Matrix) bool {
 // AllReduceInto writes the element-wise sum of every ring member's matrix
 // into every member's dst, composed exactly like AllReduce (Reduce to
 // position 0, then Broadcast). dst must have m's shape.
+// lint:hotpath steady-state: must not allocate
 func AllReduceInto(cm *mesh.Comm, m, dst *tensor.Matrix) {
 	cm.CountCollective("allreduce")
 	if ReduceInto(cm, 0, m, dst) {

@@ -42,7 +42,10 @@ var order = []string{
 // IDs returns the known experiment IDs in presentation order.
 func IDs() []string {
 	out := append([]string(nil), order...)
-	// Guard against registry entries missing from the order list.
+	// Guard against registry entries missing from the order list; sort the
+	// strays so a forgotten entry cannot make the presentation order (and
+	// everything downstream of it) depend on map iteration order.
+	var strays []string
 	for id := range Registry {
 		found := false
 		for _, o := range out {
@@ -52,10 +55,11 @@ func IDs() []string {
 			}
 		}
 		if !found {
-			out = append(out, id)
+			strays = append(strays, id)
 		}
 	}
-	return out
+	sort.Strings(strays)
+	return append(out, strays...)
 }
 
 // Run executes one experiment by ID.

@@ -1,0 +1,506 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// buf-ownership is a flow-sensitive mini borrow checker for the arena API
+// of the mesh runtime (mesh.AcquireBuf / SendOwned / SendOwnedTo /
+// ReleaseBuf / Recv / RecvFrom). The ownership-transfer discipline the
+// zero-allocation collectives depend on is:
+//
+//   - SendOwned(buf) and ReleaseBuf(buf) consume the buffer: any later
+//     read, write, re-send, or re-release of the same variable — on ANY
+//     path — is a bug (the buffer may already be overwritten by another
+//     chip).
+//   - A buffer obtained from AcquireBuf must leave the function through
+//     exactly one of ReleaseBuf, SendOwned, or a return statement on every
+//     path; a path that drops it is a pool leak.
+//
+// The analyzer runs a forward abstract interpretation over each
+// function's CFG with branch merging: a variable's abstract state is a
+// set of {owned, sent, released} facts, joins union the sets, and a use
+// while any dead fact is present reports "on some path". Reassignment
+// revives a variable (the ring pattern: send, then receive into the same
+// variable). Aliasing through data structures and closures conservatively
+// ends tracking; passing a tracked buffer as a plain call argument is
+// treated as a borrow (the collectives' documented contract: arguments
+// are never retained).
+
+type ownFlags uint8
+
+const (
+	ownOwned ownFlags = 1 << iota
+	ownSent
+	ownReleased
+)
+
+// ownState is one tracked variable's abstract state.
+type ownState struct {
+	flags    ownFlags
+	acquired token.Pos // AcquireBuf call position; NoPos for recv/sent-only origins
+	deadPos  token.Pos // most recent kill site, for messages
+}
+
+// ownVars maps a variable object to its state. It is the dataflow lattice
+// element: join is per-variable flag union.
+type ownVars map[types.Object]*ownState
+
+// arenaMethods classifies the arena API by method name; receivers must be
+// the mesh runtime's Chip or Comm (or a fixture type of the same name),
+// so unrelated types with colliding method names stay out of scope.
+var arenaRecvTypes = map[string]bool{"Chip": true, "Comm": true, "Mesh": true}
+
+func analyzeBufOwnership() *Analyzer {
+	return &Analyzer{
+		Name: "buf-ownership",
+		Doc: "flow-sensitive ownership checking for the arena buffer API: a buffer is dead after " +
+			"SendOwned/ReleaseBuf (no later use, re-send, or double release on any path), and an " +
+			"AcquireBuf result must be released, sent, or returned on every path",
+		Run: runBufOwnership,
+	}
+}
+
+func runBufOwnership(m *Module, report func(pos token.Pos, format string, args ...any)) {
+	m.eachFile(func(p *Package, f *File) {
+		if f.Test {
+			return
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkOwnershipBody(m.Fset, p, fd.Body, report)
+			// Function literals are separate ownership scopes: a closure
+			// capturing a tracked variable ends the outer tracking (see
+			// escape handling), and buffers acquired inside the literal are
+			// checked against the literal's own CFG.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkOwnershipBody(m.Fset, p, lit.Body, report)
+				}
+				return true
+			})
+		}
+	})
+}
+
+// ownFinding dedups reports across fixed-point iterations.
+type ownFinding struct {
+	pos token.Pos
+	msg string
+}
+
+type ownChecker struct {
+	pkg      *Package
+	fset     *token.FileSet
+	findings map[ownFinding]bool
+}
+
+func checkOwnershipBody(fset *token.FileSet, p *Package, body *ast.BlockStmt, report func(pos token.Pos, format string, args ...any)) {
+	if !mentionsArena(p, body) {
+		return // fast path: nothing to track
+	}
+	cfg := buildCFG(p, body)
+	oc := &ownChecker{pkg: p, fset: fset, findings: map[ownFinding]bool{}}
+
+	clone := func(s ownVars) ownVars {
+		out := make(ownVars, len(s))
+		for k, v := range s {
+			cp := *v
+			out[k] = &cp
+		}
+		return out
+	}
+	joinInto := func(dst, src ownVars) bool {
+		changed := false
+		for k, sv := range src {
+			dv, ok := dst[k]
+			if !ok {
+				cp := *sv
+				dst[k] = &cp
+				changed = true
+				continue
+			}
+			if merged := dv.flags | sv.flags; merged != dv.flags {
+				dv.flags = merged
+				changed = true
+			}
+			if dv.acquired == token.NoPos && sv.acquired != token.NoPos {
+				dv.acquired = sv.acquired
+				changed = true
+			}
+			if dv.deadPos == token.NoPos && sv.deadPos != token.NoPos {
+				dv.deadPos = sv.deadPos
+			}
+		}
+		return changed
+	}
+
+	// Phase 1: converge quietly.
+	in := forwardDataflow(cfg, ownVars{}, clone, joinInto, func(b *cfgBlock, s ownVars) {
+		for _, st := range b.nodes {
+			oc.stepStmt(st, s, nil)
+		}
+	})
+	// Phase 2: one reporting pass per block over the converged in-states.
+	for _, b := range cfg.blocks {
+		state, ok := in[b]
+		if !ok {
+			state = ownVars{}
+		}
+		s := clone(state)
+		for _, st := range b.nodes {
+			oc.stepStmt(st, s, oc.record)
+		}
+	}
+	// Leak check: variables still owned at function exit whose value came
+	// from AcquireBuf were neither released, sent, nor returned on some path.
+	if exit, ok := in[cfg.exit]; ok {
+		for _, st := range exit {
+			if st.flags&ownOwned != 0 && st.acquired != token.NoPos {
+				oc.record(st.acquired, "buffer from AcquireBuf may leak: some path reaches the end of the function without ReleaseBuf, SendOwned, or returning it")
+			}
+		}
+	}
+
+	keys := make([]ownFinding, 0, len(oc.findings))
+	for k := range oc.findings {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pos != keys[j].pos {
+			return keys[i].pos < keys[j].pos
+		}
+		return keys[i].msg < keys[j].msg
+	})
+	for _, k := range keys {
+		report(k.pos, "%s", k.msg)
+	}
+}
+
+func (oc *ownChecker) record(pos token.Pos, format string, args ...any) {
+	oc.findings[ownFinding{pos, fmt.Sprintf(format, args...)}] = true
+}
+
+// mentionsArena reports whether body calls any arena-API method, cheaply.
+func mentionsArena(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "AcquireBuf", "ReleaseBuf", "SendOwned", "SendOwnedTo":
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// report is nil during the convergence phase.
+type ownReport func(pos token.Pos, format string, args ...any)
+
+// stepStmt interprets one lowered CFG statement, mutating s.
+func (oc *ownChecker) stepStmt(st ast.Stmt, s ownVars, rep ownReport) {
+	switch st := st.(type) {
+	case *ast.AssignStmt:
+		// RHS first (reads), then LHS (defines/revives).
+		for _, rhs := range st.Rhs {
+			oc.stepExpr(rhs, s, rep)
+		}
+		if len(st.Lhs) == len(st.Rhs) {
+			for i, lhs := range st.Lhs {
+				oc.assign(lhs, st.Rhs[i], s)
+			}
+		} else {
+			// Tuple assignment from one call: every LHS is untracked.
+			for _, lhs := range st.Lhs {
+				oc.assign(lhs, nil, s)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, res := range st.Results {
+			oc.stepExpr(res, s, rep)
+			// Returning a buffer transfers ownership to the caller.
+			if id, ok := res.(*ast.Ident); ok {
+				if obj := oc.pkg.Info.Uses[id]; obj != nil {
+					delete(s, obj)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		oc.stepExpr(st.X, s, rep)
+		oc.assign(st.Key, nil, s)
+		oc.assign(st.Value, nil, s)
+	case *ast.ExprStmt:
+		oc.stepExpr(st.X, s, rep)
+	case *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.BlockStmt:
+		// Lowered by the CFG builder; only their init/cond fragments appear
+		// as standalone statements.
+	case *ast.DeferStmt:
+		oc.stepExpr(st.Call, s, rep)
+	case *ast.GoStmt:
+		oc.stepExpr(st.Call, s, rep)
+	case *ast.IncDecStmt:
+		oc.stepExpr(st.X, s, rep)
+	case *ast.SendStmt:
+		oc.stepExpr(st.Chan, s, rep)
+		oc.stepExpr(st.Value, s, rep)
+		// Sending a tracked buffer over a channel is an escape.
+		if id, ok := st.Value.(*ast.Ident); ok {
+			if obj := oc.pkg.Info.Uses[id]; obj != nil {
+				delete(s, obj)
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						oc.stepExpr(v, s, rep)
+					}
+					for i, name := range vs.Names {
+						var rhs ast.Expr
+						if i < len(vs.Values) {
+							rhs = vs.Values[i]
+						}
+						oc.assign(name, rhs, s)
+					}
+				}
+			}
+		}
+	default:
+		ast.Inspect(st, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				oc.stepExpr(e, s, rep)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// assign updates lhs's state from rhs: an arena acquire or receive makes
+// it owned, copying a tracked variable copies its state, anything else
+// ends tracking.
+func (oc *ownChecker) assign(lhs, rhs ast.Expr, s ownVars) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := oc.pkg.Info.Defs[id]
+	if obj == nil {
+		obj = oc.pkg.Info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	switch kind, pos := oc.classifyOrigin(rhs); kind {
+	case "acquire":
+		s[obj] = &ownState{flags: ownOwned, acquired: pos}
+	case "recv":
+		s[obj] = &ownState{flags: ownOwned}
+	case "copy":
+		src := oc.pkg.Info.Uses[rhs.(*ast.Ident)]
+		if st, ok := s[src]; ok {
+			cp := *st
+			s[obj] = &cp
+			return
+		}
+		delete(s, obj)
+	default:
+		delete(s, obj)
+	}
+}
+
+// classifyOrigin decides what owning state an assignment RHS confers.
+func (oc *ownChecker) classifyOrigin(rhs ast.Expr) (string, token.Pos) {
+	switch rhs := rhs.(type) {
+	case *ast.CallExpr:
+		if name, okRecv := oc.arenaCall(rhs); okRecv {
+			switch name {
+			case "AcquireBuf":
+				return "acquire", rhs.Pos()
+			case "Recv", "RecvFrom":
+				return "recv", rhs.Pos()
+			}
+		}
+	case *ast.Ident:
+		return "copy", token.NoPos
+	}
+	return "", token.NoPos
+}
+
+// arenaCall reports the method name when call is an arena-API method call
+// on a Chip/Comm/Mesh receiver.
+func (oc *ownChecker) arenaCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "AcquireBuf", "ReleaseBuf", "SendOwned", "SendOwnedTo", "Recv", "RecvFrom":
+	default:
+		return "", false
+	}
+	fn, ok := oc.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || !arenaRecvTypes[named.Obj().Name()] {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// stepExpr walks an expression, handling arena calls and flagging uses of
+// dead variables. Function literals are opaque: capturing a tracked
+// variable ends its tracking (the closure's lifetime is unknowable here).
+func (oc *ownChecker) stepExpr(e ast.Expr, s ownVars, rep ownReport) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if name, ok := oc.arenaCall(e); ok {
+			sel := e.Fun.(*ast.SelectorExpr)
+			oc.stepExpr(sel.X, s, rep) // receiver is a plain read
+			switch name {
+			case "SendOwned", "SendOwnedTo":
+				// Last argument is the buffer being handed off.
+				for i, arg := range e.Args {
+					if i < len(e.Args)-1 {
+						oc.stepExpr(arg, s, rep)
+					}
+				}
+				oc.kill(e.Args[len(e.Args)-1], ownSent, name, s, rep)
+				return
+			case "ReleaseBuf":
+				oc.kill(e.Args[0], ownReleased, name, s, rep)
+				return
+			default: // AcquireBuf, Recv, RecvFrom: plain argument reads
+				for _, arg := range e.Args {
+					oc.stepExpr(arg, s, rep)
+				}
+				return
+			}
+		}
+		oc.stepExpr(e.Fun, s, rep)
+		for _, arg := range e.Args {
+			oc.stepExpr(arg, s, rep)
+		}
+	case *ast.FuncLit:
+		// Capturing a tracked variable hands it to the closure for good.
+		ast.Inspect(e.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := oc.pkg.Info.Uses[id]; obj != nil {
+					delete(s, obj)
+				}
+			}
+			return true
+		})
+	case *ast.Ident:
+		oc.use(e, s, rep)
+	case *ast.SelectorExpr:
+		oc.stepExpr(e.X, s, rep)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			oc.stepExpr(el, s, rep)
+			// Storing a tracked buffer into a composite is an escape.
+			if id, ok := el.(*ast.Ident); ok {
+				if obj := oc.pkg.Info.Uses[id]; obj != nil {
+					delete(s, obj)
+				}
+			}
+		}
+	default:
+		var walked bool
+		ast.Inspect(e, func(n ast.Node) bool {
+			if !walked {
+				walked = true // skip the root, walk children
+				return true
+			}
+			if sub, ok := n.(ast.Expr); ok {
+				oc.stepExpr(sub, s, rep)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// use flags a read of a maybe-dead variable.
+func (oc *ownChecker) use(id *ast.Ident, s ownVars, rep ownReport) {
+	obj := oc.pkg.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	st, ok := s[obj]
+	if !ok || rep == nil {
+		return
+	}
+	if st.flags&ownSent != 0 {
+		rep(id.Pos(), "use of %q after SendOwned: ownership was transferred on some path (sent at %s), the receiver may already be overwriting it", id.Name, oc.posString(st.deadPos))
+	} else if st.flags&ownReleased != 0 {
+		rep(id.Pos(), "use of %q after ReleaseBuf: the buffer was returned to the pool on some path (released at %s) and may be handed to another chip", id.Name, oc.posString(st.deadPos))
+	}
+}
+
+// kill processes the buffer argument of SendOwned/ReleaseBuf: it reports
+// re-sends and double releases, then marks the variable dead.
+func (oc *ownChecker) kill(arg ast.Expr, dead ownFlags, method string, s ownVars, rep ownReport) {
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		oc.stepExpr(arg, s, rep)
+		return
+	}
+	obj := oc.pkg.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	st, ok := s[obj]
+	if ok && rep != nil {
+		switch {
+		case st.flags&ownSent != 0 && dead == ownSent:
+			rep(id.Pos(), "%q sent with SendOwned twice: ownership was already transferred on some path (sent at %s)", id.Name, oc.posString(st.deadPos))
+		case st.flags&ownSent != 0:
+			rep(id.Pos(), "ReleaseBuf of %q after SendOwned: the buffer now belongs to the receiver (sent at %s)", id.Name, oc.posString(st.deadPos))
+		case st.flags&ownReleased != 0 && dead == ownReleased:
+			rep(id.Pos(), "double ReleaseBuf of %q: the buffer was already released on some path (released at %s)", id.Name, oc.posString(st.deadPos))
+		case st.flags&ownReleased != 0:
+			rep(id.Pos(), "SendOwned of %q after ReleaseBuf: the pool may already have handed the buffer to another chip (released at %s)", id.Name, oc.posString(st.deadPos))
+		}
+	}
+	if ok {
+		st.flags = (st.flags &^ ownOwned) | dead
+		st.deadPos = id.Pos()
+	} else {
+		s[obj] = &ownState{flags: dead, deadPos: id.Pos()}
+	}
+}
+
+// posString renders a kill site compactly for diagnostics ("line 12").
+func (oc *ownChecker) posString(pos token.Pos) string {
+	if pos == token.NoPos {
+		return "an earlier point"
+	}
+	return fmt.Sprintf("line %d", oc.fset.Position(pos).Line)
+}

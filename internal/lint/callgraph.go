@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CallGraph is the module's static call graph, shared by every analyzer
+// that reasons across function boundaries (panic-audit's API-reachability
+// walk, hotpath-alloc's transitive no-allocation closure, map-order's
+// emits-output summaries). It is built once per Module and cached.
+//
+// Functions are keyed by their qualified name (types.Func.FullName) rather
+// than object identity, because packages with in-package tests are
+// type-checked twice — once test-free for importers, once with tests for
+// analysis — and the two checks mint distinct objects for the same
+// function.
+//
+// The graph is a static under-approximation: direct calls and concrete
+// method calls are edges; calls through interfaces or function values are
+// not. Calls inside function literals are attributed to the declared
+// function that lexically contains them, which is exactly right for this
+// codebase's dominant pattern (SPMD closures handed to mesh.Run).
+type CallGraph struct {
+	// callees maps a caller's FullName to its callees' FullNames, sorted.
+	callees map[string][]string
+	// decls maps a FullName to its (non-test) declaration.
+	decls map[string]*FuncDecl
+	// names lists every function that appears as a caller or declaration,
+	// sorted, for deterministic iteration.
+	names []string
+}
+
+// FuncDecl is one declared function in non-test module code, with enough
+// context for analyzers to inspect its body with type information.
+type FuncDecl struct {
+	Full string // qualified name (types.Func.FullName)
+	Pkg  *Package
+	File *File
+	Decl *ast.FuncDecl
+}
+
+// CallGraph returns the module's call graph, building it on first use.
+func (m *Module) CallGraph() *CallGraph {
+	if m.callGraph == nil {
+		m.callGraph = buildCallGraph(m)
+	}
+	return m.callGraph
+}
+
+func buildCallGraph(m *Module) *CallGraph {
+	g := &CallGraph{
+		callees: map[string][]string{},
+		decls:   map[string]*FuncDecl{},
+	}
+	raw := map[string]map[string]bool{}
+	m.eachFile(func(p *Package, f *File) {
+		if f.Test {
+			return
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			caller := fn.FullName()
+			if g.decls[caller] == nil {
+				g.decls[caller] = &FuncDecl{Full: caller, Pkg: p, File: f, Decl: fd}
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee, ok := calleeFunc(p, call); ok {
+					if raw[caller] == nil {
+						raw[caller] = map[string]bool{}
+					}
+					raw[caller][callee.FullName()] = true
+				}
+				return true
+			})
+		}
+	})
+	seen := map[string]bool{}
+	for caller, set := range raw {
+		callees := make([]string, 0, len(set))
+		for c := range set {
+			callees = append(callees, c)
+			seen[c] = true
+		}
+		sort.Strings(callees)
+		g.callees[caller] = callees
+		seen[caller] = true
+	}
+	for name := range g.decls {
+		seen[name] = true
+	}
+	g.names = make([]string, 0, len(seen))
+	for name := range seen {
+		g.names = append(g.names, name)
+	}
+	sort.Strings(g.names)
+	return g
+}
+
+// calleeFunc resolves a call expression to the *types.Func it statically
+// invokes, or ok=false for builtins, conversions, and indirect calls.
+func calleeFunc(p *Package, call *ast.CallExpr) (*types.Func, bool) {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	return fn, ok
+}
+
+// Callees returns the sorted callee FullNames of the given function.
+func (g *CallGraph) Callees(full string) []string { return g.callees[full] }
+
+// Decl returns the non-test declaration of the given function, or nil for
+// functions the module does not declare (stdlib, interface methods).
+func (g *CallGraph) Decl(full string) *FuncDecl { return g.decls[full] }
+
+// ReachableFrom walks the graph forward from roots and returns the set of
+// functions reachable through static call edges (roots included).
+func (g *CallGraph) ReachableFrom(roots []string) map[string]bool {
+	reachable := map[string]bool{}
+	var visit func(fn string)
+	visit = func(fn string) {
+		if reachable[fn] {
+			return
+		}
+		reachable[fn] = true
+		for _, callee := range g.callees[fn] {
+			visit(callee)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return reachable
+}
+
+// Callers returns, for every function, the sorted set of its direct
+// callers — the reverse edge map, computed on demand.
+func (g *CallGraph) Callers() map[string][]string {
+	rev := map[string]map[string]bool{}
+	for _, caller := range g.names {
+		for _, callee := range g.callees[caller] {
+			if rev[callee] == nil {
+				rev[callee] = map[string]bool{}
+			}
+			rev[callee][caller] = true
+		}
+	}
+	out := make(map[string][]string, len(rev))
+	for callee, set := range rev {
+		callers := make([]string, 0, len(set))
+		for c := range set {
+			callers = append(callers, c)
+		}
+		sort.Strings(callers)
+		out[callee] = callers
+	}
+	return out
+}
+
+// apiRoots returns the module root package's exported surface: its
+// exported functions, and the exported methods of every named type an
+// exported type name of the root package denotes (the facade re-exports
+// internal types by alias, which makes those methods public API).
+func (m *Module) apiRoots() []string {
+	var roots []string
+	for _, pkg := range m.Packages {
+		if pkg.Path != m.Path || pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			obj := scope.Lookup(name)
+			if !obj.Exported() {
+				continue
+			}
+			switch obj := obj.(type) {
+			case *types.Func:
+				roots = append(roots, obj.FullName())
+			case *types.TypeName:
+				if named, ok := obj.Type().(*types.Named); ok {
+					for i := 0; i < named.NumMethods(); i++ {
+						if method := named.Method(i); method.Exported() {
+							roots = append(roots, method.FullName())
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(roots)
+	return roots
+}

@@ -1,0 +1,428 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the per-function dataflow core: a basic-block control-flow
+// graph over ast statements, a forward abstract-interpretation driver with
+// branch merging, and a "doomed block" classification (blocks from which
+// every path ends in panic). It is deliberately an approximation — goto is
+// treated as an early exit, select/switch cases all merge — but it is
+// precise enough for the flow-sensitive analyzers (buf-ownership,
+// hotpath-alloc) on this codebase's control-flow shapes, and it only
+// depends on the standard library.
+
+// cfgBlock is one basic block: a maximal run of statements with a single
+// entry, executed in order, followed by edges to successor blocks. A
+// *ast.RangeStmt appears as the sole "header" node of its loop-header
+// block so transfer functions can model the per-iteration key/value
+// assignment.
+type cfgBlock struct {
+	index int
+	nodes []ast.Stmt
+	succs []*cfgBlock
+	// panics marks a block terminated by a call to the panic builtin.
+	panics bool
+}
+
+// funcCFG is the control-flow graph of one function body. exit is a
+// synthetic empty block every return (and normal fall-off) flows to.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+}
+
+// cfgBuilder tracks loop/switch targets while lowering statements.
+type cfgBuilder struct {
+	pkg    *Package
+	cfg    *funcCFG
+	breaks []branchTarget // innermost last
+	conts  []branchTarget
+}
+
+type branchTarget struct {
+	label string
+	block *cfgBlock
+}
+
+// target resolves a break/continue to its destination block: the
+// innermost enclosing loop/switch for an unlabeled branch, the matching
+// labeled construct otherwise.
+func (b *cfgBuilder) target(stack []branchTarget, label *ast.Ident) *cfgBlock {
+	if label == nil {
+		if len(stack) == 0 {
+			return nil
+		}
+		return stack[len(stack)-1].block
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label.Name {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.cfg.blocks)}
+	b.cfg.blocks = append(b.cfg.blocks, blk)
+	return blk
+}
+
+func edge(from, to *cfgBlock) {
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+}
+
+// buildCFG lowers body into a funcCFG. pkg supplies type information used
+// to recognise panic calls.
+func buildCFG(pkg *Package, body *ast.BlockStmt) *funcCFG {
+	cfg := &funcCFG{}
+	b := &cfgBuilder{pkg: pkg, cfg: cfg}
+	cfg.entry = b.newBlock()
+	cfg.exit = b.newBlock()
+	last := b.stmts(cfg.entry, body.List)
+	if last != nil {
+		edge(last, cfg.exit)
+	}
+	return cfg
+}
+
+// stmts lowers a statement list starting in cur; it returns the block
+// control falls out of, or nil if control never falls through (return,
+// panic, break on every path).
+func (b *cfgBuilder) stmts(cur *cfgBlock, list []ast.Stmt) *cfgBlock {
+	for _, s := range list {
+		if cur == nil {
+			// Dead code after a terminator; lower it anyway (it may contain
+			// findings) into an unreachable block.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s, "")
+	}
+	return cur
+}
+
+// stmt lowers one statement; label is the statement's label, if any.
+func (b *cfgBuilder) stmt(cur *cfgBlock, s ast.Stmt, label string) *cfgBlock {
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		return b.stmt(cur, s.Stmt, s.Label.Name)
+
+	case *ast.BlockStmt:
+		return b.stmts(cur, s.List)
+
+	case *ast.ReturnStmt:
+		cur.nodes = append(cur.nodes, s)
+		edge(cur, b.cfg.exit)
+		return nil
+
+	case *ast.BranchStmt:
+		cur.nodes = append(cur.nodes, s)
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.target(b.breaks, s.Label); t != nil {
+				edge(cur, t)
+			} else {
+				edge(cur, b.cfg.exit)
+			}
+		case token.CONTINUE:
+			if t := b.target(b.conts, s.Label); t != nil {
+				edge(cur, t)
+			} else {
+				edge(cur, b.cfg.exit)
+			}
+		case token.FALLTHROUGH:
+			// Handled by the switch lowering (cases already merge); treat
+			// as fall-off so the next case body is a successor via the join.
+			return cur
+		default: // goto: treat as early exit (none in this codebase)
+			edge(cur, b.cfg.exit)
+		}
+		return nil
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		cur.nodes = append(cur.nodes, &ast.ExprStmt{X: s.Cond})
+		join := b.newBlock()
+		then := b.newBlock()
+		edge(cur, then)
+		if last := b.stmts(then, s.Body.List); last != nil {
+			edge(last, join)
+		}
+		if s.Else != nil {
+			els := b.newBlock()
+			edge(cur, els)
+			if last := b.stmt(els, s.Else, ""); last != nil {
+				edge(last, join)
+			}
+		} else {
+			edge(cur, join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		head := b.newBlock()
+		edge(cur, head)
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, &ast.ExprStmt{X: s.Cond})
+		}
+		after := b.newBlock()
+		post := b.newBlock()
+		if s.Post != nil {
+			post.nodes = append(post.nodes, s.Post)
+		}
+		edge(post, head)
+		body := b.newBlock()
+		edge(head, body)
+		if s.Cond != nil {
+			edge(head, after)
+		}
+		b.breaks = append(b.breaks, branchTarget{label, after})
+		b.conts = append(b.conts, branchTarget{label, post})
+		if last := b.stmts(body, s.Body.List); last != nil {
+			edge(last, post)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.conts = b.conts[:len(b.conts)-1]
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		head.nodes = append(head.nodes, s) // header node: models key/value assignment
+		edge(cur, head)
+		after := b.newBlock()
+		edge(head, after)
+		body := b.newBlock()
+		edge(head, body)
+		b.breaks = append(b.breaks, branchTarget{label, after})
+		b.conts = append(b.conts, branchTarget{label, head})
+		if last := b.stmts(body, s.Body.List); last != nil {
+			edge(last, head)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.conts = b.conts[:len(b.conts)-1]
+		return after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		if s.Tag != nil {
+			cur.nodes = append(cur.nodes, &ast.ExprStmt{X: s.Tag})
+		}
+		return b.switchBody(cur, s.Body, label, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		cur.nodes = append(cur.nodes, s.Assign)
+		return b.switchBody(cur, s.Body, label, true)
+
+	case *ast.SelectStmt:
+		return b.switchBody(cur, s.Body, label, false)
+
+	default:
+		// Straight-line statements: expressions, assignments, declarations,
+		// defers, go statements, sends, inc/dec.
+		cur.nodes = append(cur.nodes, s)
+		if isPanicStmt(b.pkg, s) {
+			cur.panics = true
+			return nil
+		}
+		return cur
+	}
+}
+
+// switchBody lowers the clause list of a switch/type-switch/select. When
+// hasDefaultFallthrough is true and no default clause exists, control may
+// skip every case.
+func (b *cfgBuilder) switchBody(cur *cfgBlock, body *ast.BlockStmt, label string, canSkip bool) *cfgBlock {
+	join := b.newBlock()
+	b.breaks = append(b.breaks, branchTarget{label, join})
+	hasDefault := false
+	var caseBodies [][]ast.Stmt
+	for _, clause := range body.List {
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				cur.nodes = append(cur.nodes, &ast.ExprStmt{X: e})
+			}
+			caseBodies = append(caseBodies, c.Body)
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			blk := []ast.Stmt{}
+			if c.Comm != nil {
+				blk = append(blk, c.Comm)
+			}
+			caseBodies = append(caseBodies, append(blk, c.Body...))
+		}
+	}
+	var bodyBlocks []*cfgBlock
+	for _, stmts := range caseBodies {
+		blk := b.newBlock()
+		bodyBlocks = append(bodyBlocks, blk)
+		edge(cur, blk)
+		if last := b.stmts(blk, stmts); last != nil {
+			edge(last, join)
+		}
+	}
+	// Approximate fallthrough: each case body may also flow into the next.
+	for i := 0; i+1 < len(bodyBlocks); i++ {
+		if containsFallthrough(caseBodies[i]) {
+			edge(bodyBlocks[i], bodyBlocks[i+1])
+		}
+	}
+	if canSkip && !hasDefault {
+		edge(cur, join)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	return join
+}
+
+func containsFallthrough(stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			return true
+		}
+	}
+	return false
+}
+
+// isPanicStmt reports whether s is a direct call to the panic builtin.
+func isPanicStmt(pkg *Package, s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+// doomed returns the set of blocks from which every path terminates in a
+// panic (no path reaches the exit block). Allocation checks skip these
+// blocks: constructing a panic message is not a hot-path allocation.
+func (g *funcCFG) doomed() map[*cfgBlock]bool {
+	reachExit := map[*cfgBlock]bool{}
+	// Reverse BFS from exit.
+	preds := map[*cfgBlock][]*cfgBlock{}
+	for _, blk := range g.blocks {
+		for _, s := range blk.succs {
+			preds[s] = append(preds[s], blk)
+		}
+	}
+	queue := []*cfgBlock{g.exit}
+	reachExit[g.exit] = true
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		for _, p := range preds[blk] {
+			if !reachExit[p] {
+				reachExit[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	doomed := map[*cfgBlock]bool{}
+	for _, blk := range g.blocks {
+		if !reachExit[blk] {
+			doomed[blk] = true
+		}
+	}
+	return doomed
+}
+
+// doomedIntervals returns the source intervals of every statement lowered
+// into a doomed block, for position-based exemption checks.
+func (g *funcCFG) doomedIntervals() []posInterval {
+	doomed := g.doomed()
+	var out []posInterval
+	for _, blk := range g.blocks {
+		if !doomed[blk] {
+			continue
+		}
+		for _, n := range blk.nodes {
+			out = append(out, posInterval{n.Pos(), n.End()})
+		}
+	}
+	return out
+}
+
+type posInterval struct{ lo, hi token.Pos }
+
+func (ivs posIntervals) contains(p token.Pos) bool {
+	for _, iv := range ivs {
+		if iv.lo <= p && p < iv.hi {
+			return true
+		}
+	}
+	return false
+}
+
+type posIntervals []posInterval
+
+// forwardDataflow runs a forward abstract interpretation over g to a fixed
+// point, then returns the converged in-state of every block. S is the
+// abstract state; the analyzer supplies:
+//
+//	clone    — deep copy, so transfer can mutate freely
+//	joinInto — merge src into dst, reporting whether dst changed
+//	transfer — interpret one block's statements, mutating the state
+//
+// Branch merging happens at block joins via joinInto; loops iterate until
+// states stop changing, which requires joinInto to be monotone over a
+// finite lattice.
+func forwardDataflow[S any](g *funcCFG, entry S, clone func(S) S, joinInto func(dst, src S) bool, transfer func(b *cfgBlock, s S)) map[*cfgBlock]S {
+	in := map[*cfgBlock]S{g.entry: entry}
+	queue := []*cfgBlock{g.entry}
+	queued := map[*cfgBlock]bool{g.entry: true}
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		queued[blk] = false
+		out := clone(in[blk])
+		transfer(blk, out)
+		for _, s := range blk.succs {
+			cur, ok := in[s]
+			changed := false
+			if !ok {
+				in[s] = clone(out)
+				changed = true
+			} else {
+				changed = joinInto(cur, out)
+			}
+			if changed && !queued[s] {
+				queued[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,310 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// hotpath-alloc enforces the zero-allocation contract on the simulator's
+// steady-state hot paths. A function annotated with a "lint:hotpath"
+// directive is a root; it and every function it transitively calls
+// (through static call edges) must not allocate. Flagged sites:
+//
+//   - make / new / append builtin calls
+//   - slice and map composite literals, and &CompositeLit of any type
+//   - non-constant string concatenation and string<->[]byte conversions
+//   - go statements (goroutine spawn allocates a stack)
+//   - function literals that capture enclosing locals (heap-allocated
+//     closure environment)
+//   - interface boxing at call sites (a concrete value passed where the
+//     callee takes an interface)
+//
+// Two escape hatches keep the rule honest rather than noisy: allocation
+// sites inside doomed blocks (every path ends in panic) are exempt, since
+// building a panic message is failure-path code by construction; and a
+// "lint:allow hotpath-alloc" directive on a function declaration exempts
+// that whole function AND stops the descent into its callees, for
+// deliberately cold subgraphs like nil-gated metrics.
+func analyzeHotpathAlloc() *Analyzer {
+	return &Analyzer{
+		Name: "hotpath-alloc",
+		Doc: "functions marked lint:hotpath, and everything they transitively call, must not " +
+			"allocate: no make/new/append, composite literals, string building, goroutine spawns, " +
+			"capturing closures, or interface boxing (panic-only blocks are exempt; a lint:allow " +
+			"hotpath-alloc directive on a declaration exempts it and its callees)",
+		Run: runHotpathAlloc,
+	}
+}
+
+func runHotpathAlloc(m *Module, report func(pos token.Pos, format string, args ...any)) {
+	g := m.CallGraph()
+
+	// Roots: declarations whose first line carries a lint:hotpath mark.
+	var roots []string
+	for _, full := range g.names {
+		d := g.Decl(full)
+		if d == nil {
+			continue
+		}
+		if d.File.HotpathAt(m.Fset.Position(d.Decl.Pos()).Line) {
+			roots = append(roots, full)
+		}
+	}
+	sort.Strings(roots)
+
+	// BFS from the roots, recording for each hot function the first root
+	// that reaches it (deterministic: sorted roots, sorted callee lists).
+	// A declaration-level lint:allow hotpath-alloc prunes the walk.
+	rootOf := map[string]string{}
+	var order []string
+	for _, r := range roots {
+		if _, seen := rootOf[r]; seen {
+			continue
+		}
+		queue := []string{r}
+		rootOf[r] = r
+		for len(queue) > 0 {
+			fn := queue[0]
+			queue = queue[1:]
+			order = append(order, fn)
+			d := g.Decl(fn)
+			if d == nil {
+				continue // stdlib or not declared here; nothing to scan or descend into
+			}
+			if declExempt(m, d) {
+				continue
+			}
+			for _, callee := range g.Callees(fn) {
+				if _, seen := rootOf[callee]; !seen {
+					rootOf[callee] = rootOf[fn]
+					queue = append(queue, callee)
+				}
+			}
+		}
+	}
+
+	for _, fn := range order {
+		d := g.Decl(fn)
+		if d == nil || d.Decl.Body == nil || declExempt(m, d) {
+			continue
+		}
+		checkAllocs(m, d, rootOf[fn], report)
+	}
+}
+
+// declExempt reports whether the function declaration carries a
+// lint:allow hotpath-alloc directive on its own line (or the line above,
+// via the directive's two-line span).
+func declExempt(m *Module, d *FuncDecl) bool {
+	return d.File.Allows("hotpath-alloc", m.Fset.Position(d.Decl.Pos()).Line)
+}
+
+// checkAllocs scans one hot function's body for allocation sites,
+// skipping statements in doomed (panic-only) blocks.
+func checkAllocs(m *Module, d *FuncDecl, root string, report func(pos token.Pos, format string, args ...any)) {
+	p := d.Pkg
+	doomed := posIntervals(buildCFG(p, d.Decl.Body).doomedIntervals())
+	via := ""
+	if root != d.Full {
+		via = " (on the hot path from " + shortName(root) + ")"
+	}
+	flag := func(pos token.Pos, what string) {
+		if doomed.contains(pos) {
+			return // failure path: every continuation panics
+		}
+		report(pos, "%s in hot-path function %s%s; hoist the allocation out of the steady state or restructure to reuse a buffer", what, shortName(d.Full), via)
+	}
+
+	ast.Inspect(d.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			flag(n.Pos(), "goroutine spawn")
+		case *ast.CallExpr:
+			checkCallAlloc(p, n, flag)
+		case *ast.CompositeLit:
+			switch p.typeOf(n).Underlying().(type) {
+			case *types.Slice:
+				flag(n.Pos(), "slice literal")
+			case *types.Map:
+				flag(n.Pos(), "map literal")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					flag(n.Pos(), "heap allocation (&composite literal)")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstString(p, n) {
+				flag(n.Pos(), "string concatenation")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(p.typeOf(n.Lhs[0])) {
+				flag(n.Pos(), "string concatenation")
+			}
+		case *ast.FuncLit:
+			if capturesLocals(p, d.Decl, n) {
+				flag(n.Pos(), "capturing closure")
+			}
+			return false // the literal runs elsewhere; only its capture costs here
+		}
+		return true
+	})
+}
+
+// checkCallAlloc flags allocating builtins, allocating conversions, and
+// interface boxing of concrete arguments.
+func checkCallAlloc(p *Package, call *ast.CallExpr, flag func(pos token.Pos, what string)) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new", "append":
+				flag(call.Pos(), "call to "+b.Name())
+			}
+			return
+		}
+	}
+	// Conversions between string and []byte copy the data.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst, src := tv.Type, p.typeOf(call.Args[0])
+		if (isStringType(dst) && isByteSlice(src)) || (isByteSlice(dst) && isStringType(src)) {
+			if av, ok := p.Info.Types[call.Args[0]]; !ok || av.Value == nil {
+				flag(call.Pos(), "string/[]byte conversion")
+			}
+		}
+		return
+	}
+	// Interface boxing: a concrete argument passed to an interface
+	// parameter escapes to the heap (including variadic ...any).
+	sig := callSignature(p, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		param := paramType(sig, i, call.Ellipsis.IsValid())
+		if param == nil || !types.IsInterface(param) {
+			continue
+		}
+		at := p.typeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		flag(arg.Pos(), "interface boxing of "+at.String()+" argument")
+	}
+}
+
+// callSignature returns the static signature of call, or nil for builtins
+// and conversions.
+func callSignature(p *Package, call *ast.CallExpr) *types.Signature {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// paramType returns the type the i-th argument is assigned to, expanding
+// the variadic tail to its element type (nil when spread with ...).
+func paramType(sig *types.Signature, i int, hasEllipsis bool) types.Type {
+	n := sig.Params().Len()
+	if sig.Variadic() && i >= n-1 {
+		if hasEllipsis {
+			return nil // spread slice: no per-element boxing at this site
+		}
+		s, ok := sig.Params().At(n - 1).Type().(*types.Slice)
+		if !ok {
+			return nil
+		}
+		return s.Elem()
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+// capturesLocals reports whether lit references any variable declared in
+// the enclosing function outside the literal itself.
+func capturesLocals(p *Package, outer *ast.FuncDecl, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		pos := v.Pos()
+		if pos >= lit.Pos() && pos < lit.End() {
+			return true // the literal's own param or local
+		}
+		if pos >= outer.Pos() && pos < outer.End() {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}
+
+func (p *Package) typeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8)
+}
+
+// isNonConstString reports whether e is a string-typed addition whose
+// value is not a compile-time constant.
+func isNonConstString(p *Package, e *ast.BinaryExpr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	return isStringType(tv.Type)
+}
+
+// shortName compresses a FullName like
+// "(meshslice/internal/mesh.Comm).SendOwnedTo" to "mesh.Comm.SendOwnedTo"
+// for readable diagnostics.
+func shortName(full string) string {
+	s := strings.ReplaceAll(full, "(", "")
+	s = strings.ReplaceAll(s, ")", "")
+	s = strings.TrimPrefix(s, "*")
+	s = strings.ReplaceAll(s, ".*", ".")
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}

@@ -47,6 +47,9 @@ func Analyzers() []*Analyzer {
 		analyzeFloatEq(),
 		analyzeGoroutines(),
 		analyzePanics(),
+		analyzeBufOwnership(),
+		analyzeHotpathAlloc(),
+		analyzeMapOrder(),
 	}
 }
 
@@ -76,7 +79,10 @@ func Run(m *Module, analyzers []*Analyzer, allow *Allowlist) []Diagnostic {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
 	})
 	return diags
 }

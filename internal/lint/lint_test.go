@@ -22,6 +22,9 @@ func TestAnalyzersGolden(t *testing.T) {
 		{"floateq/floats", "fixture/floats"},
 		{"goroutine/spmd", "fixture/spmd"},
 		{"panicaudit/panicroot", "fixture/panicroot"},
+		{"bufown/arena", "fixture/arena"},
+		{"hotpath/kernels", "fixture/kernels"},
+		{"maporder/emit", "fixture/emit"},
 	}
 	for _, fx := range fixtures {
 		t.Run(fx.dir, func(t *testing.T) {
@@ -56,6 +59,27 @@ func TestAnalyzersGolden(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestSuiteComposition pins the rule suite: CI's JSON-report contract and
+// the DESIGN.md invariants table both enumerate these names in this order.
+func TestSuiteComposition(t *testing.T) {
+	want := []string{
+		"no-wallclock", "seeded-rand", "float-eq", "goroutine-discipline",
+		"panic-audit", "buf-ownership", "hotpath-alloc", "map-order",
+	}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q lacks doc or run function", a.Name)
+		}
 	}
 }
 

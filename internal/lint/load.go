@@ -26,6 +26,10 @@ type Module struct {
 	Path     string // module path from go.mod
 	Fset     *token.FileSet
 	Packages []*Package // sorted by import path; test units follow their base
+
+	// callGraph caches the cross-package static call graph shared by the
+	// interprocedural analyzers (see Module.CallGraph).
+	callGraph *CallGraph
 }
 
 // Package is one type-checked compilation unit. A directory with in-package
@@ -48,7 +52,15 @@ type File struct {
 	// allow maps a line number to the rules suppressed on that line by a
 	// "lint:" comment directive (the directive's own line and the next).
 	allow map[int][]string
+	// hotpath maps a line number to true when a "lint:hotpath" directive
+	// marks it (the directive's own line and the next): a function whose
+	// declaration starts on a marked line is a hot-path root for the
+	// hotpath-alloc analyzer.
+	hotpath map[int]bool
 }
+
+// HotpathAt reports whether a lint:hotpath directive marks the given line.
+func (f *File) HotpathAt(line int) bool { return f.hotpath[line] }
 
 // Allows reports whether a directive in f suppresses rule at line.
 func (f *File) Allows(rule string, line int) bool {
@@ -181,11 +193,13 @@ func (l *loader) parseDir(ip string) (*dirFiles, error) {
 		if err != nil {
 			return nil, err
 		}
+		allow, hot := directives(l.fset, astf)
 		f := &File{
-			Name:  full,
-			AST:   astf,
-			Test:  strings.HasSuffix(e.Name(), "_test.go"),
-			allow: directives(l.fset, astf),
+			Name:    full,
+			AST:     astf,
+			Test:    strings.HasSuffix(e.Name(), "_test.go"),
+			allow:   allow,
+			hotpath: hot,
 		}
 		switch {
 		case strings.HasSuffix(astf.Name.Name, "_test"):
@@ -330,10 +344,13 @@ func (l *loader) check() (*Module, error) {
 //	if a.t != b.t {
 //
 // Recognised forms: "lint:invariant [reason]" (suppresses panic-audit),
-// "lint:float-exact [reason]" (suppresses float-eq), and
-// "lint:allow rule[,rule...] [reason]".
-func directives(fset *token.FileSet, f *ast.File) map[int][]string {
+// "lint:float-exact [reason]" (suppresses float-eq),
+// "lint:allow rule[,rule...] [reason]", and "lint:hotpath [reason]"
+// (marks the function declared on this line or the next as a hot-path
+// root for hotpath-alloc — an annotation, not a suppression).
+func directives(fset *token.FileSet, f *ast.File) (map[int][]string, map[int]bool) {
 	allow := map[int][]string{}
+	hot := map[int]bool{}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
@@ -345,6 +362,7 @@ func directives(fset *token.FileSet, f *ast.File) map[int][]string {
 			if len(fields) == 0 {
 				continue
 			}
+			line := fset.Position(c.Pos()).Line
 			var rules []string
 			switch fields[0] {
 			case "invariant":
@@ -355,11 +373,14 @@ func directives(fset *token.FileSet, f *ast.File) map[int][]string {
 				if len(fields) > 1 {
 					rules = strings.Split(fields[1], ",")
 				}
+			case "hotpath":
+				hot[line] = true
+				hot[line+1] = true
+				continue
 			}
-			line := fset.Position(c.Pos()).Line
 			allow[line] = append(allow[line], rules...)
 			allow[line+1] = append(allow[line+1], rules...)
 		}
 	}
-	return allow
+	return allow, hot
 }

@@ -1,0 +1,310 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// map-order catches the classic Go determinism bug: ranging over a map
+// and letting the iteration order reach output. A `for ... range m` over
+// a map is flagged when its body reaches an order-sensitive sink:
+//
+//   - a direct emission (fmt printing, encoder/writer calls, metric
+//     mutation) inside the loop body,
+//   - a call to a module function that transitively emits (summaries are
+//     propagated over the shared call graph), or
+//   - an append of loop-derived data to a slice declared outside the
+//     loop, UNLESS the same slice is sorted after the loop — the
+//     collect-then-sort idiom is the sanctioned fix and stays silent.
+//
+// Test files are skipped: tests are entitled to range over maps when
+// asserting set membership.
+func analyzeMapOrder() *Analyzer {
+	return &Analyzer{
+		Name: "map-order",
+		Doc: "ranging over a map must not let the nondeterministic iteration order reach output: " +
+			"no emission (printing, encoding, metrics — directly or via calls) from the loop body, " +
+			"and keys collected into a slice must be sorted after the loop",
+		Run: runMapOrder,
+	}
+}
+
+func runMapOrder(m *Module, report func(pos token.Pos, format string, args ...any)) {
+	emits := emitSummaries(m)
+	m.eachFile(func(p *Package, f *File) {
+		if f.Test {
+			return
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRanges(p, fd.Body, emits, report)
+		}
+	})
+}
+
+// emitSummaries computes, per module function (FullName), whether calling
+// it can emit order-sensitive output, by seeding direct sinks and closing
+// transitively over the call graph's reverse edges.
+func emitSummaries(m *Module) map[string]bool {
+	g := m.CallGraph()
+	emits := map[string]bool{}
+	var direct []string
+	for _, full := range g.names {
+		d := g.Decl(full)
+		if d == nil || d.Decl.Body == nil {
+			continue
+		}
+		found := false
+		ast.Inspect(d.Decl.Body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok && isEmitCall(d.Pkg, call) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			emits[full] = true
+			direct = append(direct, full)
+		}
+	}
+	callers := g.Callers()
+	queue := direct
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, caller := range callers[fn] {
+			if !emits[caller] {
+				emits[caller] = true
+				queue = append(queue, caller)
+			}
+		}
+	}
+	return emits
+}
+
+// emitRecvTypes names receiver types whose mutating methods are
+// order-sensitive sinks: the obs metric family (emission order shows up
+// in snapshots and traces). tensor.Matrix.Set/Add are NOT sinks — matrix
+// element writes commute.
+var emitRecvTypes = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true, "Series": true,
+	"Registry": true, "Tracer": true,
+}
+
+// isEmitCall recognises direct order-sensitive sinks.
+func isEmitCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	// Package-level printers: fmt.Print*/Fprint* and friends.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+			if pn.Imported().Path() == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+				return true
+			}
+			return false
+		}
+	}
+	// Method sinks, classified by receiver type name.
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	rn := named.Obj().Name()
+	switch name {
+	case "Encode":
+		return rn == "Encoder"
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return true
+	case "Inc", "Add", "Set", "Observe", "Append", "Emit", "Record":
+		return emitRecvTypes[rn]
+	}
+	return false
+}
+
+// checkMapRanges walks one function body looking for map ranges whose
+// bodies reach a sink.
+func checkMapRanges(p *Package, body *ast.BlockStmt, emits map[string]bool, report func(pos token.Pos, format string, args ...any)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := p.typeOf(rs.X); t == nil || !isMapType(t) {
+			return true
+		}
+		checkOneMapRange(p, body, rs, emits, report)
+		return true
+	})
+}
+
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkOneMapRange(p *Package, fnBody *ast.BlockStmt, rs *ast.RangeStmt, emits map[string]bool, report func(pos token.Pos, format string, args ...any)) {
+	// Appends to outer slices are conditionally safe; collect the targets
+	// first, then decide once we know whether a sort follows the loop.
+	type appendTo struct {
+		target string
+		pos    token.Pos
+	}
+	var appends []appendTo
+	reported := false
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Direct sink inside the loop: always a bug (a later sort cannot
+		// unscramble output that already happened in map order).
+		if isEmitCall(p, call) {
+			report(call.Pos(), "emission inside a map-range loop at %s: output follows the nondeterministic iteration order; collect and sort the keys first", describeRange(rs))
+			reported = true
+			return false
+		}
+		// Call to a module function that transitively emits.
+		if callee, ok := calleeFunc(p, call); ok && emits[callee.FullName()] {
+			report(call.Pos(), "call to %s inside a map-range loop at %s reaches an order-sensitive sink; collect and sort the keys first", shortName(callee.FullName()), describeRange(rs))
+			reported = true
+			return false
+		}
+		// out = append(out, ...) where out lives outside the loop.
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 0 {
+				if target, outer := outerAppendTarget(p, rs, call.Args[0]); outer {
+					appends = append(appends, appendTo{target, call.Pos()})
+				}
+			}
+		}
+		return true
+	})
+	if reported {
+		return
+	}
+	for _, a := range appends {
+		if !sortedAfter(p, fnBody, rs, a.target) {
+			report(a.pos, "map-range loop at %s appends to %q in nondeterministic key order and %q is never sorted afterwards; sort it (or range over sorted keys) before the order can reach output", describeRange(rs), a.target, a.target)
+		}
+	}
+}
+
+// outerAppendTarget reports whether the append destination is a variable
+// (plain ident or selector chain) declared outside the range statement,
+// and returns its canonical rendering for sort matching.
+func outerAppendTarget(p *Package, rs *ast.RangeStmt, dst ast.Expr) (string, bool) {
+	s, ok := renderChain(dst)
+	if !ok {
+		return "", false
+	}
+	// Resolve the chain's base variable; it must be declared outside the
+	// loop for the order to be observable after it.
+	base := dst
+	for {
+		if sel, ok := base.(*ast.SelectorExpr); ok {
+			base = sel.X
+			continue
+		}
+		break
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	v, ok := p.Info.Uses[id].(*types.Var)
+	if !ok {
+		return "", false
+	}
+	if v.Pos() >= rs.Pos() && v.Pos() < rs.End() {
+		return "", false // loop-local accumulator: order dies with the loop
+	}
+	return s, true
+}
+
+// renderChain renders an ident or selector chain ("out", "e.stallEdges")
+// canonically; anything else (index expressions, calls) is not matchable.
+func renderChain(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := renderChain(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	}
+	return "", false
+}
+
+// sortedAfter reports whether, lexically after the range loop inside the
+// same function body, target is passed to a sort (sort.* or slices.*) —
+// the collect-then-sort idiom.
+func sortedAfter(p *Package, fnBody *ast.BlockStmt, rs *ast.RangeStmt, target string) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := p.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pn.Imported().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		if arg, ok := renderChain(call.Args[0]); ok && arg == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// describeRange renders the loop position compactly ("range over m").
+func describeRange(rs *ast.RangeStmt) string {
+	if s, ok := renderChain(rs.X); ok {
+		return "\"range " + s + "\""
+	}
+	return "this range statement"
+}

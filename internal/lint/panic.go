@@ -49,22 +49,16 @@ type panicSite struct {
 	pos token.Pos
 }
 
-// panicInventory builds the module's static call graph and walks it from
-// the exported surface. Functions are keyed by their qualified name
-// (types.Func.FullName) rather than object identity, because packages with
-// in-package tests are type-checked twice — once test-free for importers,
-// once with tests for analysis — and the two checks mint distinct objects
-// for the same function.
-//
-// The graph is a static under-approximation: direct calls and concrete
-// method calls are edges; calls through interfaces or function values are
-// not. Panics inside function literals are attributed to the declared
-// function that lexically contains them, which is exactly right for this
-// codebase's dominant pattern (SPMD closures handed to mesh.Run).
+// panicInventory collects every panic site in non-test module code and
+// classifies it by API reachability over the shared cross-package call
+// graph (Module.CallGraph): the graph is walked from the root package's
+// exported surface, and any function the walk reaches carries its panics
+// into the public API. Panics inside function literals are attributed to
+// the declared function that lexically contains them, which is exactly
+// right for this codebase's dominant pattern (SPMD closures handed to
+// mesh.Run).
 func panicInventory(m *Module) []panicSite {
-	calls := map[string]map[string]bool{} // caller FullName -> callee FullNames
 	panics := map[string][]panicSite{}
-
 	m.eachFile(func(p *Package, f *File) {
 		if f.Test {
 			return
@@ -84,39 +78,28 @@ func panicInventory(m *Module) []panicSite {
 				if !ok {
 					return true
 				}
-				var obj types.Object
-				switch fun := call.Fun.(type) {
-				case *ast.Ident:
-					obj = p.Info.Uses[fun]
-				case *ast.SelectorExpr:
-					obj = p.Info.Uses[fun.Sel]
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok {
+					return true
 				}
-				switch callee := obj.(type) {
-				case *types.Func:
-					if calls[caller] == nil {
-						calls[caller] = map[string]bool{}
-					}
-					calls[caller][callee.FullName()] = true
-				case *types.Builtin:
-					if callee.Name() == "panic" {
-						pos := m.Fset.Position(call.Pos())
-						file := m.fileAt(pos.Filename)
-						panics[caller] = append(panics[caller], panicSite{
-							PanicSite: PanicSite{
-								Pos:     pos,
-								Fn:      caller,
-								Allowed: file != nil && file.Allows("panic-audit", pos.Line),
-							},
-							pos: call.Pos(),
-						})
-					}
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					pos := m.Fset.Position(call.Pos())
+					file := m.fileAt(pos.Filename)
+					panics[caller] = append(panics[caller], panicSite{
+						PanicSite: PanicSite{
+							Pos:     pos,
+							Fn:      caller,
+							Allowed: file != nil && file.Allows("panic-audit", pos.Line),
+						},
+						pos: call.Pos(),
+					})
 				}
 				return true
 			})
 		}
 	})
 
-	reachable := reachableFuncs(m, calls)
+	reachable := m.CallGraph().ReachableFrom(m.apiRoots())
 	var out []panicSite
 	for fn, sites := range panics {
 		for _, s := range sites {
@@ -131,51 +114,4 @@ func panicInventory(m *Module) []panicSite {
 		return out[i].Pos.Line < out[j].Pos.Line
 	})
 	return out
-}
-
-// reachableFuncs walks the call graph from the root package's exported
-// surface: its exported functions, and the exported methods of every named
-// type an exported type name of the root package denotes (the facade
-// re-exports internal types by alias, which makes those methods public API).
-func reachableFuncs(m *Module, calls map[string]map[string]bool) map[string]bool {
-	var roots []string
-	for _, pkg := range m.Packages {
-		if pkg.Path != m.Path || pkg.Types == nil {
-			continue
-		}
-		scope := pkg.Types.Scope()
-		for _, name := range scope.Names() {
-			obj := scope.Lookup(name)
-			if !obj.Exported() {
-				continue
-			}
-			switch obj := obj.(type) {
-			case *types.Func:
-				roots = append(roots, obj.FullName())
-			case *types.TypeName:
-				if named, ok := obj.Type().(*types.Named); ok {
-					for i := 0; i < named.NumMethods(); i++ {
-						if method := named.Method(i); method.Exported() {
-							roots = append(roots, method.FullName())
-						}
-					}
-				}
-			}
-		}
-	}
-	reachable := map[string]bool{}
-	var visit func(fn string)
-	visit = func(fn string) {
-		if reachable[fn] {
-			return
-		}
-		reachable[fn] = true
-		for callee := range calls[fn] {
-			visit(callee)
-		}
-	}
-	for _, r := range roots {
-		visit(r)
-	}
-	return reachable
 }

@@ -1,0 +1,92 @@
+// Package arena is a fixture for the buf-ownership rule. It mimics the
+// mesh runtime's arena API with a local Comm type — the analyzer
+// recognises the API by method name and receiver type name, so the
+// fixture needs no module imports.
+package arena
+
+// Matrix stands in for tensor.Matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+func (m *Matrix) CopyFrom(o *Matrix) {}
+func (m *Matrix) Add(o *Matrix)      {}
+
+// Comm mimics the mesh ring communicator.
+type Comm struct{ Size, Pos int }
+
+func (cm *Comm) AcquireBuf(rows, cols int) *Matrix { return &Matrix{Rows: rows, Cols: cols} }
+func (cm *Comm) ReleaseBuf(m *Matrix)              {}
+func (cm *Comm) SendOwnedTo(pos int, m *Matrix)    {}
+func (cm *Comm) RecvFrom(pos int) *Matrix          { return &Matrix{} }
+
+// UseAfterSend reads the buffer it already handed off.
+func UseAfterSend(cm *Comm, local *Matrix) {
+	cur := cm.AcquireBuf(local.Rows, local.Cols)
+	cur.CopyFrom(local)
+	cm.SendOwnedTo(cm.Pos+1, cur)
+	cur.Add(local) // want "use of \"cur\" after SendOwned"
+}
+
+// DoubleRelease returns the same buffer to the pool twice.
+func DoubleRelease(cm *Comm, local *Matrix) {
+	cur := cm.AcquireBuf(2, 2)
+	cur.CopyFrom(local)
+	cm.ReleaseBuf(cur)
+	cm.ReleaseBuf(cur) // want "double ReleaseBuf of \"cur\""
+}
+
+// SendAfterRelease hands off a buffer the pool already owns again.
+func SendAfterRelease(cm *Comm) {
+	cur := cm.AcquireBuf(2, 2)
+	cm.ReleaseBuf(cur)
+	cm.SendOwnedTo(cm.Pos+1, cur) // want "SendOwned of \"cur\" after ReleaseBuf"
+}
+
+// LeakOnSomePath forgets the buffer on the early-return branch.
+func LeakOnSomePath(cm *Comm, n int) {
+	cur := cm.AcquireBuf(n, n) // want "may leak"
+	if n > 4 {
+		return
+	}
+	cm.ReleaseBuf(cur)
+}
+
+// SomePathSend sends on one branch only; the merged state is both a
+// maybe-dead use and a maybe-leak.
+func SomePathSend(cm *Comm, flag bool, local *Matrix) {
+	cur := cm.AcquireBuf(2, 2) // want "may leak"
+	cur.CopyFrom(local)
+	if flag {
+		cm.SendOwnedTo(cm.Pos+1, cur)
+	}
+	cur.Add(local) // want "use of \"cur\" after SendOwned"
+}
+
+// RingLoop is the sanctioned hot-path pattern: send, receive into the
+// same variable (which revives it), and release whatever is held after
+// the last step. No findings.
+func RingLoop(cm *Comm, local, dst *Matrix) {
+	cur := cm.AcquireBuf(local.Rows, local.Cols)
+	cur.CopyFrom(local)
+	for t := 0; t < cm.Size-1; t++ {
+		cm.SendOwnedTo(cm.Pos+1, cur)
+		cur = cm.RecvFrom(cm.Pos - 1)
+		dst.Add(cur)
+	}
+	cm.ReleaseBuf(cur)
+}
+
+// Returned transfers ownership to the caller: no leak.
+func Returned(cm *Comm, n int) *Matrix {
+	cur := cm.AcquireBuf(n, n)
+	return cur
+}
+
+// Suppressed documents the inline escape hatch.
+func Suppressed(cm *Comm) {
+	cur := cm.AcquireBuf(2, 2)
+	cm.SendOwnedTo(cm.Pos+1, cur)
+	cm.ReleaseBuf(cur) // lint:allow buf-ownership fixture exercises the suppression path
+}

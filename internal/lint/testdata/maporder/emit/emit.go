@@ -1,0 +1,117 @@
+// Package emit is a fixture for the map-order rule: ranging over a map
+// must not let the nondeterministic iteration order reach output, whether
+// the sink is hit directly, through a call, or by collecting keys into a
+// slice that is never sorted.
+package emit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// PrintTotals emits in map iteration order: the classic bug.
+func PrintTotals(totals map[string]int) {
+	for k, v := range totals {
+		fmt.Println(k, v) // want "emission inside a map-range loop"
+	}
+}
+
+// Keys collects then sorts — the sanctioned idiom, no finding.
+func Keys(totals map[string]int) []string {
+	var keys []string
+	for k := range totals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// UnsortedKeys collects without ever sorting: the order escapes.
+func UnsortedKeys(totals map[string]int) []string {
+	var keys []string
+	for k := range totals {
+		keys = append(keys, k) // want "appends to \"keys\" in nondeterministic key order"
+	}
+	return keys
+}
+
+// report transitively emits; the summary propagates over the call graph.
+func report(s string) {
+	fmt.Println(s)
+}
+
+// Transitive reaches output through a helper call.
+func Transitive(totals map[string]int) {
+	for k := range totals {
+		report(k) // want "call to emit.report inside a map-range loop"
+	}
+}
+
+// EncodeTotals feeds a JSON encoder straight from a map range: the
+// emitted document order changes run to run.
+func EncodeTotals(w io.Writer, totals map[string]int) {
+	enc := json.NewEncoder(w)
+	for k, v := range totals {
+		enc.Encode(map[string]int{k: v}) // want "emission inside a map-range loop"
+	}
+}
+
+// Counter mirrors the obs metric family; its Inc is an order-sensitive
+// sink because emission order shows up in snapshots.
+type Counter struct{ n int }
+
+func (c *Counter) Inc() { c.n++ }
+
+// CountKeys mutates metrics in map iteration order.
+func CountKeys(perKey map[string]*Counter) {
+	for _, c := range perKey {
+		c.Inc() // want "emission inside a map-range loop"
+	}
+}
+
+// collector mirrors the exchanger's e.stallEdges pattern: the append
+// target is a selector chain, sorted after the loop. No finding.
+type collector struct{ keys []string }
+
+func (c *collector) gather(m map[string]bool) {
+	for k := range m {
+		c.keys = append(c.keys, k)
+	}
+	sort.Strings(c.keys)
+}
+
+// LoopLocal's accumulator dies with the loop body: order never escapes.
+func LoopLocal(totals map[string]int) int {
+	n := 0
+	for _, v := range totals {
+		parts := []int{}
+		parts = append(parts, v)
+		n += len(parts)
+	}
+	return n
+}
+
+// SliceRange is not a map range: appends stay silent.
+func SliceRange(vals []int) []int {
+	var out []int
+	for _, v := range vals {
+		out = append(out, v*2)
+	}
+	return out
+}
+
+// Suppressed documents a deliberate unordered dump.
+func Suppressed(totals map[string]int) {
+	for k := range totals {
+		fmt.Println(k) // lint:allow map-order debugging dump, order genuinely irrelevant
+	}
+}
+
+// Exercise keeps the unexported helpers reachable for the fixture build.
+func Exercise(totals map[string]int) {
+	Transitive(totals)
+	c := &collector{}
+	c.gather(map[string]bool{"a": true})
+}

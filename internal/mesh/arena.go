@@ -1,6 +1,7 @@
 package mesh
 
 import (
+	"fmt"
 	"sync"
 
 	"meshslice/internal/tensor"
@@ -17,18 +18,44 @@ import (
 type bufPool struct {
 	mu   sync.Mutex
 	free map[[2]int][]*tensor.Matrix
+	// tag tracks buffers the owner no longer holds — pooled (bufFree) or
+	// handed off with SendOwned and not yet delivered (bufInflight) — so
+	// double releases and use-after-send show up as an immediate,
+	// attributable panic instead of silent corruption when another chip
+	// recycles the buffer. A buffer someone validly owns has no entry.
+	tag map[*tensor.Matrix]bufTag
+	// ops counts ownership transitions; each tag records the op that
+	// created it, so a violation's panic can say when the buffer left the
+	// offender's hands.
+	ops uint64
 }
 
+type bufTag struct {
+	state uint8 // bufFree or bufInflight
+	op    uint64
+}
+
+const (
+	bufFree uint8 = iota + 1
+	bufInflight
+)
+
 // maxPooledPerShape bounds how many idle buffers of one shape the pool
-// retains; releases beyond that are left to the GC.
+// retains; releases beyond that are left to the GC. (An over-cap buffer
+// also drops its guard tag — once the GC may take it, pointer identity
+// can be recycled and the tag would misfire.)
 const maxPooledPerShape = 64
 
 func newBufPool() *bufPool {
-	return &bufPool{free: make(map[[2]int][]*tensor.Matrix)}
+	return &bufPool{
+		free: make(map[[2]int][]*tensor.Matrix),
+		tag:  make(map[*tensor.Matrix]bufTag),
+	}
 }
 
 // acquire returns a rows×cols matrix with unspecified contents: a recycled
 // buffer when one of that shape is free, a fresh allocation otherwise.
+// lint:allow hotpath-alloc pool miss allocates by design; the steady state is a pool hit
 func (p *bufPool) acquire(rows, cols int) *tensor.Matrix {
 	k := [2]int{rows, cols}
 	p.mu.Lock()
@@ -36,6 +63,8 @@ func (p *bufPool) acquire(rows, cols int) *tensor.Matrix {
 		m := s[len(s)-1]
 		s[len(s)-1] = nil
 		p.free[k] = s[:len(s)-1]
+		delete(p.tag, m) // the caller owns it now
+		p.ops++
 		p.mu.Unlock()
 		return m
 	}
@@ -52,8 +81,58 @@ func (p *bufPool) release(m *tensor.Matrix) {
 	}
 	k := [2]int{m.Rows, m.Cols}
 	p.mu.Lock()
+	if t, ok := p.tag[m]; ok {
+		p.mu.Unlock()
+		switch t.state {
+		case bufFree:
+			panic(fmt.Sprintf("mesh: double ReleaseBuf of %dx%d buffer: it was already returned to the pool (op #%d) and may belong to another chip by now; release a buffer exactly once, on whichever chip holds it last", m.Rows, m.Cols, t.op)) // lint:invariant arena misuse guard, mirrors the buf-ownership lint rule
+		default:
+			panic(fmt.Sprintf("mesh: ReleaseBuf of %dx%d buffer after SendOwned (op #%d): ownership already transferred to the receiver, which releases or forwards it; the sender must not touch the buffer again", m.Rows, m.Cols, t.op)) // lint:invariant arena misuse guard, mirrors the buf-ownership lint rule
+		}
+	}
+	p.ops++
 	if len(p.free[k]) < maxPooledPerShape {
-		p.free[k] = append(p.free[k], m)
+		p.tag[m] = bufTag{state: bufFree, op: p.ops}
+		p.free[k] = append(p.free[k], m) // lint:allow hotpath-alloc pool refill: amortized, capped by maxPooledPerShape
+	}
+	p.mu.Unlock()
+}
+
+// noteSend records an ownership-transfer send: from here until delivery
+// the sender must not release or re-send the buffer. Called by
+// Chip.SendOwned before the exchanger enqueue.
+func (p *bufPool) noteSend(m *tensor.Matrix) {
+	if m == nil {
+		return
+	}
+	p.mu.Lock()
+	if t, ok := p.tag[m]; ok {
+		p.mu.Unlock()
+		switch t.state {
+		case bufFree:
+			panic(fmt.Sprintf("mesh: SendOwned of %dx%d buffer after ReleaseBuf (op #%d): the pool may already have handed it to another chip; acquire a fresh buffer or use Send, which clones", m.Rows, m.Cols, t.op)) // lint:invariant arena misuse guard, mirrors the buf-ownership lint rule
+		default:
+			panic(fmt.Sprintf("mesh: SendOwned of %dx%d buffer already in flight (op #%d): ownership was transferred by the earlier send; only the receiver may forward it", m.Rows, m.Cols, t.op)) // lint:invariant arena misuse guard, mirrors the buf-ownership lint rule
+		}
+	}
+	p.ops++
+	p.tag[m] = bufTag{state: bufInflight, op: p.ops}
+	p.mu.Unlock()
+}
+
+// noteDeliver records that a received matrix reached its new owner, who
+// may now write, release, or forward it. Called by Chip.Recv. Matrices
+// that arrive via the cloning Send were never tagged; that is fine.
+// (A message dropped by fault injection keeps its in-flight tag forever:
+// nobody legitimately holds it, so any later touch should still panic.)
+func (p *bufPool) noteDeliver(m *tensor.Matrix) {
+	if m == nil {
+		return
+	}
+	p.mu.Lock()
+	if t, ok := p.tag[m]; ok && t.state == bufInflight {
+		delete(p.tag, m)
+		p.ops++
 	}
 	p.mu.Unlock()
 }

@@ -238,7 +238,9 @@ func (c *Chip) Send(to int, m *tensor.Matrix) {
 // the sender must not read or write it afterwards. This is the
 // zero-allocation path the buffer-reusing collectives use to circulate one
 // scratch buffer around a ring; use Send when the sender keeps the buffer.
+// lint:hotpath ownership-transfer send: zero-copy, zero-allocation
 func (c *Chip) SendOwned(to int, m *tensor.Matrix) {
+	c.mesh.pool.noteSend(m)
 	c.mesh.ex.send(c.Rank, to, m)
 }
 
@@ -246,7 +248,9 @@ func (c *Chip) SendOwned(to int, m *tensor.Matrix) {
 // Messages from one sender arrive in the order they were sent. The caller
 // owns the returned matrix exclusively.
 func (c *Chip) Recv(from int) *tensor.Matrix {
-	return c.mesh.ex.recv(from, c.Rank)
+	m := c.mesh.ex.recv(from, c.Rank)
+	c.mesh.pool.noteDeliver(m)
+	return m
 }
 
 // AcquireBuf returns a rows×cols scratch matrix from the mesh's buffer
@@ -288,6 +292,7 @@ func (cm *Comm) Direction() topology.Direction { return cm.dir }
 // primitives in package collective call it once per invocation; it is a
 // no-op when no registry is attached. Safe from concurrent chip goroutines:
 // the increment is integer-valued, so the total is deterministic.
+// lint:allow hotpath-alloc metrics are nil-gated off the hot path; label interning allocates
 func (cm *Comm) CountCollective(op string) {
 	r := cm.chip.mesh.metrics
 	if r == nil {
@@ -339,6 +344,7 @@ func (cm *Comm) SendTo(pos int, m *tensor.Matrix) {
 
 // SendOwnedTo sends m to the ring member at position pos with ownership
 // transfer (see Chip.SendOwned): the sender must not touch m afterwards.
+// lint:hotpath ownership-transfer send: zero-copy, zero-allocation
 func (cm *Comm) SendOwnedTo(pos int, m *tensor.Matrix) {
 	cm.chip.SendOwned(cm.rankAt(mod(pos, cm.Size)), m)
 }

@@ -85,6 +85,7 @@ func MatMulAdd(c, a, b *Matrix) {
 // blocks are visited in ascending order and k ascends within each block, so
 // the element's reduction order is plain ascending k — identical to an
 // untiled ikj kernel and independent of lo/hi.
+// lint:hotpath tile kernel: the per-row inner loops must stay allocation-free
 func matMulAddRows(c, a, b *Matrix, lo, hi int) {
 	for kb := 0; kb < a.Cols; kb += tileK {
 		ke := min(kb+tileK, a.Cols)
@@ -138,6 +139,7 @@ func MatMulAddNT(c, a, b *Matrix) {
 }
 
 // matMulAddNTRows accumulates rows [lo, hi) of C += A·Bᵀ.
+// lint:hotpath tile kernel: the per-row inner loops must stay allocation-free
 func matMulAddNTRows(c, a, b *Matrix, lo, hi int) {
 	for jb := 0; jb < b.Rows; jb += tileBR {
 		je := min(jb+tileBR, b.Rows)
@@ -207,6 +209,7 @@ func MatMulAddTN(c, a, b *Matrix) {
 
 // matMulAddTNRows accumulates rows [lo, hi) of C += Aᵀ·B; rows of C
 // correspond to columns of A.
+// lint:hotpath tile kernel: the per-row inner loops must stay allocation-free
 func matMulAddTNRows(c, a, b *Matrix, lo, hi int) {
 	for kb := 0; kb < a.Rows; kb += tileK {
 		ke := min(kb+tileK, a.Rows)
