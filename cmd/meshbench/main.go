@@ -46,6 +46,7 @@ func main() {
 	out := flag.String("o", "BENCH_meshslice.json", "output JSON path (- for stdout)")
 	faultsOut := flag.String("faults-out", "", "also run the degraded-fabric scenarios and write their summary to this JSON path")
 	kernelsOut := flag.String("kernels-out", "", "also run the hot-path suite (GeMM kernels, ring collectives, autotuner search, each paired with its pre-optimisation baseline) and write its summary to this JSON path")
+	recordOut := flag.String("record-out", "", "also run the flight-recorder overhead suite (one collective and one functional GeMM, each recorder-off vs recorder-on) and write its summary to this JSON path")
 	flag.Parse()
 
 	chip := hw.TPUv4()
@@ -117,6 +118,12 @@ func main() {
 	}
 	if *kernelsOut != "" {
 		if err := runSuite(kernelBenches(chip), *kernelsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *recordOut != "" {
+		if err := runSuite(recorderBenches(), *recordOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

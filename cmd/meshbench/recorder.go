@@ -1,0 +1,84 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+
+	"meshslice/internal/collective"
+	"meshslice/internal/gemm"
+	"meshslice/internal/mesh"
+	"meshslice/internal/obs/recorder"
+	"meshslice/internal/tensor"
+	"meshslice/internal/topology"
+)
+
+// The recorder suite (-record-out) measures what the flight recorder costs
+// the functional mesh runtime: each entry runs once with no recorder (the
+// nil-check fast path) and once with one attached, on a ring collective and
+// on a full MeshSlice GeMM. The recorded variants must stay allocation-free
+// per steady-state op — the ring buffer is pre-sized — so the pairs should
+// differ in ns/op only.
+
+// benchRecordedAllGather measures the 8-chip ring all-gather through the
+// arena-backed Into variant, with or without a flight recorder attached.
+func benchRecordedAllGather(record bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		const p, dim = 8, 64
+		m := mesh.New(topology.NewTorus(1, p))
+		if record {
+			m.SetRecorder(recorder.New(p, 0))
+		}
+		rng := rand.New(rand.NewSource(42))
+		locals := make([]*tensor.Matrix, p)
+		dsts := make([]*tensor.Matrix, p)
+		for r := range locals {
+			locals[r] = tensor.Random(dim, dim, rng)
+			dsts[r] = tensor.New(dim*p, dim)
+		}
+		b.ResetTimer()
+		m.Run(func(c *mesh.Chip) {
+			cm := c.RowComm()
+			for i := 0; i < b.N; i++ {
+				collective.AllGatherRowsInto(cm, locals[c.Rank], dsts[c.Rank])
+			}
+		})
+	}
+}
+
+// benchRecordedGeMM measures one full functional MeshSlice GeMM on a 4×4
+// mesh, with or without a flight recorder attached. The recorder is reset
+// between iterations so every run records from an empty ring, like a fresh
+// attach.
+func benchRecordedGeMM(record bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		p := gemm.Problem{M: 64, N: 64, K: 64, Dataflow: gemm.OS}
+		tor := topology.NewTorus(4, 4)
+		m := mesh.New(tor)
+		var rec *recorder.Recorder
+		if record {
+			rec = recorder.New(tor.Size(), 0)
+			m.SetRecorder(rec)
+		}
+		rng := rand.New(rand.NewSource(42))
+		aR, aC, bR, bC := p.OperandShapes()
+		a := tensor.Random(aR, aC, rng)
+		bm := tensor.Random(bR, bC, rng)
+		fn := gemm.MeshSlice(gemm.OS, gemm.MeshSliceConfig{S: 2, Block: 2})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rec != nil {
+				rec.Reset()
+			}
+			gemm.MultiplyOn(m, fn, a, bm)
+		}
+	}
+}
+
+func recorderBenches() []bench {
+	return []bench{
+		{"AllGatherRows8Into", benchRecordedAllGather(false)},
+		{"AllGatherRows8IntoRecorded", benchRecordedAllGather(true)},
+		{"MeshSliceGeMM4x4", benchRecordedGeMM(false)},
+		{"MeshSliceGeMM4x4Recorded", benchRecordedGeMM(true)},
+	}
+}

@@ -27,18 +27,29 @@
 //	    Build a deterministic fault plan (degraded links, stragglers, or a
 //	    seeded mix), simulate the stale healthy-fabric tuning choice under
 //	    it, rerun the autotuner fault-aware, and compare the two.
+//
+//	meshslice record -m M -n N -k K -rows R -cols C -algo meshslice [-o events.json] [-chrome trace.json]
+//	    Run one distributed GeMM functionally with the flight recorder
+//	    attached and export the Lamport-clocked causal event log: canonical
+//	    JSON (byte-identical run-to-run) and/or a Perfetto trace with
+//	    per-chip collective spans and message-flow arrows. -drop/-fail
+//	    inject faults and print the forensics dump of the dying run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strings"
 
 	"meshslice/internal/autotune"
 	"meshslice/internal/gemm"
 	"meshslice/internal/hw"
+	"meshslice/internal/mesh"
 	"meshslice/internal/model"
+	"meshslice/internal/obs/recorder"
+	"meshslice/internal/tensor"
 	"meshslice/internal/topology"
 	"meshslice/internal/train"
 )
@@ -66,13 +77,15 @@ func main() {
 		cmdVerify(os.Args[2:])
 	case "faults":
 		cmdFaults(os.Args[2:])
+	case "record":
+		cmdRecord(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: meshslice {tune|sim|gemm|timeline|stats|plan|calibrate|verify|faults} [flags]  (run a subcommand with -h for its flags)")
+	fmt.Fprintln(os.Stderr, "usage: meshslice {tune|sim|gemm|timeline|stats|plan|calibrate|verify|faults|record} [flags]  (run a subcommand with -h for its flags)")
 	os.Exit(2)
 }
 
@@ -195,6 +208,7 @@ func cmdGeMM(args []string) {
 	chips := fs.Int("chips", 256, "cluster size")
 	algoName := fs.String("algo", "all", "algorithm (or 'all')")
 	dataflow := fs.String("dataflow", "os", "dataflow: os, ls, or rs")
+	record := fs.String("record", "", "also replay one algorithm functionally (near-square mesh, use modest M/N/K) and write its flight-recorder JSON here; requires a specific -algo")
 	fs.Parse(args)
 
 	var df gemm.Dataflow
@@ -232,4 +246,57 @@ func cmdGeMM(args []string) {
 		fmt.Printf("%-11s  %-10v  %-10s  %.1f%%\n",
 			algo, r.Shape, fmt.Sprintf("%.3fms", r.Time*1e3), 100*r.Utilization(chip))
 	}
+	if *record != "" {
+		if *algoName == "all" {
+			fmt.Fprintln(os.Stderr, "-record needs a specific -algo (the functional replay runs one algorithm)")
+			os.Exit(2)
+		}
+		recordGeMM(prob, *chips, *algoName, *record)
+	}
+}
+
+// recordGeMM replays the GeMM functionally on a near-square factorisation
+// of the chip count with the flight recorder attached, and writes the
+// canonical event-log JSON.
+func recordGeMM(p gemm.Problem, chips int, algoName, out string) {
+	rows := 1
+	for d := 1; d*d <= chips; d++ {
+		if chips%d == 0 {
+			rows = d
+		}
+	}
+	tor := topology.NewTorus(rows, chips/rows)
+	alg, ok := gemm.AlgorithmByName(algoName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "no functional implementation of %q to record\n", algoName)
+		os.Exit(2)
+	}
+	if !alg.Supports(p.Dataflow) {
+		fmt.Fprintf(os.Stderr, "%s does not implement the %v dataflow\n", alg.Name, p.Dataflow)
+		os.Exit(2)
+	}
+	opts := gemm.AlgOptions{}
+	if err := alg.Validate(p, tor, opts); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	mh := mesh.New(tor)
+	rec := recorder.New(tor.Size(), 0)
+	mh.SetRecorder(rec)
+	rng := rand.New(rand.NewSource(1))
+	aR, aC, bR, bC := p.OperandShapes()
+	a := tensor.Random(aR, aC, rng)
+	b := tensor.Random(bR, bC, rng)
+	gemm.MultiplyOn(mh, alg.Build(p.Dataflow, opts), a, b)
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := rec.Snapshot().WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Printf("\nfunctional replay on %v recorded → %s\n", tor, out)
 }

@@ -7,6 +7,8 @@ import (
 	"strings"
 
 	"meshslice/internal/gemm"
+	"meshslice/internal/mesh"
+	"meshslice/internal/obs/recorder"
 	"meshslice/internal/topology"
 )
 
@@ -24,6 +26,7 @@ func cmdVerify(args []string) {
 	block := fs.Int("block", 2, "MeshSlice block size")
 	dataflow := fs.String("dataflow", "os", "dataflow: os, ls, or rs")
 	seed := fs.Int64("seed", 1, "input seed")
+	record := fs.String("record", "", "write the sweep's canonical flight-recorder JSON here")
 	fs.Parse(args)
 
 	var df gemm.Dataflow
@@ -41,11 +44,17 @@ func cmdVerify(args []string) {
 	p := gemm.Problem{M: *m, N: *n, K: *k, Dataflow: df}
 	tor := topology.NewTorus(*rows, *cols)
 	opts := gemm.AlgOptions{S: *s, Block: *block}
+	mh := mesh.New(tor)
+	var rec *recorder.Recorder
+	if *record != "" {
+		rec = recorder.New(tor.Size(), 0)
+		mh.SetRecorder(rec)
+	}
 
 	fmt.Printf("verifying M=%d N=%d K=%d (%v) on %v, S=%d B=%d\n\n", *m, *n, *k, df, tor, *s, *block)
 	fmt.Printf("%-11s  %-8s  %s\n", "algorithm", "status", "max |Δ| vs reference")
 	failed := false
-	for _, r := range gemm.VerifyAlgorithms(p, tor, opts, *seed, 1e-9) {
+	for _, r := range gemm.VerifyAlgorithmsOn(mh, p, opts, *seed, 1e-9) {
 		switch {
 		case r.Skipped != "":
 			fmt.Printf("%-11s  %-8s  (%s)\n", r.Algorithm, "skipped", r.Skipped)
@@ -55,6 +64,19 @@ func cmdVerify(args []string) {
 			failed = true
 			fmt.Printf("%-11s  %-8s  %.2e\n", r.Algorithm, "FAILED", r.MaxDiff)
 		}
+	}
+	if rec != nil {
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := rec.Snapshot().WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("\nflight-recorder JSON → %s\n", *record)
 	}
 	if failed {
 		os.Exit(1)

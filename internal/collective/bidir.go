@@ -2,6 +2,7 @@ package collective
 
 import (
 	"meshslice/internal/mesh"
+	"meshslice/internal/obs/recorder"
 	"meshslice/internal/tensor"
 )
 
@@ -18,6 +19,8 @@ import (
 // ring position, exactly like AllGather.
 func AllGatherBidir(cm *mesh.Comm, local *tensor.Matrix) []*tensor.Matrix {
 	cm.CountCollective("allgather-bidir")
+	cm.SpanStart(recorder.OpAllGatherBidir, -1)
+	defer cm.SpanEnd(recorder.OpAllGatherBidir)
 	p := cm.Size
 	out := make([]*tensor.Matrix, p)
 	out[cm.Pos] = local.Clone()
@@ -56,6 +59,8 @@ func ReduceScatterBidir(cm *mesh.Comm, blocks []*tensor.Matrix) *tensor.Matrix {
 
 func reduceScatterBidir(cm *mesh.Comm, blocks []*tensor.Matrix) *tensor.Matrix {
 	cm.CountCollective("reducescatter-bidir")
+	cm.SpanStart(recorder.OpReduceScatterBidir, -1)
+	defer cm.SpanEnd(recorder.OpReduceScatterBidir)
 	p := cm.Size
 	if p == 1 {
 		return blocks[0].Clone()

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"meshslice/internal/mesh"
+	"meshslice/internal/obs/recorder"
 	"meshslice/internal/tensor"
 )
 
@@ -116,6 +117,8 @@ func ReduceScatterCols(cm *mesh.Comm, m *tensor.Matrix) *tensor.Matrix {
 // buffer to the caller.)
 func Broadcast(cm *mesh.Comm, root int, m *tensor.Matrix) *tensor.Matrix {
 	cm.CountCollective("broadcast")
+	cm.SpanStart(recorder.OpBroadcast, -1)
+	defer cm.SpanEnd(recorder.OpBroadcast)
 	p := cm.Size
 	root = mod(root, p)
 	if p == 1 {
@@ -164,6 +167,8 @@ func AllToAll(cm *mesh.Comm, blocks []*tensor.Matrix) []*tensor.Matrix {
 
 func allToAll(cm *mesh.Comm, blocks []*tensor.Matrix) []*tensor.Matrix {
 	cm.CountCollective("alltoall")
+	cm.SpanStart(recorder.OpAllToAll, -1)
+	defer cm.SpanEnd(recorder.OpAllToAll)
 	p := cm.Size
 	out := make([]*tensor.Matrix, p)
 	out[cm.Pos] = blocks[cm.Pos].Clone()

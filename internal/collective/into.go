@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"meshslice/internal/mesh"
+	"meshslice/internal/obs/recorder"
 	"meshslice/internal/tensor"
 )
 
@@ -30,6 +31,8 @@ func AllGatherInto(cm *mesh.Comm, local *tensor.Matrix, out []*tensor.Matrix) {
 		panic(err) // lint:invariant block-count precondition, mirrors AllGather's ring contract
 	}
 	cm.CountCollective("allgather")
+	cm.SpanStart(recorder.OpAllGather, -1)
+	defer cm.SpanEnd(recorder.OpAllGather)
 	p := cm.Size
 	out[cm.Pos].CopyFrom(local)
 	if p == 1 {
@@ -54,6 +57,8 @@ func AllGatherRowsInto(cm *mesh.Comm, local, dst *tensor.Matrix) {
 		panic(fmt.Sprintf("collective: AllGatherRowsInto dst %dx%d for %d shards of %dx%d", dst.Rows, dst.Cols, p, local.Rows, local.Cols)) // lint:invariant shape precondition
 	}
 	cm.CountCollective("allgather")
+	cm.SpanStart(recorder.OpAllGather, -1)
+	defer cm.SpanEnd(recorder.OpAllGather)
 	dst.SetSubMatrix(cm.Pos*local.Rows, 0, local)
 	if p == 1 {
 		return
@@ -77,6 +82,8 @@ func AllGatherColsInto(cm *mesh.Comm, local, dst *tensor.Matrix) {
 		panic(fmt.Sprintf("collective: AllGatherColsInto dst %dx%d for %d shards of %dx%d", dst.Rows, dst.Cols, p, local.Rows, local.Cols)) // lint:invariant shape precondition
 	}
 	cm.CountCollective("allgather")
+	cm.SpanStart(recorder.OpAllGather, -1)
+	defer cm.SpanEnd(recorder.OpAllGather)
 	dst.SetSubMatrix(0, cm.Pos*local.Cols, local)
 	if p == 1 {
 		return
@@ -105,6 +112,8 @@ func ReduceScatterInto(cm *mesh.Comm, blocks []*tensor.Matrix, dst *tensor.Matri
 
 func reduceScatterInto(cm *mesh.Comm, blocks []*tensor.Matrix, dst *tensor.Matrix) {
 	cm.CountCollective("reducescatter")
+	cm.SpanStart(recorder.OpReduceScatter, -1)
+	defer cm.SpanEnd(recorder.OpReduceScatter)
 	p := cm.Size
 	if p == 1 {
 		dst.CopyFrom(blocks[0])
@@ -132,6 +141,8 @@ func ReduceScatterRowsInto(cm *mesh.Comm, m, dst *tensor.Matrix) {
 		panic(fmt.Sprintf("collective: ReduceScatterRowsInto dst %dx%d for %dx%d over ring of %d", dst.Rows, dst.Cols, m.Rows, m.Cols, p)) // lint:invariant shape precondition
 	}
 	cm.CountCollective("reducescatter")
+	cm.SpanStart(recorder.OpReduceScatter, -1)
+	defer cm.SpanEnd(recorder.OpReduceScatter)
 	h := m.Rows / p
 	if p == 1 {
 		dst.CopyFrom(m)
@@ -157,6 +168,8 @@ func ReduceScatterColsInto(cm *mesh.Comm, m, dst *tensor.Matrix) {
 		panic(fmt.Sprintf("collective: ReduceScatterColsInto dst %dx%d for %dx%d over ring of %d", dst.Rows, dst.Cols, m.Rows, m.Cols, p)) // lint:invariant shape precondition
 	}
 	cm.CountCollective("reducescatter")
+	cm.SpanStart(recorder.OpReduceScatter, -1)
+	defer cm.SpanEnd(recorder.OpReduceScatter)
 	w := m.Cols / p
 	if p == 1 {
 		dst.CopyFrom(m)
@@ -188,6 +201,8 @@ func ReduceScatterColsInto(cm *mesh.Comm, m, dst *tensor.Matrix) {
 // lint:hotpath steady-state: must not allocate
 func BroadcastInto(cm *mesh.Comm, root int, m, dst *tensor.Matrix) {
 	cm.CountCollective("broadcast")
+	cm.SpanStart(recorder.OpBroadcast, -1)
+	defer cm.SpanEnd(recorder.OpBroadcast)
 	p := cm.Size
 	root = mod(root, p)
 	if p == 1 {
@@ -223,6 +238,8 @@ func BroadcastInto(cm *mesh.Comm, root int, m, dst *tensor.Matrix) {
 // lint:hotpath steady-state: must not allocate
 func ReduceInto(cm *mesh.Comm, root int, m, dst *tensor.Matrix) bool {
 	cm.CountCollective("reduce")
+	cm.SpanStart(recorder.OpReduce, -1)
+	defer cm.SpanEnd(recorder.OpReduce)
 	p := cm.Size
 	root = mod(root, p)
 	if p == 1 {
@@ -257,6 +274,8 @@ func ReduceInto(cm *mesh.Comm, root int, m, dst *tensor.Matrix) bool {
 // lint:hotpath steady-state: must not allocate
 func AllReduceInto(cm *mesh.Comm, m, dst *tensor.Matrix) {
 	cm.CountCollective("allreduce")
+	cm.SpanStart(recorder.OpAllReduce, -1)
+	defer cm.SpanEnd(recorder.OpAllReduce)
 	if ReduceInto(cm, 0, m, dst) {
 		BroadcastInto(cm, 0, dst, dst)
 	} else {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"meshslice/internal/mesh"
+	"meshslice/internal/obs/recorder"
 	"meshslice/internal/tensor"
 	"meshslice/internal/topology"
 )
@@ -155,6 +156,18 @@ func TestBroadcastOwnershipSymmetric(t *testing.T) {
 // Run resets the exchanger, and that warmup saturates well before 101
 // iterations).
 func TestIntoCollectivesZeroSteadyStateAllocs(t *testing.T) {
+	runSteadyStateAllocGate(t, false)
+}
+
+// TestIntoCollectivesZeroSteadyStateAllocsRecorded re-runs the gate with a
+// flight recorder attached: recording is a struct store into a preallocated
+// ring, so the recorder-enabled ring step must be exactly as allocation-free
+// as the bare one.
+func TestIntoCollectivesZeroSteadyStateAllocsRecorded(t *testing.T) {
+	runSteadyStateAllocGate(t, true)
+}
+
+func runSteadyStateAllocGate(t *testing.T, record bool) {
 	const p = 4
 	type scratch struct {
 		local *tensor.Matrix   // this chip's shard / contribution
@@ -202,6 +215,9 @@ func TestIntoCollectivesZeroSteadyStateAllocs(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			m := mesh.New(topology.NewTorus(1, p))
+			if record {
+				m.SetRecorder(recorder.New(p, 0))
+			}
 			scratches := make([]*scratch, p)
 			for r := range scratches {
 				scratches[r] = mk(r)

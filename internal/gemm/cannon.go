@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"meshslice/internal/mesh"
+	"meshslice/internal/obs/recorder"
 	"meshslice/internal/tensor"
 	"meshslice/internal/topology"
 )
@@ -30,11 +31,13 @@ func Cannon() ChipFunc {
 
 		cij := tensor.New(aij.Rows, bij.Cols)
 		for t := 0; t < p; t++ {
+			c.SpanStart(recorder.OpGemmStep, t)
 			tensor.MatMulAdd(cij, a, b)
 			if t < p-1 {
 				a = row.Shift(-1, a)
 				b = col.Shift(-1, b)
 			}
+			c.SpanEnd(recorder.OpGemmStep)
 		}
 		return cij
 	}

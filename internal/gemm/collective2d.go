@@ -5,6 +5,7 @@ import (
 
 	"meshslice/internal/collective"
 	"meshslice/internal/mesh"
+	"meshslice/internal/obs/recorder"
 	"meshslice/internal/tensor"
 )
 
@@ -29,6 +30,8 @@ func Collective2D(df Dataflow) ChipFunc {
 
 // collectiveOS: A_i* = AG_col(A_ij); B_*j = AG_row(B_ij); C_ij = A_i*·B_*j.
 func collectiveOS(c *mesh.Chip, aij, bij *tensor.Matrix) *tensor.Matrix {
+	c.SpanStart(recorder.OpGemmStep, 0)
+	defer c.SpanEnd(recorder.OpGemmStep)
 	aFull := collective.AllGatherCols(c.RowComm(), aij) // M/Pr × K
 	bFull := collective.AllGatherRows(c.ColComm(), bij) // K × N/Pc
 	return tensor.MatMul(aFull, bFull)
@@ -37,6 +40,8 @@ func collectiveOS(c *mesh.Chip, aij, bij *tensor.Matrix) *tensor.Matrix {
 // collectiveLS: B_*j = AG_row(B_ij); C'_i* = A_ij·(B_*j)ᵀ;
 // C_ij = RdS_col(C'_i*).
 func collectiveLS(c *mesh.Chip, aij, bij *tensor.Matrix) *tensor.Matrix {
+	c.SpanStart(recorder.OpGemmStep, 0)
+	defer c.SpanEnd(recorder.OpGemmStep)
 	bFull := collective.AllGatherRows(c.ColComm(), bij) // N × K/Pc
 	cPartial := tensor.MatMulNT(aij, bFull)             // M/Pr × N
 	return collective.ReduceScatterCols(c.RowComm(), cPartial)
@@ -45,6 +50,8 @@ func collectiveLS(c *mesh.Chip, aij, bij *tensor.Matrix) *tensor.Matrix {
 // collectiveRS: A_i* = AG_col(A_ij); C'_*j = (A_i*)ᵀ·B_ij;
 // C_ij = RdS_row(C'_*j).
 func collectiveRS(c *mesh.Chip, aij, bij *tensor.Matrix) *tensor.Matrix {
+	c.SpanStart(recorder.OpGemmStep, 0)
+	defer c.SpanEnd(recorder.OpGemmStep)
 	aFull := collective.AllGatherCols(c.RowComm(), aij) // K/Pr × M
 	cPartial := tensor.MatMulTN(aFull, bij)             // M × N/Pc
 	return collective.ReduceScatterRows(c.ColComm(), cPartial)

@@ -124,7 +124,14 @@ func Run(m *mesh.Mesh, fn ChipFunc, a, b []*tensor.Matrix) []*tensor.Matrix {
 // runs fn SPMD, and assembles the global result. Convenience entry point
 // for examples and tests.
 func Multiply(t topology.Torus, fn ChipFunc, a, b *tensor.Matrix) *tensor.Matrix {
-	m := mesh.New(t)
+	return MultiplyOn(mesh.New(t), fn, a, b)
+}
+
+// MultiplyOn is Multiply on a caller-provided mesh, so callers can attach
+// instrumentation (a metrics registry, a flight recorder) or fault plans
+// before the run and inspect them after.
+func MultiplyOn(m *mesh.Mesh, fn ChipFunc, a, b *tensor.Matrix) *tensor.Matrix {
+	t := m.Torus
 	as := tensor.Partition(a, t.Rows, t.Cols)
 	bs := tensor.Partition(b, t.Rows, t.Cols)
 	cs := Run(m, fn, as, bs)

@@ -5,6 +5,7 @@ import (
 
 	"meshslice/internal/collective"
 	"meshslice/internal/mesh"
+	"meshslice/internal/obs/recorder"
 	"meshslice/internal/tensor"
 	"meshslice/internal/topology"
 )
@@ -82,11 +83,13 @@ func meshSliceOS(cfg MeshSliceConfig) ChipFunc {
 		row, col := c.RowComm(), c.ColComm()
 		cij := tensor.New(aij.Rows, bij.Cols)
 		for s := 0; s < cfg.S; s++ {
+			c.SpanStart(recorder.OpGemmStep, s)
 			as := tensor.SliceCol(aij, cfg.S, s, cfg.Block)
 			bs := tensor.SliceRow(bij, cfg.S, s, cfg.Block)
 			aPrime := collective.AllGatherCols(row, as) // AG_col: gather along the row
 			bPrime := collective.AllGatherRows(col, bs) // AG_row: gather down the column
 			tensor.MatMulAdd(cij, aPrime, bPrime)
+			c.SpanEnd(recorder.OpGemmStep)
 		}
 		return cij
 	}
@@ -101,11 +104,13 @@ func MeshSliceBidir(cfg MeshSliceConfig) ChipFunc {
 		row, col := c.RowComm(), c.ColComm()
 		cij := tensor.New(aij.Rows, bij.Cols)
 		for s := 0; s < cfg.S; s++ {
+			c.SpanStart(recorder.OpGemmStep, s)
 			as := tensor.SliceCol(aij, cfg.S, s, cfg.Block)
 			bs := tensor.SliceRow(bij, cfg.S, s, cfg.Block)
 			aPrime := tensor.ConcatCols(collective.AllGatherBidir(row, as))
 			bPrime := collective.AllGatherRowsBidir(col, bs)
 			tensor.MatMulAdd(cij, aPrime, bPrime)
+			c.SpanEnd(recorder.OpGemmStep)
 		}
 		return cij
 	}
@@ -121,11 +126,13 @@ func meshSliceLS(cfg MeshSliceConfig) ChipFunc {
 		n := bij.Rows * col.Size // global N
 		cij := tensor.New(aij.Rows, n/row.Size)
 		for s := 0; s < cfg.S; s++ {
+			c.SpanStart(recorder.OpGemmStep, s)
 			bs := tensor.SliceRow(bij, cfg.S, s, cfg.Block)
 			bPrime := collective.AllGatherRows(col, bs)     // (N/S) × K/Pc
 			cPrime := tensor.MatMulNT(aij, bPrime)          // M/Pr × N/S partial
 			cs := collective.ReduceScatterCols(row, cPrime) // M/Pr × N/(S·Pc)
 			tensor.UnsliceColInto(cij, cs, cfg.S, s, cfg.Block)
+			c.SpanEnd(recorder.OpGemmStep)
 		}
 		return cij
 	}
@@ -141,11 +148,13 @@ func meshSliceRS(cfg MeshSliceConfig) ChipFunc {
 		m := aij.Cols * row.Size // global M
 		cij := tensor.New(m/col.Size, bij.Cols)
 		for s := 0; s < cfg.S; s++ {
+			c.SpanStart(recorder.OpGemmStep, s)
 			as := tensor.SliceCol(aij, cfg.S, s, cfg.Block)
 			aPrime := collective.AllGatherCols(row, as)     // K/Pr × M/S
 			cPrime := tensor.MatMulTN(aPrime, bij)          // M/S × N/Pc partial
 			cs := collective.ReduceScatterRows(col, cPrime) // M/(S·Pr) × N/Pc
 			tensor.UnsliceRowInto(cij, cs, cfg.S, s, cfg.Block)
+			c.SpanEnd(recorder.OpGemmStep)
 		}
 		return cij
 	}

@@ -1,0 +1,120 @@
+package gemm
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"meshslice/internal/mesh"
+	"meshslice/internal/obs/recorder"
+	"meshslice/internal/tensor"
+	"meshslice/internal/topology"
+)
+
+// recordedRun executes one algorithm functionally on a 4×4 torus with a
+// flight recorder attached and returns the recorder.
+func recordedRun(t *testing.T, alg Algorithm, df Dataflow) *recorder.Recorder {
+	t.Helper()
+	p := Problem{M: 64, N: 64, K: 64, Dataflow: df}
+	tor := topology.NewTorus(4, 4)
+	opts := AlgOptions{S: 2, Block: 2}
+	if err := alg.Validate(p, tor, opts); err != nil {
+		t.Skipf("%s does not run this problem: %v", alg.Name, err)
+	}
+	m := mesh.New(tor)
+	rec := recorder.New(tor.Size(), 0)
+	m.SetRecorder(rec)
+	rng := newRand(7)
+	aR, aC, bR, bC := p.OperandShapes()
+	a := tensor.Random(aR, aC, rng)
+	b := tensor.Random(bR, bC, rng)
+	MultiplyOn(m, alg.Build(df, opts), a, b)
+	return rec
+}
+
+// TestHappensBeforeAllAlgorithms reconstructs the causal order for every
+// registry algorithm × dataflow: each receive must match exactly one send
+// on its directed edge (by the carried Lamport stamp), and its clock must
+// strictly exceed the matched send's — the Lamport happens-before
+// invariant the whole trace format rests on.
+func TestHappensBeforeAllAlgorithms(t *testing.T) {
+	for _, alg := range Algorithms() {
+		for _, df := range alg.Dataflows {
+			t.Run(fmt.Sprintf("%s/%v", alg.Name, df), func(t *testing.T) {
+				rec := recordedRun(t, alg, df)
+				snap := rec.Snapshot()
+
+				type edgeClock struct {
+					from, to int
+					clock    uint64
+				}
+				sends := make(map[edgeClock]recorder.EventJSON)
+				recvs := 0
+				for _, l := range snap.Logs {
+					if l.Truncated > 0 {
+						t.Fatalf("chip %d truncated %d events; grow the test ring", l.Chip, l.Truncated)
+					}
+					for _, e := range l.Events {
+						if e.Kind == "send" {
+							k := edgeClock{l.Chip, e.Peer, e.Clock}
+							if _, dup := sends[k]; dup {
+								t.Fatalf("two sends on edge %d→%d share clock %d", l.Chip, e.Peer, e.Clock)
+							}
+							sends[k] = e
+						}
+					}
+				}
+				for _, l := range snap.Logs {
+					for _, e := range l.Events {
+						if e.Kind != "recv" {
+							continue
+						}
+						recvs++
+						s, ok := sends[edgeClock{e.Peer, l.Chip, e.MsgClock}]
+						if !ok {
+							t.Fatalf("recv on chip %d from %d msgclk %d matches no send", l.Chip, e.Peer, e.MsgClock)
+						}
+						if e.Clock <= s.Clock {
+							t.Errorf("recv clock %d on chip %d not above matched send clock %d on chip %d",
+								e.Clock, l.Chip, s.Clock, s.Chip)
+						}
+					}
+				}
+				if recvs == 0 || recvs != len(sends) {
+					t.Errorf("matched %d recvs against %d sends; a healthy run delivers every send", recvs, len(sends))
+				}
+			})
+		}
+	}
+}
+
+// TestRecorderJSONDeterministic pins the canonical-export contract: the
+// flight record of a healthy 4×4 MeshSlice run is byte-identical across
+// repeated invocations and across GOMAXPROCS 1, 2, and 8 — goroutine
+// scheduling must never leak into the trace.
+func TestRecorderJSONDeterministic(t *testing.T) {
+	alg, ok := AlgorithmByName("meshslice")
+	if !ok {
+		t.Fatal("meshslice missing from registry")
+	}
+	snapshotJSON := func() []byte {
+		var buf bytes.Buffer
+		if err := recordedRun(t, alg, OS).Snapshot().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := snapshotJSON()
+	if again := snapshotJSON(); !bytes.Equal(base, again) {
+		t.Fatal("identical runs produced different canonical JSON")
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		if got := snapshotJSON(); !bytes.Equal(base, got) {
+			t.Errorf("GOMAXPROCS=%d changed the canonical JSON", procs)
+		}
+	}
+}

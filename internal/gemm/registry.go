@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"meshslice/internal/mesh"
 	"meshslice/internal/tensor"
 	"meshslice/internal/topology"
 )
@@ -167,6 +168,14 @@ type VerifyResult struct {
 // problem's dataflow on the torus with real random data and checks the
 // assembled result against the reference multiplication.
 func VerifyAlgorithms(p Problem, t topology.Torus, opts AlgOptions, seed int64, tol float64) []VerifyResult {
+	return VerifyAlgorithmsOn(mesh.New(t), p, opts, seed, tol)
+}
+
+// VerifyAlgorithmsOn is VerifyAlgorithms on a caller-provided mesh: every
+// algorithm runs over the same fabric, so instrumentation attached to it —
+// a flight recorder, a metrics registry — observes the whole sweep.
+func VerifyAlgorithmsOn(m *mesh.Mesh, p Problem, opts AlgOptions, seed int64, tol float64) []VerifyResult {
+	t := m.Torus
 	checkShardable(p, t)
 	rng := newRand(seed)
 	aR, aC, bR, bC := p.OperandShapes()
@@ -187,7 +196,7 @@ func VerifyAlgorithms(p Problem, t topology.Torus, opts AlgOptions, seed int64, 
 			out = append(out, r)
 			continue
 		}
-		got := Multiply(t, alg.Build(p.Dataflow, opts), a, b)
+		got := MultiplyOn(m, alg.Build(p.Dataflow, opts), a, b)
 		r.MaxDiff = got.MaxAbsDiff(want)
 		r.OK = r.MaxDiff <= tol
 		out = append(out, r)

@@ -5,6 +5,7 @@ import (
 
 	"meshslice/internal/collective"
 	"meshslice/internal/mesh"
+	"meshslice/internal/obs/recorder"
 	"meshslice/internal/tensor"
 	"meshslice/internal/topology"
 )
@@ -89,6 +90,7 @@ func summaOS(cfg SUMMAConfig) ChipFunc {
 		bh := bij.Rows / perRow    // B panel height (K/P)
 		cij := tensor.New(aij.Rows, bij.Cols)
 		for p := 0; p < iters; p++ {
+			c.SpanStart(recorder.OpGemmStep, p)
 			ownerCol, offA := p/perCol, (p%perCol)*aw
 			var aPanel *tensor.Matrix
 			if row.Pos == ownerCol {
@@ -104,6 +106,7 @@ func summaOS(cfg SUMMAConfig) ChipFunc {
 			bPrime := collective.Broadcast(col, ownerRow, bPanel)
 
 			tensor.MatMulAdd(cij, aPrime, bPrime)
+			c.SpanEnd(recorder.OpGemmStep)
 		}
 		return cij
 	}
@@ -124,6 +127,7 @@ func summaLS(cfg SUMMAConfig) ChipFunc {
 		cij := tensor.New(aij.Rows, n/row.Size)
 		cw := cij.Cols / perCol // C panel width (N/P)
 		for p := 0; p < iters; p++ {
+			c.SpanStart(recorder.OpGemmStep, p)
 			ownerRow, offB := p/perRow, (p%perRow)*bh
 			var bPanel *tensor.Matrix
 			if col.Pos == ownerRow {
@@ -137,6 +141,7 @@ func summaLS(cfg SUMMAConfig) ChipFunc {
 			if red := collective.Reduce(row, ownerCol, cPrime); red != nil {
 				cij.SetSubMatrix(0, offC, red)
 			}
+			c.SpanEnd(recorder.OpGemmStep)
 		}
 		return cij
 	}
@@ -157,6 +162,7 @@ func summaRS(cfg SUMMAConfig) ChipFunc {
 		cij := tensor.New(m/col.Size, bij.Cols)
 		ch := cij.Rows / perRow // C panel height (M/P)
 		for p := 0; p < iters; p++ {
+			c.SpanStart(recorder.OpGemmStep, p)
 			ownerCol, offA := p/perCol, (p%perCol)*aw
 			var aPanel *tensor.Matrix
 			if row.Pos == ownerCol {
@@ -170,6 +176,7 @@ func summaRS(cfg SUMMAConfig) ChipFunc {
 			if red := collective.Reduce(col, ownerRow, cPrime); red != nil {
 				cij.SetSubMatrix(offC, 0, red)
 			}
+			c.SpanEnd(recorder.OpGemmStep)
 		}
 		return cij
 	}

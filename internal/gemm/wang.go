@@ -5,6 +5,7 @@ import (
 
 	"meshslice/internal/collective"
 	"meshslice/internal/mesh"
+	"meshslice/internal/obs/recorder"
 	"meshslice/internal/tensor"
 	"meshslice/internal/topology"
 )
@@ -32,12 +33,14 @@ func Wang() ChipFunc {
 		cij := tensor.New(aij.Rows, bij.Cols)
 		a := aij
 		for t := 0; t < pc; t++ {
+			c.SpanStart(recorder.OpGemmStep, t)
 			src := (row.Pos + t) % pc // column whose A shard we now hold
 			bPanel := bFull.SubMatrix(src*kLocal, 0, kLocal, bFull.Cols)
 			tensor.MatMulAdd(cij, a, bPanel)
 			if t < pc-1 {
 				a = row.Shift(-1, a) // pull the next shard from the right
 			}
+			c.SpanEnd(recorder.OpGemmStep)
 		}
 		return cij
 	}
@@ -93,12 +96,14 @@ func wangLS(c *mesh.Chip, aij, bij *tensor.Matrix) *tensor.Matrix {
 	cPrime := tensor.New(aij.Rows, n)
 	b := bij
 	for t := 0; t < pr; t++ {
+		c.SpanStart(recorder.OpGemmStep, t)
 		src := (col.Pos + t) % pr
 		block := tensor.MatMulNT(aij, b) // M/Pr × N/Pr, partial over K/Pc
 		cPrime.SetSubMatrix(0, src*bij.Rows, block)
 		if t < pr-1 {
 			b = col.Shift(-1, b)
 		}
+		c.SpanEnd(recorder.OpGemmStep)
 	}
 	return collective.ReduceScatterCols(row, cPrime)
 }
@@ -111,12 +116,14 @@ func wangRS(c *mesh.Chip, aij, bij *tensor.Matrix) *tensor.Matrix {
 	cPrime := tensor.New(m, bij.Cols)
 	a := aij
 	for t := 0; t < pc; t++ {
+		c.SpanStart(recorder.OpGemmStep, t)
 		src := (row.Pos + t) % pc
 		block := tensor.MatMulTN(a, bij) // M/Pc × N/Pc, partial over K/Pr
 		cPrime.SetSubMatrix(src*aij.Cols, 0, block)
 		if t < pc-1 {
 			a = row.Shift(-1, a)
 		}
+		c.SpanEnd(recorder.OpGemmStep)
 	}
 	return collective.ReduceScatterRows(col, cPrime)
 }

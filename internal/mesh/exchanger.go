@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"meshslice/internal/fault"
+	"meshslice/internal/obs/recorder"
 	"meshslice/internal/tensor"
 )
 
@@ -49,15 +50,30 @@ type exchanger struct {
 	// Quiescence detection: alive counts chip goroutines still running,
 	// waiting counts those blocked in recv, waitEdges the edges they are
 	// blocked on. stalled flips once waiting == alive; stallEdges snapshots
-	// the blocked edges for the typed error.
+	// the blocked edges for the typed error, stallWaits the same edges
+	// enriched with each receiver's open collective span (recorder only).
 	alive      int
 	waiting    int
 	waitEdges  map[pair]int
 	stalled    bool
 	stallEdges []Edge
+	stallWaits []EdgeWait
+
+	// rec, when set (SetRecorder, never mid-run), receives fault-interposer
+	// events and answers span queries at stall/failure time. Message
+	// send/recv events are recorded by the Chip methods, not here.
+	rec *recorder.Recorder
 }
 
 type pair struct{ from, to int }
+
+// envelope is one in-flight message: the payload plus the sender's Lamport
+// stamp at send time (zero when no recorder is attached), which the
+// receiver merges into its own clock on delivery.
+type envelope struct {
+	m     *tensor.Matrix
+	clock uint64
+}
 
 // mailbox is one ordered (sender, receiver) FIFO. It is a deque over a
 // reusable slice: popping advances head instead of reslicing the front away,
@@ -65,7 +81,7 @@ type pair struct{ from, to int }
 // steady-state ring traffic reuses one small backing array per edge instead
 // of leaking capacity and reallocating.
 type mailbox struct {
-	buf  []*tensor.Matrix
+	buf  []envelope
 	head int
 }
 
@@ -77,19 +93,19 @@ func (mb *mailbox) pending() int {
 	return len(mb.buf) - mb.head
 }
 
-func (mb *mailbox) push(m *tensor.Matrix) {
+func (mb *mailbox) push(env envelope) {
 	if mb.head > 0 && mb.head == len(mb.buf) {
 		mb.buf = mb.buf[:0]
 		mb.head = 0
 	}
-	mb.buf = append(mb.buf, m) // lint:allow hotpath-alloc deque growth: capacity is reused after pops
+	mb.buf = append(mb.buf, env) // lint:allow hotpath-alloc deque growth: capacity is reused after pops
 }
 
-func (mb *mailbox) pop() *tensor.Matrix {
-	m := mb.buf[mb.head]
-	mb.buf[mb.head] = nil
+func (mb *mailbox) pop() envelope {
+	env := mb.buf[mb.head]
+	mb.buf[mb.head] = envelope{}
 	mb.head++
-	return m
+	return env
 }
 
 // errPeerFailed is the sentinel panic value raised by receives that were
@@ -188,16 +204,42 @@ func (e *exchanger) maybeStall() {
 		}
 		return a.To < b.To
 	})
+	if e.rec != nil {
+		// Attribute each blocked edge to the receiver's open collective
+		// span. Safe to read the blocked chips' logs here: every receiver
+		// counted in waitEdges is parked in cond.Wait, and its last log
+		// writes happened before it took e.mu on the way in — which
+		// happens-before this critical section.
+		e.stallWaits = make([]EdgeWait, 0, len(e.stallEdges))
+		for _, ed := range e.stallEdges {
+			w := EdgeWait{Edge: ed, Step: -1}
+			if s := e.rec.CurrentSpan(ed.To); s.Open && s.Op != recorder.OpNone {
+				w.Op = s.Op.String()
+				w.Step = int(s.Recvs)
+			}
+			e.stallWaits = append(e.stallWaits, w)
+		}
+	}
 	e.cond.Broadcast()
 }
 
-func (e *exchanger) send(from, to int, m *tensor.Matrix) {
+func (e *exchanger) send(from, to int, m *tensor.Matrix, clock uint64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	k := pair{from, to}
 	if e.chipFails != nil {
 		if at, ok := e.chipFails[from]; ok && e.chipSends[from] >= at {
-			panic(&ChipFailedError{Chip: from, Sends: e.chipSends[from]}) // lint:invariant injected fail-stop, recovered and typed by RunE
+			sends := e.chipSends[from]
+			op, step := "", -1
+			if e.rec != nil {
+				e.rec.ChipFail(from, sends)
+				// The fatal send was already recorded by the Chip method, so
+				// the span's send count is one past it.
+				if s := e.rec.CurrentSpan(from); s.Open && s.Op != recorder.OpNone {
+					op, step = s.Op.String(), int(s.Sends)-1
+				}
+			}
+			panic(&ChipFailedError{Chip: from, Sends: sends, Op: op, Step: step}) // lint:invariant injected fail-stop, recovered and typed by RunE
 		}
 		e.chipSends[from]++
 	}
@@ -208,6 +250,9 @@ func (e *exchanger) send(from, to int, m *tensor.Matrix) {
 			// The message vanishes on the wire: no mailbox append, no
 			// traffic accounting — the receiver must detect the loss via
 			// the quiescence stall, not here.
+			if e.rec != nil {
+				e.rec.FaultDrop(from, to)
+			}
 			return
 		}
 	}
@@ -216,18 +261,21 @@ func (e *exchanger) send(from, to int, m *tensor.Matrix) {
 		mb = &mailbox{} // lint:allow hotpath-alloc one mailbox per edge, first message only
 		e.queues[k] = mb
 	}
-	mb.push(m)
+	mb.push(envelope{m: m, clock: clock})
 	e.pairElems[k] += int64(m.Rows) * int64(m.Cols)
 	e.messages++
 	e.cond.Broadcast()
 }
 
-func (e *exchanger) recv(from, to int) *tensor.Matrix {
+func (e *exchanger) recv(from, to int) (*tensor.Matrix, uint64) {
 	// A degraded edge yields the receiver to the scheduler: arrival order
 	// across chips shifts exactly as behind a slow link, while payloads
 	// and per-edge FIFO order — hence all numerics — stay untouched.
 	if e.delays != nil {
 		if n := e.delays[pair{from, to}]; n > 0 {
+			if e.rec != nil {
+				e.rec.FaultDelay(to, from, n)
+			}
 			for i := 0; i < n; i++ {
 				runtime.Gosched()
 			}
@@ -242,7 +290,7 @@ func (e *exchanger) recv(from, to int) *tensor.Matrix {
 			panic(errPeerFailed) // lint:invariant aborts receive after peer failure
 		}
 		if e.stalled {
-			panic(&RecvStallError{Edges: e.stallEdges}) // lint:invariant quiescence-proved stall, recovered and typed by RunE
+			panic(&RecvStallError{Edges: e.stallEdges, Waits: e.stallWaits}) // lint:invariant quiescence-proved stall, recovered and typed by RunE
 		}
 		e.waiting++
 		e.waitEdges[k]++
@@ -256,7 +304,8 @@ func (e *exchanger) recv(from, to int) *tensor.Matrix {
 			delete(e.waitEdges, k)
 		}
 	}
-	return e.queues[k].pop()
+	env := e.queues[k].pop()
+	return env.m, env.clock
 }
 
 // poison wakes every blocked receiver so a panicking SPMD run terminates.
@@ -277,6 +326,7 @@ func (e *exchanger) reset() {
 	e.poisoned = false
 	e.stalled = false
 	e.stallEdges = nil
+	e.stallWaits = nil
 	e.waitEdges = make(map[pair]int)
 	e.waiting = 0
 }

@@ -22,6 +22,31 @@ type Edge struct {
 	From, To int
 }
 
+func (e Edge) String() string {
+	return fmt.Sprintf("%d→%d", e.From, e.To)
+}
+
+// EdgeWait is one blocked edge enriched with flight-recorder context: the
+// collective (or GeMM step) the receiver was inside and the ring step it
+// was waiting at when the run stalled.
+type EdgeWait struct {
+	Edge
+	// Op names the receiver's innermost open span ("allgather",
+	// "reducescatter", ...); empty when no recorder was attached or the
+	// receiver was outside any span.
+	Op string
+	// Step is the ring step awaited — the receives the span had already
+	// completed; -1 when unknown.
+	Step int
+}
+
+func (w EdgeWait) String() string {
+	if w.Op == "" {
+		return w.Edge.String()
+	}
+	return fmt.Sprintf("%s (%s, ring step %d)", w.Edge, w.Op, w.Step)
+}
+
 // ChipFailedError reports a chip that fail-stopped mid-program (injected
 // via fault.MeshChipFail).
 type ChipFailedError struct {
@@ -29,10 +54,25 @@ type ChipFailedError struct {
 	Chip int
 	// Sends is the number of messages it had sent when it died.
 	Sends int
+	// Op names the collective (or GeMM step) the chip was inside when it
+	// died, and Step the ring step of its fatal send; set only when a
+	// recorder was attached (Op "" / Step -1 otherwise).
+	Op   string
+	Step int
+	// Dump is the flight-recorder forensics dump (last events per chip,
+	// unmatched-message frontier); set by RunE when a recorder is attached.
+	// Note: unlike a stall dump, the surviving peers' logs here depend on
+	// how far each ran before the abort reached it, so only the failed
+	// chip's own portion is deterministic.
+	Dump string
 }
 
 func (e *ChipFailedError) Error() string {
-	return fmt.Sprintf("mesh: chip %d fail-stopped after %d sends", e.Chip, e.Sends)
+	msg := fmt.Sprintf("mesh: chip %d fail-stopped after %d sends", e.Chip, e.Sends)
+	if e.Op != "" {
+		msg += fmt.Sprintf(" during %s (ring step %d)", e.Op, e.Step)
+	}
+	return msg
 }
 
 // RecvStallError reports a permanently stalled run: every alive chip was
@@ -42,9 +82,28 @@ type RecvStallError struct {
 	// Edges lists the (from, to) pairs the stalled receivers were blocked
 	// on, sorted, with duplicates collapsed.
 	Edges []Edge
+	// Waits mirrors Edges with span attribution — which collective and ring
+	// step each receiver was blocked in; non-nil only when a recorder was
+	// attached. Same sorted order as Edges.
+	Waits []EdgeWait
+	// Dump is the flight-recorder forensics dump (last events per chip,
+	// unmatched-message frontier); set by RunE when a recorder is attached.
+	// Stall dumps are deterministic: every chip blocks at a deterministic
+	// program point before the stall is declared.
+	Dump string
 }
 
 func (e *RecvStallError) Error() string {
+	if len(e.Waits) > 0 {
+		s := "mesh: all chips stalled in recv (blocked edges "
+		for i, w := range e.Waits {
+			if i > 0 {
+				s += ", "
+			}
+			s += w.String()
+		}
+		return s + ") — a message was lost"
+	}
 	return fmt.Sprintf("mesh: all chips stalled in recv (blocked edges %v) — a message was lost", e.Edges)
 }
 
@@ -91,9 +150,15 @@ func (m *Mesh) RunE(fn func(c *Chip)) error {
 		}
 	}
 	if chipFail != nil {
+		if m.rec != nil {
+			chipFail.Dump = m.forensics(nil).String()
+		}
 		return chipFail
 	}
 	if stall != nil {
+		if m.rec != nil {
+			stall.Dump = m.forensics(stall.Waits).String()
+		}
 		return stall
 	}
 	if fallback != "" {

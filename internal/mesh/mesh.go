@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"meshslice/internal/obs"
+	"meshslice/internal/obs/recorder"
 	"meshslice/internal/tensor"
 	"meshslice/internal/topology"
 )
@@ -33,6 +34,9 @@ type Mesh struct {
 	// metrics, when set, receives live collective-op counts and on-demand
 	// traffic publication (see SetMetrics / PublishMetrics).
 	metrics *obs.Registry
+	// rec, when set, records every send/recv/span/buffer/fault event with
+	// Lamport clocks (see SetRecorder).
+	rec *recorder.Recorder
 }
 
 // Traffic summarises the data movement of functional runs: total matrix
@@ -101,6 +105,20 @@ func (m *Mesh) PublishMetrics() {
 	}
 	m.metrics.Gauge("mesh_messages_total").Set(float64(t.Messages))
 }
+
+// SetRecorder attaches a flight recorder to the mesh (pass nil to detach).
+// Every chip then records its sends, receives, collective spans, buffer
+// arena transitions and fault-interposer events, stamped with Lamport
+// clocks carried on every message. Like SetFaults, this must not be called
+// while a run is in flight. The recorder must cover at least
+// m.Torus.Size() chips (recorder.New(m.Torus.Size(), capacity)).
+func (m *Mesh) SetRecorder(r *recorder.Recorder) {
+	m.rec = r
+	m.ex.rec = r
+}
+
+// Recorder returns the flight recorder attached by SetRecorder, or nil.
+func (m *Mesh) Recorder() *recorder.Recorder { return m.rec }
 
 // New creates a mesh with the given torus shape.
 func New(t topology.Torus) *Mesh {
@@ -230,7 +248,11 @@ func (c *Chip) comm(d topology.Direction) *Comm {
 // contents are cloned so sender-side reuse of the buffer is safe, matching
 // the semantics of a DMA send out of HBM.
 func (c *Chip) Send(to int, m *tensor.Matrix) {
-	c.mesh.ex.send(c.Rank, to, m.Clone())
+	var clock uint64
+	if r := c.mesh.rec; r != nil {
+		clock = r.Send(c.Rank, to, m.Rows, m.Cols)
+	}
+	c.mesh.ex.send(c.Rank, to, m.Clone(), clock)
 }
 
 // SendOwned delivers m to the chip with the given rank, transferring
@@ -240,17 +262,44 @@ func (c *Chip) Send(to int, m *tensor.Matrix) {
 // scratch buffer around a ring; use Send when the sender keeps the buffer.
 // lint:hotpath ownership-transfer send: zero-copy, zero-allocation
 func (c *Chip) SendOwned(to int, m *tensor.Matrix) {
+	var clock uint64
+	if r := c.mesh.rec; r != nil {
+		clock = r.Send(c.Rank, to, m.Rows, m.Cols)
+	}
 	c.mesh.pool.noteSend(m)
-	c.mesh.ex.send(c.Rank, to, m)
+	c.mesh.ex.send(c.Rank, to, m, clock)
 }
 
 // Recv blocks until a matrix from the given rank arrives and returns it.
 // Messages from one sender arrive in the order they were sent. The caller
 // owns the returned matrix exclusively.
 func (c *Chip) Recv(from int) *tensor.Matrix {
-	m := c.mesh.ex.recv(from, c.Rank)
+	m, clock := c.mesh.ex.recv(from, c.Rank)
 	c.mesh.pool.noteDeliver(m)
+	if r := c.mesh.rec; r != nil {
+		r.Recv(c.Rank, from, m.Rows, m.Cols, clock)
+	}
 	return m
+}
+
+// SpanStart opens a flight-recorder span on this chip: subsequent sends and
+// receives are attributed to op until the matching SpanEnd. step is the
+// span's own index (a GeMM slice or panel number; -1 for none). A no-op
+// without a recorder — one pointer comparison.
+// lint:hotpath steady-state record: must not allocate
+func (c *Chip) SpanStart(op recorder.Op, step int) {
+	if r := c.mesh.rec; r != nil {
+		r.SpanStart(c.Rank, op, step)
+	}
+}
+
+// SpanEnd closes this chip's innermost flight-recorder span. A no-op
+// without a recorder.
+// lint:hotpath steady-state record: must not allocate
+func (c *Chip) SpanEnd(op recorder.Op) {
+	if r := c.mesh.rec; r != nil {
+		r.SpanEnd(c.Rank, op)
+	}
 }
 
 // AcquireBuf returns a rows×cols scratch matrix from the mesh's buffer
@@ -259,6 +308,9 @@ func (c *Chip) Recv(from int) *tensor.Matrix {
 // ReleaseBuf — on whichever chip holds it last, not necessarily the one
 // that acquired it — or be handed off for good via SendOwned.
 func (c *Chip) AcquireBuf(rows, cols int) *tensor.Matrix {
+	if r := c.mesh.rec; r != nil {
+		r.BufAcquire(c.Rank, rows, cols)
+	}
 	return c.mesh.pool.acquire(rows, cols)
 }
 
@@ -266,6 +318,9 @@ func (c *Chip) AcquireBuf(rows, cols int) *tensor.Matrix {
 // only live reference; the buffer may be handed to any chip by a later
 // AcquireBuf and overwritten.
 func (c *Chip) ReleaseBuf(m *tensor.Matrix) {
+	if r := c.mesh.rec; r != nil {
+		r.BufRelease(c.Rank, m.Rows, m.Cols)
+	}
 	c.mesh.pool.release(m)
 }
 
@@ -300,6 +355,19 @@ func (cm *Comm) CountCollective(op string) {
 	}
 	r.Counter("mesh_collective_ops",
 		obs.L("op", op), obs.L("dir", cm.dir.String())).Inc()
+}
+
+// SpanStart opens a flight-recorder span on this communicator's chip (see
+// Chip.SpanStart). The ring collectives call it on entry.
+// lint:hotpath steady-state record: must not allocate
+func (cm *Comm) SpanStart(op recorder.Op, step int) {
+	cm.chip.SpanStart(op, step)
+}
+
+// SpanEnd closes the innermost flight-recorder span (see Chip.SpanEnd).
+// lint:hotpath steady-state record: must not allocate
+func (cm *Comm) SpanEnd(op recorder.Op) {
+	cm.chip.SpanEnd(op)
 }
 
 // CustomComm builds a communicator over an explicit rank list, for rings

@@ -1,0 +1,147 @@
+package recorder
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export for the functional runtime: one Perfetto
+// process per chip (pid = rank), spans as B/E pairs, sends and receives as
+// instants, and message flows as s/f arrows keyed by the Lamport edge
+// (directed edge + send clock == recv msg_clock). The timestamp axis is the
+// Lamport clock in "microseconds" — logical time, not wall time, so the
+// export stays deterministic and inside the no-wallclock invariant.
+
+// meshChromeEvent is one trace event; the same struct covers span phases
+// ("B"/"E"), instants ("i") and flow endpoints ("s"/"f"). Field order is
+// the canonical JSON key order.
+type meshChromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	ID   int               `json:"id,omitempty"`
+	BP   string            `json:"bp,omitempty"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// meshChromeMeta labels a process or a track.
+type meshChromeMeta struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// flowKey identifies one message for arrow matching: the Lamport edge.
+type flowKey struct {
+	from, to int
+	clock    uint64
+}
+
+// WriteMeshChromeTrace serialises a recorder snapshot as a Chrome
+// trace-event JSON array: one process per chip, collective/GeMM spans as
+// nested slices on track 0, message instants on the same track, and flow
+// arrows connecting each send to its matched receive. Output is fully
+// deterministic for identical runs.
+func WriteMeshChromeTrace(w io.Writer, s *Snapshot, label string) error {
+	// First pass: assign one flow id per matched (edge, clock) pair,
+	// numbered in (chip, seq) order of the send so ids are deterministic.
+	flows := make(map[flowKey]int)
+	for _, cs := range s.Logs {
+		for _, e := range cs.Events {
+			if e.Kind == "send" {
+				k := flowKey{from: cs.Chip, to: e.Peer, clock: e.Clock}
+				if _, ok := flows[k]; !ok {
+					flows[k] = len(flows) + 1
+				}
+			}
+		}
+	}
+	matched := make(map[flowKey]bool)
+	for _, cs := range s.Logs {
+		for _, e := range cs.Events {
+			if e.Kind == "recv" {
+				k := flowKey{from: e.Peer, to: cs.Chip, clock: e.MsgClock}
+				if _, ok := flows[k]; ok {
+					matched[k] = true
+				}
+			}
+		}
+	}
+
+	var out []any
+	for _, cs := range s.Logs {
+		out = append(out, meshChromeMeta{
+			Name: "process_name", Ph: "M", PID: cs.Chip,
+			Args: map[string]any{"name": fmt.Sprintf("chip %d — %s", cs.Chip, label)},
+		})
+		out = append(out, meshChromeMeta{
+			Name: "thread_name", Ph: "M", PID: cs.Chip, TID: 0,
+			Args: map[string]any{"name": "mesh runtime"},
+		})
+		for _, e := range cs.Events {
+			ts := float64(e.Clock)
+			switch e.Kind {
+			case "span-start":
+				name := e.Op
+				if e.Step >= 0 {
+					name = fmt.Sprintf("%s #%d", e.Op, e.Step)
+				}
+				out = append(out, meshChromeEvent{
+					Name: name, Cat: "span", Ph: "B", TS: ts, PID: cs.Chip, TID: 0,
+				})
+			case "span-end":
+				out = append(out, meshChromeEvent{
+					Name: e.Op, Cat: "span", Ph: "E", TS: ts, PID: cs.Chip, TID: 0,
+				})
+			case "send":
+				args := map[string]string{
+					"to":    fmt.Sprint(e.Peer),
+					"shape": fmt.Sprintf("%dx%d", e.Rows, e.Cols),
+					"step":  fmt.Sprint(e.Step),
+				}
+				out = append(out, meshChromeEvent{
+					Name: fmt.Sprintf("send→%d", e.Peer), Cat: "msg", Ph: "i",
+					TS: ts, PID: cs.Chip, TID: 0, S: "t", Args: args,
+				})
+				k := flowKey{from: cs.Chip, to: e.Peer, clock: e.Clock}
+				if matched[k] {
+					out = append(out, meshChromeEvent{
+						Name: "msg", Cat: "flow", Ph: "s", TS: ts,
+						PID: cs.Chip, TID: 0, ID: flows[k],
+					})
+				}
+			case "recv":
+				args := map[string]string{
+					"from":  fmt.Sprint(e.Peer),
+					"shape": fmt.Sprintf("%dx%d", e.Rows, e.Cols),
+					"step":  fmt.Sprint(e.Step),
+				}
+				out = append(out, meshChromeEvent{
+					Name: fmt.Sprintf("recv←%d", e.Peer), Cat: "msg", Ph: "i",
+					TS: ts, PID: cs.Chip, TID: 0, S: "t", Args: args,
+				})
+				k := flowKey{from: e.Peer, to: cs.Chip, clock: e.MsgClock}
+				if matched[k] {
+					out = append(out, meshChromeEvent{
+						Name: "msg", Cat: "flow", Ph: "f", TS: ts,
+						PID: cs.Chip, TID: 0, ID: flows[k], BP: "e",
+					})
+				}
+			case "fault-delay", "fault-drop", "chip-fail":
+				out = append(out, meshChromeEvent{
+					Name: e.Kind, Cat: "fault", Ph: "i", TS: ts,
+					PID: cs.Chip, TID: 0, S: "t",
+					Args: map[string]string{"peer": fmt.Sprint(e.Peer)},
+				})
+			}
+		}
+	}
+	return json.NewEncoder(w).Encode(out)
+}

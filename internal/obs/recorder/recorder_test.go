@@ -1,0 +1,259 @@
+package recorder
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestLamportClockRules pins the clock algebra: every event advances the
+// chip clock by one, and a receive first merges the message's stamp
+// (clock = max(own, msg) + 1), so it always lands strictly above both.
+func TestLamportClockRules(t *testing.T) {
+	r := New(2, 16)
+
+	c1 := r.Send(0, 1, 4, 4)
+	if c1 != 1 {
+		t.Fatalf("first send stamp = %d, want 1 (stamps start at 1 so 0 means none)", c1)
+	}
+	c2 := r.Send(0, 1, 4, 4)
+	if c2 != 2 {
+		t.Fatalf("second send stamp = %d, want 2", c2)
+	}
+
+	// Receiver far behind: merge jumps it past the sender.
+	r.Recv(1, 0, 4, 4, c2)
+	ev := r.Tail(1, 1)[0]
+	if ev.Clock != c2+1 {
+		t.Errorf("lagging receiver clock = %d, want msg+1 = %d", ev.Clock, c2+1)
+	}
+	if ev.MsgClock != c2 {
+		t.Errorf("recv MsgClock = %d, want the carried stamp %d", ev.MsgClock, c2)
+	}
+
+	// Receiver far ahead: merge keeps its own clock and still advances.
+	for i := 0; i < 10; i++ {
+		r.SpanStart(1, OpAllGather, -1)
+		r.SpanEnd(1, OpAllGather)
+	}
+	before := r.Tail(1, 1)[0].Clock
+	r.Recv(1, 0, 4, 4, c1)
+	after := r.Tail(1, 1)[0].Clock
+	if after != before+1 {
+		t.Errorf("leading receiver clock = %d, want own+1 = %d", after, before+1)
+	}
+	if after <= c1 {
+		t.Errorf("recv clock %d not above matched send clock %d", after, c1)
+	}
+}
+
+// TestRingWrapTruncation fills a tiny ring past capacity and checks the
+// snapshot reports the overflow: Recorded keeps the true total, Truncated
+// the number of lost oldest events, and the surviving window is the most
+// recent capacity events in seq order.
+func TestRingWrapTruncation(t *testing.T) {
+	const cap = 8
+	r := New(1, cap)
+	const total = 21
+	for i := 0; i < total; i++ {
+		r.Send(0, 0, 1, 1)
+	}
+	s := r.Snapshot()
+	l := s.Logs[0]
+	if l.Recorded != total {
+		t.Errorf("Recorded = %d, want %d", l.Recorded, total)
+	}
+	if l.Truncated != total-cap {
+		t.Errorf("Truncated = %d, want %d", l.Truncated, total-cap)
+	}
+	if len(l.Events) != cap {
+		t.Fatalf("window holds %d events, want %d", len(l.Events), cap)
+	}
+	for i, e := range l.Events {
+		if want := uint64(total - cap + i); e.Seq != want {
+			t.Errorf("window[%d].Seq = %d, want %d (oldest-first, newest tail)", i, e.Seq, want)
+		}
+	}
+	// The per-peer ledger must survive the wrap.
+	edges := r.Edges()
+	if len(edges) != 1 || edges[0].Sent != total {
+		t.Errorf("edge ledger %+v lost sends to ring wrap, want Sent=%d", edges, total)
+	}
+}
+
+// TestSpanStepInference pins the ring-step attribution: sends and recvs
+// inside a span are numbered by their ordinal within that span, and nested
+// spans each count their own.
+func TestSpanStepInference(t *testing.T) {
+	r := New(2, 64)
+	r.SpanStart(0, OpGemmStep, 3)
+	r.SpanStart(0, OpAllGather, -1)
+	for i := 0; i < 3; i++ {
+		clk := r.Send(0, 1, 2, 2)
+		r.Recv(1, 0, 2, 2, clk)
+		ev := r.Tail(0, 1)[0]
+		if int(ev.Step) != i {
+			t.Errorf("send %d: Step = %d, want ordinal %d", i, ev.Step, i)
+		}
+		if ev.Op != OpAllGather {
+			t.Errorf("send %d: Op = %v, want innermost span allgather", i, ev.Op)
+		}
+	}
+	if s := r.CurrentSpan(0); s.Op != OpAllGather || s.Sends != 3 {
+		t.Errorf("CurrentSpan = %+v, want open allgather with 3 sends", s)
+	}
+	r.SpanEnd(0, OpAllGather)
+	// Back in the outer span: its counters were untouched by the inner one.
+	if s := r.CurrentSpan(0); s.Op != OpGemmStep || s.Step != 3 || s.Sends != 0 {
+		t.Errorf("after inner end, CurrentSpan = %+v, want gemm-step step 3 with 0 sends", s)
+	}
+	clk := r.Send(0, 1, 2, 2)
+	if ev := r.Tail(0, 1)[0]; ev.Op != OpGemmStep || ev.Step != 0 {
+		t.Errorf("outer-span send = op %v step %d, want gemm-step step 0", ev.Op, ev.Step)
+	}
+	r.Recv(1, 0, 2, 2, clk)
+	r.SpanEnd(0, OpGemmStep)
+	if s := r.CurrentSpan(0); s.Open {
+		t.Errorf("all spans closed but CurrentSpan still open: %+v", s)
+	}
+}
+
+// TestSpanOverflowSaturates nests past maxSpanDepth: events keep recording,
+// the stack saturates without corruption, and unwinding restores the
+// tracked spans.
+func TestSpanOverflowSaturates(t *testing.T) {
+	r := New(1, 256)
+	const deep = maxSpanDepth + 5
+	for i := 0; i < deep; i++ {
+		r.SpanStart(0, OpGemmStep, i)
+	}
+	r.Send(0, 0, 1, 1)
+	for i := 0; i < 6; i++ { // pop the overflow plus one tracked level
+		r.SpanEnd(0, OpGemmStep)
+	}
+	if s := r.CurrentSpan(0); !s.Open || s.Step != maxSpanDepth-2 {
+		t.Errorf("after unwind CurrentSpan = %+v, want tracked span step %d", s, maxSpanDepth-2)
+	}
+	if got := r.Snapshot().Logs[0].Recorded; got != deep+1+6 {
+		t.Errorf("recorded %d events, want %d (overflow must not drop events)", got, deep+1+6)
+	}
+}
+
+// TestEdgesAndFrontier builds a small asymmetric ledger — one healthy edge,
+// one with a drop, one with a message still in flight — and checks both
+// views.
+func TestEdgesAndFrontier(t *testing.T) {
+	r := New(3, 16)
+	// 0→1 healthy: two sends, two delivered.
+	for i := 0; i < 2; i++ {
+		r.Recv(1, 0, 1, 1, r.Send(0, 1, 1, 1))
+	}
+	// 1→2 dropped on the wire.
+	r.Send(1, 2, 1, 1)
+	r.FaultDrop(1, 2)
+	// 2→0 sent, never delivered (in flight at snapshot time).
+	r.Send(2, 0, 1, 1)
+
+	edges := r.Edges()
+	want := []EdgeCount{
+		{From: 0, To: 1, Sent: 2, Received: 2},
+		{From: 1, To: 2, Sent: 1, Dropped: 1, Received: 0},
+		{From: 2, To: 0, Sent: 1, Received: 0},
+	}
+	if len(edges) != len(want) {
+		t.Fatalf("edges = %+v, want %+v", edges, want)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Errorf("edge[%d] = %+v, want %+v", i, edges[i], want[i])
+		}
+	}
+	frontier := r.Frontier()
+	if len(frontier) != 2 || frontier[0].From != 1 || frontier[1].From != 2 {
+		t.Errorf("frontier = %+v, want only the dropped and in-flight edges", frontier)
+	}
+}
+
+// TestSnapshotJSONCanonical replays the identical event sequence into two
+// recorders and requires byte-identical canonical JSON.
+func TestSnapshotJSONCanonical(t *testing.T) {
+	replay := func() *Recorder {
+		r := New(2, 8)
+		r.SpanStart(0, OpAllGather, -1)
+		clk := r.Send(0, 1, 4, 8)
+		r.SpanEnd(0, OpAllGather)
+		r.Recv(1, 0, 4, 8, clk)
+		r.BufAcquire(1, 4, 8)
+		r.BufRelease(1, 4, 8)
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := replay().Snapshot().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := replay().Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("identical event sequences produced different canonical JSON")
+	}
+	// Spot-check the export vocabulary so a renamed constant can't silently
+	// change the on-disk format.
+	for _, wantSub := range []string{`"kind": "send"`, `"op": "allgather"`, `"msg_clock": 2`} {
+		if !strings.Contains(a.String(), wantSub) {
+			t.Errorf("canonical JSON missing %s:\n%s", wantSub, a.String())
+		}
+	}
+}
+
+// TestReset verifies a reset recorder is indistinguishable from a fresh one.
+func TestReset(t *testing.T) {
+	r := New(2, 8)
+	r.SpanStart(0, OpReduce, -1)
+	r.Recv(1, 0, 1, 1, r.Send(0, 1, 1, 1))
+	r.Reset()
+
+	var got, fresh bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if err := New(2, 8).Snapshot().WriteJSON(&fresh); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), fresh.Bytes()) {
+		t.Error("reset recorder's snapshot differs from a fresh recorder's")
+	}
+	if s := r.CurrentSpan(0); s.Open {
+		t.Errorf("reset left a span open: %+v", s)
+	}
+	if len(r.Frontier()) != 0 {
+		t.Errorf("reset left frontier %+v", r.Frontier())
+	}
+}
+
+// TestChromeTraceFlowArrows checks the Perfetto export carries one matched
+// flow-arrow pair per delivered message and one process per chip.
+func TestChromeTraceFlowArrows(t *testing.T) {
+	r := New(2, 16)
+	r.SpanStart(0, OpBroadcast, -1)
+	r.SpanStart(1, OpBroadcast, -1)
+	for i := 0; i < 3; i++ {
+		r.Recv(1, 0, 1, 1, r.Send(0, 1, 1, 1))
+	}
+	r.SpanEnd(0, OpBroadcast)
+	r.SpanEnd(1, OpBroadcast)
+
+	var buf bytes.Buffer
+	if err := WriteMeshChromeTrace(&buf, r.Snapshot(), "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	starts := strings.Count(out, `"ph":"s"`)
+	finishes := strings.Count(out, `"ph":"f"`)
+	if starts != 3 || finishes != 3 {
+		t.Errorf("flow arrows: %d starts, %d finishes, want 3 each", starts, finishes)
+	}
+	if b, e := strings.Count(out, `"ph":"B"`), strings.Count(out, `"ph":"E"`); b != 2 || e != b {
+		t.Errorf("span phases: %d B, %d E, want 2 balanced pairs", b, e)
+	}
+}
