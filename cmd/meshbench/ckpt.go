@@ -1,0 +1,114 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+
+	"meshslice/internal/ckpt"
+	"meshslice/internal/tensor"
+)
+
+// ckptBenches measures the checkpoint subsystem's host-side costs at 16-
+// and 64-chip shapes: canonical record encoding plus manifest construction
+// (the snapshot write path), full-snapshot checksum verification (the load
+// path), and resharding between the two shapes (the elastic resume path).
+
+// ckptState builds per-chip named-tensor blocks for a deterministic
+// 256×512 / 512×128 weight-and-velocity set under the layout.
+func ckptState(l ckpt.Layout) [][]ckpt.NamedTensor {
+	rng := rand.New(rand.NewSource(17))
+	perChip := make([][]ckpt.NamedTensor, l.Chips())
+	for _, name := range []string{"w1", "v1", "w2", "v2"} {
+		var g *tensor.Matrix
+		switch name {
+		case "w1", "v1":
+			g = tensor.Random(256, 512, rng)
+		default:
+			g = tensor.Random(512, 128, rng)
+		}
+		for rank, blk := range tensor.Partition(g, l.Rows, l.Cols) {
+			perChip[rank] = append(perChip[rank], ckpt.NamedTensor{Name: name, Rows: g.Rows, Cols: g.Cols, Block: blk})
+		}
+	}
+	return perChip
+}
+
+func ckptSnapshot(b *testing.B, l ckpt.Layout) *ckpt.Snapshot {
+	perChip := ckptState(l)
+	records := make([][]byte, l.Chips())
+	for rank, tensors := range perChip {
+		rec, err := ckpt.EncodeRecord(l, rank, 100, 17, tensors)
+		if err != nil {
+			b.Fatal(err)
+		}
+		records[rank] = rec
+	}
+	s, err := ckpt.BuildSnapshot(l, 1, minitrainFlow, records)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+const minitrainFlow = "elastic"
+
+func ckptBenches() []bench {
+	lay16 := ckpt.Layout{Rows: 4, Cols: 4, SliceRows: 1, SliceCols: 1, Block: 2}
+	lay64 := ckpt.Layout{Rows: 8, Cols: 8, SliceRows: 1, SliceCols: 1, Block: 2}
+	var out []bench
+	for _, entry := range []struct {
+		name string
+		lay  ckpt.Layout
+	}{{"4x4", lay16}, {"8x8", lay64}} {
+		lay := entry.lay
+		out = append(out,
+			bench{"CkptSnapshotEncode" + entry.name, func(b *testing.B) {
+				perChip := ckptState(lay)
+				records := make([][]byte, lay.Chips())
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for rank, tensors := range perChip {
+						rec, err := ckpt.EncodeRecord(lay, rank, 100, 17, tensors)
+						if err != nil {
+							b.Fatal(err)
+						}
+						records[rank] = rec
+					}
+					if _, err := ckpt.BuildSnapshot(lay, 1, minitrainFlow, records); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}},
+			bench{"CkptSnapshotVerify" + entry.name, func(b *testing.B) {
+				s := ckptSnapshot(b, lay)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := s.Verify(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}},
+		)
+	}
+	out = append(out,
+		bench{"CkptReshard4x4to8x8", func(b *testing.B) {
+			s := ckptSnapshot(b, lay16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ckpt.Reshard(s, lay64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		bench{"CkptReshard8x8to4x4", func(b *testing.B) {
+			s := ckptSnapshot(b, lay64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ckpt.Reshard(s, lay16); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	)
+	return out
+}

@@ -47,6 +47,7 @@ func main() {
 	faultsOut := flag.String("faults-out", "", "also run the degraded-fabric scenarios and write their summary to this JSON path")
 	kernelsOut := flag.String("kernels-out", "", "also run the hot-path suite (GeMM kernels, ring collectives, autotuner search, each paired with its pre-optimisation baseline) and write its summary to this JSON path")
 	recordOut := flag.String("record-out", "", "also run the flight-recorder overhead suite (one collective and one functional GeMM, each recorder-off vs recorder-on) and write its summary to this JSON path")
+	ckptOut := flag.String("ckpt-out", "", "also run the checkpoint suite (snapshot encode, verify, and reshard at 16- and 64-chip shapes) and write its summary to this JSON path")
 	flag.Parse()
 
 	chip := hw.TPUv4()
@@ -124,6 +125,12 @@ func main() {
 	}
 	if *recordOut != "" {
 		if err := runSuite(recorderBenches(), *recordOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *ckptOut != "" {
+		if err := runSuite(ckptBenches(), *ckptOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -34,6 +34,12 @@
 //	    JSON (byte-identical run-to-run) and/or a Perfetto trace with
 //	    per-chip collective spans and message-flow arrows. -drop/-fail
 //	    inject faults and print the forensics dump of the dying run.
+//
+//	meshslice ckpt -rows 2 -cols 4 -steps 10 -every 2 [-fail-at 5 -fail-chip 5] [-reshard 2x2] [-o DIR]
+//	    Train the minitrain MLP with deterministic sharded snapshots,
+//	    optionally fail-stop a chip mid-run, reshard the last complete
+//	    snapshot onto a new mesh shape, resume there, and verify the final
+//	    weights are bit-identical to an uninterrupted run.
 package main
 
 import (
@@ -79,13 +85,15 @@ func main() {
 		cmdFaults(os.Args[2:])
 	case "record":
 		cmdRecord(os.Args[2:])
+	case "ckpt":
+		cmdCkpt(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: meshslice {tune|sim|gemm|timeline|stats|plan|calibrate|verify|faults|record} [flags]  (run a subcommand with -h for its flags)")
+	fmt.Fprintln(os.Stderr, "usage: meshslice {tune|sim|gemm|timeline|stats|plan|calibrate|verify|faults|record|ckpt} [flags]  (run a subcommand with -h for its flags)")
 	os.Exit(2)
 }
 

@@ -1,0 +1,82 @@
+package autotune
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTuneCadenceYoungDaly(t *testing.T) {
+	// step 1s, stall 0.5s, MTBF 1h → k* = sqrt(2·0.5·3600) = 60 exactly.
+	c, err := TuneCadence(1, 0.5, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Every != 60 {
+		t.Errorf("Every = %d, want 60", c.Every)
+	}
+	want := cadenceOverhead(60, 1, 0.5, 3600)
+	if c.Overhead != want {
+		t.Errorf("Overhead = %v, want %v", c.Overhead, want)
+	}
+	// The tuned interval must beat both neighbours.
+	for _, k := range []int{59, 61} {
+		if cadenceOverhead(k, 1, 0.5, 3600) < c.Overhead {
+			t.Errorf("interval %d beats the tuned %d", k, c.Every)
+		}
+	}
+}
+
+func TestTuneCadenceRoundsToBetterNeighbour(t *testing.T) {
+	// k* = sqrt(2·0.3·100)/1 ≈ 7.75: the tuner must compare k=7 and k=8
+	// rather than always flooring.
+	c, err := TuneCadence(1, 0.3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o7 := cadenceOverhead(7, 1, 0.3, 100)
+	o8 := cadenceOverhead(8, 1, 0.3, 100)
+	wantK := 7
+	if o8 < o7 {
+		wantK = 8
+	}
+	if c.Every != wantK {
+		t.Errorf("Every = %d, want %d (overheads: k7=%v k8=%v)", c.Every, wantK, o7, o8)
+	}
+}
+
+func TestTuneCadenceFloorsAtOneStep(t *testing.T) {
+	// Failures every few seconds with expensive checkpoints: k* < 1, but
+	// the interval can never drop below one step.
+	c, err := TuneCadence(10, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Every != 1 {
+		t.Errorf("Every = %d, want 1", c.Every)
+	}
+	if math.IsNaN(c.Overhead) || c.Overhead <= 0 {
+		t.Errorf("degenerate overhead %v", c.Overhead)
+	}
+}
+
+func TestTuneCadenceFreeCheckpoints(t *testing.T) {
+	c, err := TuneCadence(1, 0, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Every != 1 {
+		t.Errorf("free checkpoints should snapshot every step, got %d", c.Every)
+	}
+}
+
+func TestTuneCadenceRejectsDegenerateInputs(t *testing.T) {
+	if _, err := TuneCadence(0, 1, 1); err == nil {
+		t.Error("zero step time accepted")
+	}
+	if _, err := TuneCadence(1, -1, 1); err == nil {
+		t.Error("negative stall accepted")
+	}
+	if _, err := TuneCadence(1, 1, 0); err == nil {
+		t.Error("zero MTBF accepted")
+	}
+}

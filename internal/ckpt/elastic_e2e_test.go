@@ -1,0 +1,144 @@
+package ckpt_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"meshslice/internal/autotune"
+	"meshslice/internal/ckpt"
+	"meshslice/internal/fault"
+	"meshslice/internal/hw"
+	"meshslice/internal/mesh"
+	"meshslice/internal/minitrain"
+	"meshslice/internal/model"
+)
+
+// TestElasticFailRetuneResume is the headline end-to-end of the elastic
+// checkpoint subsystem: a 2×2 training run loses a chip mid-run, the
+// failure surfaces as the typed error with all complete snapshots intact,
+// the autotuner re-plans for the surviving chip count, the last snapshot is
+// resharded onto the retuned mesh shape, and training resumes there — and
+// the final weights are bit-identical to a run that was never interrupted.
+func TestElasticFailRetuneResume(t *testing.T) {
+	c := minitrain.ElasticConfig{Batch: 16, In: 16, Hidden: 32, Out: 8, LR: 0.05, Momentum: 0.9}
+	from := ckpt.Layout{Rows: 2, Cols: 4, SliceRows: 1, SliceCols: 1, Block: 2}
+	const steps, seed, every, failStep, failChip = 10, 21, 2, 5, 5
+
+	// The reference: the same training run, never interrupted. Any mesh
+	// shape would do — the elastic trainer is bitwise shape-independent —
+	// so use the serial reference directly.
+	ref := minitrain.TrainElasticSerial(c, steps, seed)
+
+	// Phase 1: train on 2×2, checkpointing every 2 steps, until chip 3
+	// fail-stops during step 5.
+	runToFailure := func() (minitrain.ElasticResult, error) {
+		return minitrain.TrainElastic(c, from, steps, seed, minitrain.ElasticOpts{
+			Every:  every,
+			Faults: c.ElasticFailFaults(from.Torus(), failChip, 0, failStep),
+		})
+	}
+	res, err := runToFailure()
+	var cf *mesh.ChipFailedError
+	if !errors.As(err, &cf) {
+		t.Fatalf("err = %v, want *mesh.ChipFailedError", err)
+	}
+	if cf.Chip != failChip {
+		t.Fatalf("failed chip %d, want %d", cf.Chip, failChip)
+	}
+	if len(res.Snapshots) == 0 {
+		t.Fatal("no complete snapshots survived the failure")
+	}
+
+	// The snapshots travel through a real store, as they would in practice.
+	store, err := ckpt.NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Snapshots {
+		if err := ckpt.Save(store, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	latest, err := ckpt.LatestEpoch(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest != (failStep-1)/every {
+		t.Fatalf("latest complete epoch %d, want %d", latest, (failStep-1)/every)
+	}
+	snap, err := ckpt.Load(store, latest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Manifest.Step != (failStep/every)*every {
+		t.Fatalf("resuming from step %d, want %d", snap.Manifest.Step, (failStep/every)*every)
+	}
+
+	// Phase 2: retune for the surviving fleet. The dead chip is excluded by
+	// shrinking to the largest regular sub-mesh of the survivors, so the
+	// residual fault plan is empty; a real deployment would carry over any
+	// surviving degradations here.
+	cfg := model.Config{Name: "tiny", Layers: 1, Hidden: 256, Heads: 4, FFHidden: 1024, SeqLen: 128}
+	survivors := from.Chips() - 1
+	regular := 1
+	for regular*2 <= survivors {
+		regular *= 2 // largest power-of-two sub-mesh of the survivors
+	}
+	choice, err := autotune.TuneUnderFaults(cfg, 2048, regular, hw.TPUv4(), &fault.Plan{}, false, autotune.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Failed != nil {
+		t.Fatalf("retuned plan halts: %v", choice.Failed)
+	}
+
+	// Phase 3: reshard the last snapshot onto the retuned mesh shape and
+	// resume there.
+	to := ckpt.Layout{Rows: choice.Shape.Rows, Cols: choice.Shape.Cols, SliceRows: 1, SliceCols: 1, Block: from.Block}
+	resharded, err := ckpt.Reshard(snap, to)
+	if err != nil {
+		t.Fatalf("Reshard onto retuned shape %v: %v", choice.Shape, err)
+	}
+	resumed, err := minitrain.TrainElastic(c, to, steps, seed, minitrain.ElasticOpts{Resume: resharded})
+	if err != nil {
+		t.Fatalf("resume on %v: %v", choice.Shape, err)
+	}
+
+	// The headline guarantee: fail → retune → reshard → resume converges to
+	// the exact bit pattern of the uninterrupted run.
+	if !resumed.W1.BitEqual(ref.W1) {
+		t.Fatalf("resumed W1 differs from uninterrupted run (max diff %g)", resumed.W1.MaxAbsDiff(ref.W1))
+	}
+	if !resumed.W2.BitEqual(ref.W2) {
+		t.Fatalf("resumed W2 differs from uninterrupted run (max diff %g)", resumed.W2.MaxAbsDiff(ref.W2))
+	}
+
+	// Determinism of the failure path itself: a second identical run to
+	// failure produces byte-identical manifests and records.
+	res2, err2 := runToFailure()
+	if !errors.As(err2, &cf) {
+		t.Fatalf("second run err = %v, want *mesh.ChipFailedError", err2)
+	}
+	if len(res2.Snapshots) != len(res.Snapshots) {
+		t.Fatalf("second run kept %d snapshots, first kept %d", len(res2.Snapshots), len(res.Snapshots))
+	}
+	for i, s := range res.Snapshots {
+		a, err := s.Manifest.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := res2.Snapshots[i].Manifest.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("epoch %d manifest differs between identical runs", s.Manifest.Epoch)
+		}
+		for rank := range s.Records {
+			if !bytes.Equal(s.Records[rank], res2.Snapshots[i].Records[rank]) {
+				t.Fatalf("epoch %d record %d differs between identical runs", s.Manifest.Epoch, rank)
+			}
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"meshslice/internal/tensor"
+)
+
+// recordMagic opens every per-chip record; recordFormat is bumped on any
+// change to the byte layout so stale artifacts fail loudly instead of
+// decoding garbage.
+const (
+	recordMagic  = "MSCK"
+	recordFormat = 1
+)
+
+// NamedTensor pairs a tensor name with this chip's local contiguous block
+// of it (rows/Layout.Rows × cols/Layout.Cols of the global tensor) and the
+// global shape, which the record carries so decode needs no side channel.
+type NamedTensor struct {
+	Name string
+	// Rows, Cols are the GLOBAL tensor dimensions.
+	Rows, Cols int
+	// Block is this chip's local contiguous block.
+	Block *tensor.Matrix
+}
+
+// RecordData is a decoded per-chip record: the identity of the shard plus
+// the training-state scalars every chip snapshots (global step counter and
+// the run's RNG seed, so a resumed run regenerates the exact data stream).
+type RecordData struct {
+	Rank int
+	Step int
+	Seed int64
+	// Tensors holds this chip's blocks, sorted by name (the canonical
+	// record order).
+	Tensors []NamedTensor
+}
+
+// Tensor returns the named block, or nil when absent.
+func (r *RecordData) Tensor(name string) *NamedTensor {
+	for i := range r.Tensors {
+		if r.Tensors[i].Name == name {
+			return &r.Tensors[i]
+		}
+	}
+	return nil
+}
+
+// EncodeRecord serializes one chip's shards into the canonical byte-stable
+// record format:
+//
+//	"MSCK" | format u32 | rank u32 | step u64 | seed u64
+//	| layout (rows, cols, slice_rows, slice_cols, block) 5×u32
+//	| ntensors u32
+//	| per tensor, sorted by name:
+//	|   namelen u32 | name | global rows u32 | global cols u32
+//	|   | payload: float64 bit patterns, big-endian
+//
+// The payload stores the chip's block in sliced form — for each row-slice i
+// and column-slice j (row-major over (i, j)), the bytes of
+// SliceCol(SliceRow(block, SliceRows, i, Block), SliceCols, j, Block) — so
+// the on-disk order is the MeshSlice transfer order and restore/reshard
+// exercise the exact slice inverses. Tensors are sorted by name before
+// emission, so the same state always produces the same bytes regardless of
+// the order the caller listed them in.
+func EncodeRecord(l Layout, rank, step int, seed int64, tensors []NamedTensor) ([]byte, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if rank < 0 || rank >= l.Chips() {
+		return nil, fmt.Errorf("ckpt: rank %d outside %dx%d mesh", rank, l.Rows, l.Cols)
+	}
+	if step < 0 {
+		return nil, fmt.Errorf("ckpt: negative step %d", step)
+	}
+	ts := append([]NamedTensor(nil), tensors...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Name < ts[j].Name })
+	size := len(recordMagic) + 4 + 4 + 8 + 8 + 5*4 + 4
+	for i, t := range ts {
+		if i > 0 && ts[i-1].Name == t.Name {
+			return nil, fmt.Errorf("ckpt: duplicate tensor %q", t.Name)
+		}
+		if err := l.CheckTensor(t.Name, t.Rows, t.Cols); err != nil {
+			return nil, err
+		}
+		if t.Block == nil || t.Block.Rows != t.Rows/l.Rows || t.Block.Cols != t.Cols/l.Cols {
+			return nil, fmt.Errorf("ckpt: tensor %q block mismatch for %dx%d over %dx%d mesh", t.Name, t.Rows, t.Cols, l.Rows, l.Cols)
+		}
+		size += 4 + len(t.Name) + 4 + 4 + 8*t.Block.Rows*t.Block.Cols
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, recordMagic...)
+	buf = be32(buf, recordFormat)
+	buf = be32(buf, rank)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(step))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(seed))
+	for _, v := range []int{l.Rows, l.Cols, l.SliceRows, l.SliceCols, l.Block} {
+		buf = be32(buf, v)
+	}
+	buf = be32(buf, len(ts))
+	for _, t := range ts {
+		buf = be32(buf, len(t.Name))
+		buf = append(buf, t.Name...)
+		buf = be32(buf, t.Rows)
+		buf = be32(buf, t.Cols)
+		for i := 0; i < l.SliceRows; i++ {
+			rs := tensor.SliceRow(t.Block, l.SliceRows, i, l.Block)
+			for j := 0; j < l.SliceCols; j++ {
+				cs := tensor.SliceCol(rs, l.SliceCols, j, l.Block)
+				for _, v := range cs.Data {
+					buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+				}
+			}
+		}
+	}
+	return buf, nil
+}
+
+// DecodeRecord parses a record back into the chip's unsliced blocks. The
+// layout argument must match the one the record was encoded with (it is
+// cross-checked against the embedded copy).
+func DecodeRecord(l Layout, data []byte) (*RecordData, error) {
+	d := &decoder{buf: data}
+	if string(d.take(len(recordMagic))) != recordMagic {
+		return nil, fmt.Errorf("ckpt: bad record magic")
+	}
+	if f := d.u32(); f != recordFormat {
+		return nil, fmt.Errorf("ckpt: record format %d, want %d", f, recordFormat)
+	}
+	out := &RecordData{Rank: d.u32(), Step: int(d.u64()), Seed: int64(d.u64())}
+	got := Layout{d.u32(), d.u32(), d.u32(), d.u32(), d.u32()}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if got != l {
+		return nil, fmt.Errorf("ckpt: record layout %+v, want %+v", got, l)
+	}
+	n := d.u32()
+	for k := 0; k < n && d.err == nil; k++ {
+		name := string(d.take(d.u32()))
+		rows, cols := d.u32(), d.u32()
+		if err := l.CheckTensor(name, rows, cols); err != nil {
+			return nil, err
+		}
+		block := tensor.New(rows/l.Rows, cols/l.Cols)
+		sub := tensor.New(block.Rows/l.SliceRows, block.Cols/l.SliceCols)
+		rs := tensor.New(block.Rows/l.SliceRows, block.Cols)
+		for i := 0; i < l.SliceRows; i++ {
+			for j := 0; j < l.SliceCols; j++ {
+				for p := range sub.Data {
+					sub.Data[p] = math.Float64frombits(d.u64())
+				}
+				tensor.UnsliceColInto(rs, sub, l.SliceCols, j, l.Block)
+			}
+			tensor.UnsliceRowInto(block, rs, l.SliceRows, i, l.Block)
+		}
+		out.Tensors = append(out.Tensors, NamedTensor{Name: name, Rows: rows, Cols: cols, Block: block})
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != d.off {
+		return nil, fmt.Errorf("ckpt: %d trailing bytes in record", len(d.buf)-d.off)
+	}
+	for i := 1; i < len(out.Tensors); i++ {
+		if out.Tensors[i-1].Name >= out.Tensors[i].Name {
+			return nil, fmt.Errorf("ckpt: record tensors not in canonical name order")
+		}
+	}
+	return out, nil
+}
+
+func be32(buf []byte, v int) []byte {
+	return binary.BigEndian.AppendUint32(buf, uint32(v))
+}
+
+// decoder is a bounds-checked cursor over a record; the first short read
+// latches err and turns every later call into a no-op.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil || n < 0 || d.off+n > len(d.buf) {
+		if d.err == nil {
+			d.err = fmt.Errorf("ckpt: truncated record at byte %d", d.off)
+		}
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) u32() int {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return int(binary.BigEndian.Uint32(b))
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}

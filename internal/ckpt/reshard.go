@@ -1,0 +1,82 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"meshslice/internal/tensor"
+)
+
+// Reshard maps a snapshot onto a new layout: a pure host-side function — no
+// mesh, no collectives, no gathers into a global tensor — that rebuilds
+// each target chip's block from the overlapping regions of the source
+// chips' blocks. Record decode inverts the source slicing with the exact
+// tensor slice inverses (UnsliceColInto/UnsliceRowInto) and re-encode
+// applies the target slicing with SliceRow/SliceCol, so every float64 bit
+// pattern is copied verbatim: resharding is exact, and a round trip through
+// any intermediate layout returns byte-identical records (see the property
+// tests).
+//
+// The manifest's epoch, step, seed and dataflow carry over unchanged — a
+// resharded snapshot is the same training state, re-addressed.
+func Reshard(s *Snapshot, to Layout) (*Snapshot, error) {
+	if err := to.Validate(); err != nil {
+		return nil, err
+	}
+	src, err := s.Decode()
+	if err != nil {
+		return nil, err
+	}
+	from := s.Manifest.Layout
+	for _, spec := range s.Manifest.Tensors {
+		if err := to.CheckTensor(spec.Name, spec.Rows, spec.Cols); err != nil {
+			return nil, fmt.Errorf("ckpt: reshard: %w", err)
+		}
+	}
+	records := make([][]byte, to.Chips())
+	for tr := 0; tr < to.Rows; tr++ {
+		for tc := 0; tc < to.Cols; tc++ {
+			rank := tr*to.Cols + tc
+			tensors := make([]NamedTensor, 0, len(s.Manifest.Tensors))
+			for _, spec := range s.Manifest.Tensors {
+				blk, err := targetBlock(src, from, to, spec, tr, tc)
+				if err != nil {
+					return nil, err
+				}
+				tensors = append(tensors, NamedTensor{Name: spec.Name, Rows: spec.Rows, Cols: spec.Cols, Block: blk})
+			}
+			rec, err := EncodeRecord(to, rank, s.Manifest.Step, s.Manifest.Seed, tensors)
+			if err != nil {
+				return nil, err
+			}
+			records[rank] = rec
+		}
+	}
+	return BuildSnapshot(to, s.Manifest.Epoch, s.Manifest.Flow, records)
+}
+
+// targetBlock assembles target chip (tr, tc)'s block of one tensor from the
+// source chips' decoded blocks: for every source block whose global region
+// intersects the target's, the intersection is copied across with a
+// sub-matrix view — region copies only, never a full-tensor materialisation.
+func targetBlock(src []*RecordData, from, to Layout, spec TensorSpec, tr, tc int) (*tensor.Matrix, error) {
+	tbr, tbc := spec.Rows/to.Rows, spec.Cols/to.Cols // target block shape
+	sbr, sbc := spec.Rows/from.Rows, spec.Cols/from.Cols
+	out := tensor.New(tbr, tbc)
+	r0, c0 := tr*tbr, tc*tbc // target block's global origin
+	for sr := r0 / sbr; sr <= (r0+tbr-1)/sbr; sr++ {
+		for sc := c0 / sbc; sc <= (c0+tbc-1)/sbc; sc++ {
+			rec := src[sr*from.Cols+sc]
+			nt := rec.Tensor(spec.Name)
+			if nt == nil {
+				return nil, fmt.Errorf("ckpt: reshard: record %d lacks tensor %q", rec.Rank, spec.Name)
+			}
+			// Intersection of source block (sr, sc) with the target block,
+			// in global coordinates.
+			gr0, gr1 := max(r0, sr*sbr), min(r0+tbr, (sr+1)*sbr)
+			gc0, gc1 := max(c0, sc*sbc), min(c0+tbc, (sc+1)*sbc)
+			region := nt.Block.SubMatrix(gr0-sr*sbr, gc0-sc*sbc, gr1-gr0, gc1-gc0)
+			out.SetSubMatrix(gr0-r0, gc0-c0, region)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,215 @@
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is the persistence interface snapshots are written through: a flat
+// deterministic key → bytes map. Keys use '/' separators; implementations
+// must return Keys in sorted order so everything layered on top (epoch
+// discovery, artifact diffing) is deterministic.
+type Store interface {
+	Put(key string, data []byte) error
+	Get(key string) ([]byte, error)
+	// Keys returns every stored key in sorted order.
+	Keys() ([]string, error)
+}
+
+// MemStore is the in-memory Store used by tests and the training loops.
+// Safe for concurrent use.
+type MemStore struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{m: make(map[string][]byte)} }
+
+// Put stores a copy of data under key.
+func (s *MemStore) Put(key string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = append([]byte(nil), data...)
+	return nil
+}
+
+// Get returns a copy of the bytes stored under key.
+func (s *MemStore) Get(key string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.m[key]
+	if !ok {
+		return nil, fmt.Errorf("ckpt: key %q not found", key)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Keys returns the stored keys in sorted order (collect-then-sort: map
+// iteration order never escapes).
+func (s *MemStore) Keys() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// FileStore persists snapshots under a directory, one file per key, for
+// the CLI. Key '/' separators become sub-directories.
+type FileStore struct {
+	dir string
+}
+
+// NewFileStore creates (if needed) and opens a directory-backed store.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+func (s *FileStore) path(key string) (string, error) {
+	if key == "" || strings.Contains(key, "..") || filepath.IsAbs(key) {
+		return "", fmt.Errorf("ckpt: bad store key %q", key)
+	}
+	return filepath.Join(s.dir, filepath.FromSlash(key)), nil
+}
+
+// Put writes data to the key's file, creating parent directories.
+func (s *FileStore) Put(key string, data []byte) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(p, data, 0o644)
+}
+
+// Get reads the key's file.
+func (s *FileStore) Get(key string) ([]byte, error) {
+	p, err := s.path(key)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadFile(p)
+}
+
+// Keys walks the directory and returns every relative file path (with '/'
+// separators) in sorted order.
+func (s *FileStore) Keys() ([]string, error) {
+	var keys []string
+	err := filepath.Walk(s.dir, func(p string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(s.dir, p)
+		if err != nil {
+			return err
+		}
+		keys = append(keys, filepath.ToSlash(rel))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// epochPrefix names the directory of one checkpoint epoch.
+func epochPrefix(epoch int) string { return fmt.Sprintf("ckpt-%06d", epoch) }
+
+// ManifestKey returns the store key of an epoch's manifest.
+func ManifestKey(epoch int) string { return epochPrefix(epoch) + "/manifest.json" }
+
+// RecordKey returns the store key of one chip's record within an epoch.
+func RecordKey(epoch, rank int) string {
+	return fmt.Sprintf("%s/chip-%04d.bin", epochPrefix(epoch), rank)
+}
+
+// Save writes a snapshot (manifest + every record) into the store under its
+// manifest epoch.
+func Save(st Store, s *Snapshot) error {
+	if err := s.Verify(); err != nil {
+		return err
+	}
+	mb, err := s.Manifest.Encode()
+	if err != nil {
+		return err
+	}
+	if err := st.Put(ManifestKey(s.Manifest.Epoch), mb); err != nil {
+		return err
+	}
+	for rank, rec := range s.Records {
+		if err := st.Put(RecordKey(s.Manifest.Epoch, rank), rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads and verifies the snapshot stored under the given epoch.
+func Load(st Store, epoch int) (*Snapshot, error) {
+	mb, err := st.Get(ManifestKey(epoch))
+	if err != nil {
+		return nil, err
+	}
+	m, err := DecodeManifest(mb)
+	if err != nil {
+		return nil, err
+	}
+	if m.Epoch != epoch {
+		return nil, fmt.Errorf("ckpt: manifest under epoch %d declares epoch %d", epoch, m.Epoch)
+	}
+	s := &Snapshot{Manifest: m, Records: make([][]byte, len(m.Records))}
+	for rank := range m.Records {
+		rec, err := st.Get(RecordKey(epoch, rank))
+		if err != nil {
+			return nil, err
+		}
+		s.Records[rank] = rec
+	}
+	if err := s.Verify(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Epochs lists every epoch with a manifest in the store, ascending.
+func Epochs(st Store) ([]int, error) {
+	keys, err := st.Keys()
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, k := range keys {
+		var epoch int
+		if n, err := fmt.Sscanf(k, "ckpt-%d/manifest.json", &epoch); err == nil && n == 1 {
+			out = append(out, epoch)
+		}
+	}
+	return out, nil
+}
+
+// LatestEpoch returns the highest epoch in the store, or an error when the
+// store holds no snapshots.
+func LatestEpoch(st Store) (int, error) {
+	es, err := Epochs(st)
+	if err != nil {
+		return 0, err
+	}
+	if len(es) == 0 {
+		return 0, fmt.Errorf("ckpt: store holds no snapshots")
+	}
+	return es[len(es)-1], nil
+}

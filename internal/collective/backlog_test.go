@@ -1,0 +1,109 @@
+package collective
+
+import (
+	"errors"
+	"testing"
+
+	"meshslice/internal/mesh"
+	"meshslice/internal/tensor"
+	"meshslice/internal/topology"
+)
+
+// TestBroadcastIntoBacklogGuard pins the runtime enforcement of the
+// BroadcastInto allocation caveat: a tight same-root loop with no
+// interleaved receive trips mesh.MaxStreamStarts on the root and surfaces
+// as a typed *mesh.StreamBacklogError from RunE instead of unbounded
+// buffer growth.
+func TestBroadcastIntoBacklogGuard(t *testing.T) {
+	m := mesh.New(topology.NewTorus(1, 2))
+	err := m.RunE(func(c *mesh.Chip) {
+		cm := c.RowComm()
+		local := tensor.Identity(4)
+		dst := tensor.New(4, 4)
+		for i := 0; i <= mesh.MaxStreamStarts; i++ {
+			if cm.Pos == 0 {
+				BroadcastInto(cm, 0, local, dst)
+			} else {
+				BroadcastInto(cm, 0, nil, dst)
+			}
+		}
+	})
+	var backlog *mesh.StreamBacklogError
+	if !errors.As(err, &backlog) {
+		t.Fatalf("err = %v, want *mesh.StreamBacklogError", err)
+	}
+	if backlog.Chip != 0 {
+		t.Fatalf("backlog on chip %d, want the root (0)", backlog.Chip)
+	}
+	if backlog.Starts != mesh.MaxStreamStarts+1 {
+		t.Fatalf("backlog at %d starts, want %d", backlog.Starts, mesh.MaxStreamStarts+1)
+	}
+	if backlog.Rows != 4 || backlog.Cols != 4 {
+		t.Fatalf("backlog reports %dx%d buffers, want 4x4", backlog.Rows, backlog.Cols)
+	}
+}
+
+// TestBroadcastIntoBacklogBoundary pins the cap's exact edge: exactly
+// MaxStreamStarts same-root broadcasts are legal.
+func TestBroadcastIntoBacklogBoundary(t *testing.T) {
+	m := mesh.New(topology.NewTorus(1, 2))
+	err := m.RunE(func(c *mesh.Chip) {
+		cm := c.RowComm()
+		local := tensor.Identity(2)
+		dst := tensor.New(2, 2)
+		for i := 0; i < mesh.MaxStreamStarts; i++ {
+			if cm.Pos == 0 {
+				BroadcastInto(cm, 0, local, dst)
+			} else {
+				BroadcastInto(cm, 0, nil, dst)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("exactly MaxStreamStarts broadcasts tripped the guard: %v", err)
+	}
+}
+
+// TestBroadcastIntoRotatingRootsUnbounded pins that the compliant pattern —
+// rotating roots, as SUMMA does — never trips the guard: every chip's
+// receives keep resetting its stream-start count.
+func TestBroadcastIntoRotatingRootsUnbounded(t *testing.T) {
+	const p, iters = 4, 4 * mesh.MaxStreamStarts
+	m := mesh.New(topology.NewTorus(1, p))
+	err := m.RunE(func(c *mesh.Chip) {
+		cm := c.RowComm()
+		local := tensor.Identity(3)
+		dst := tensor.New(3, 3)
+		for i := 0; i < iters; i++ {
+			if cm.Pos == i%p {
+				BroadcastInto(cm, i%p, local, dst)
+			} else {
+				BroadcastInto(cm, i%p, nil, dst)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("rotating-root broadcasts tripped the guard: %v", err)
+	}
+}
+
+// TestReduceIntoBacklogGuard pins that ReduceInto's stream starter — the
+// chip one hop past the root, which only sends — is guarded the same way.
+func TestReduceIntoBacklogGuard(t *testing.T) {
+	m := mesh.New(topology.NewTorus(1, 2))
+	err := m.RunE(func(c *mesh.Chip) {
+		cm := c.RowComm()
+		local := tensor.Identity(4)
+		dst := tensor.New(4, 4)
+		for i := 0; i <= mesh.MaxStreamStarts; i++ {
+			ReduceInto(cm, 0, local, dst)
+		}
+	})
+	var backlog *mesh.StreamBacklogError
+	if !errors.As(err, &backlog) {
+		t.Fatalf("err = %v, want *mesh.StreamBacklogError", err)
+	}
+	if backlog.Chip != 1 {
+		t.Fatalf("backlog on chip %d, want the stream starter (1)", backlog.Chip)
+	}
+}

@@ -194,10 +194,13 @@ func ReduceScatterColsInto(cm *mesh.Comm, m, dst *tensor.Matrix) {
 // Steady-state allocation note: the root only sends, so a tight loop of
 // same-root broadcasts with no interleaved receive can run ahead of the
 // ring, and every in-flight call pins its own buffer (the fabric is an
-// unbounded FIFO). With rotating roots — the SUMMA pattern — or any
-// interleaved receive, the pool recycles fully and calls stop allocating.
-// The same applies to ReduceInto's stream starter (the chip after the
-// root).
+// unbounded FIFO). The runtime enforces the bound rather than leaving it a
+// caveat: each stream start without an intervening receive counts against
+// mesh.MaxStreamStarts, and exceeding the cap surfaces as a typed
+// *mesh.StreamBacklogError via RunE. With rotating roots — the SUMMA
+// pattern — or any interleaved receive, the counter resets, the pool
+// recycles fully, and calls stop allocating. The same applies to
+// ReduceInto's stream starter (the chip after the root).
 // lint:hotpath steady-state: must not allocate
 func BroadcastInto(cm *mesh.Comm, root int, m, dst *tensor.Matrix) {
 	cm.CountCollective("broadcast")
@@ -213,6 +216,7 @@ func BroadcastInto(cm *mesh.Comm, root int, m, dst *tensor.Matrix) {
 	}
 	dist := mod(cm.Pos-root, p) // hops from root to this chip
 	if dist == 0 {
+		cm.NoteStreamStart(m.Rows, m.Cols)
 		cur := cm.AcquireBuf(m.Rows, m.Cols)
 		cur.CopyFrom(m)
 		cm.SendOwnedTo(cm.Pos+1, cur)
@@ -250,6 +254,7 @@ func ReduceInto(cm *mesh.Comm, root int, m, dst *tensor.Matrix) bool {
 	}
 	switch mod(cm.Pos-root, p) {
 	case 1: // journey start
+		cm.NoteStreamStart(m.Rows, m.Cols)
 		cur := cm.AcquireBuf(m.Rows, m.Cols)
 		cur.CopyFrom(m)
 		cm.SendOwnedTo(cm.Pos+1, cur)

@@ -25,6 +25,7 @@ func TestAnalyzersGolden(t *testing.T) {
 		{"bufown/arena", "fixture/arena"},
 		{"hotpath/kernels", "fixture/kernels"},
 		{"maporder/emit", "fixture/emit"},
+		{"maporder/ckptmanifest", "fixture/ckptmanifest"},
 	}
 	for _, fx := range fixtures {
 		t.Run(fx.dir, func(t *testing.T) {

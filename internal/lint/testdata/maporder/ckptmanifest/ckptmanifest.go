@@ -1,0 +1,60 @@
+// Package ckptmanifest is a fixture for the map-order rule pinning the
+// checkpoint-manifest emission idiom: a snapshot manifest's tensor
+// inventory is collected into a map keyed by name, and the map's iteration
+// order must never reach the encoded manifest — names are gathered, sorted,
+// then emitted (the internal/ckpt BuildSnapshot idiom). The fixture holds
+// both the sanctioned shape and the violations it guards against.
+package ckptmanifest
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// spec mirrors ckpt.TensorSpec: one named tensor in the inventory.
+type spec struct {
+	Name       string
+	Rows, Cols int
+}
+
+// manifest mirrors the byte-comparable artifact: its Tensors order is part
+// of the canonical encoding.
+type manifest struct {
+	Tensors []spec
+}
+
+// BuildManifest collects the spec map into sorted name order before any of
+// it reaches the manifest — the sanctioned collect-then-sort idiom, no
+// finding.
+func BuildManifest(specs map[string]spec) *manifest {
+	names := make([]string, 0, len(specs))
+	for name := range specs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	m := &manifest{}
+	for _, name := range names {
+		m.Tensors = append(m.Tensors, specs[name])
+	}
+	return m
+}
+
+// BuildManifestUnsorted appends specs in map iteration order: the
+// nondeterministic order becomes part of the encoded artifact.
+func BuildManifestUnsorted(specs map[string]spec) *manifest {
+	m := &manifest{}
+	for _, s := range specs {
+		m.Tensors = append(m.Tensors, s) // want "appends to \"m.Tensors\" in nondeterministic key order"
+	}
+	return m
+}
+
+// EncodeInventory streams the inventory straight from a map range into the
+// encoder: manifest bytes would differ run to run.
+func EncodeInventory(w io.Writer, specs map[string]spec) {
+	enc := json.NewEncoder(w)
+	for _, s := range specs {
+		enc.Encode(s) // want "emission inside a map-range loop"
+	}
+}

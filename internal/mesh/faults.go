@@ -75,6 +75,26 @@ func (e *ChipFailedError) Error() string {
 	return msg
 }
 
+// StreamBacklogError reports a chip that started more than MaxStreamStarts
+// ring streams without an intervening receive — a tight same-root
+// BroadcastInto (or fixed-starter ReduceInto) loop that runs ahead of the
+// ring, pinning one in-flight scratch buffer per call on the unbounded
+// fabric FIFO. The fix is to rotate roots (the SUMMA pattern) or interleave
+// a receive; see the allocation note on collective.BroadcastInto.
+type StreamBacklogError struct {
+	// Chip is the rank that exceeded the cap.
+	Chip int
+	// Starts is the consecutive stream-start count at the failed call.
+	Starts int
+	// Rows, Cols give the streamed buffer shape at the failed call.
+	Rows, Cols int
+}
+
+func (e *StreamBacklogError) Error() string {
+	return fmt.Sprintf("mesh: chip %d started %d ring streams (%dx%d buffers) without a receive (cap %d) — rotate roots or interleave a receive",
+		e.Chip, e.Starts, e.Rows, e.Cols, MaxStreamStarts)
+}
+
 // RecvStallError reports a permanently stalled run: every alive chip was
 // blocked in a receive, so no message could ever arrive again (the typed
 // surface of a dropped message).
@@ -116,16 +136,18 @@ func (m *Mesh) SetFaults(f fault.MeshFaults) {
 	m.ex.setFaults(f)
 }
 
-// RunE executes fn once per chip like Run, but returns injected-fault
-// outcomes as typed errors instead of panicking: a *ChipFailedError when
-// a chip fail-stopped (taking priority, as the root cause, over the
-// peer aborts it triggers), or a *RecvStallError when a lost message
-// stalled the run. Genuine chip panics — anything the fault injector did
-// not raise — still re-panic with Run's SPMD failure semantics.
+// RunE executes fn once per chip like Run, but returns injected-fault and
+// runtime-guard outcomes as typed errors instead of panicking: a
+// *ChipFailedError when a chip fail-stopped (taking priority, as the root
+// cause, over the peer aborts it triggers), a *RecvStallError when a lost
+// message stalled the run, or a *StreamBacklogError when a chip exceeded
+// MaxStreamStarts. Genuine chip panics — anything the fault injector or a
+// guard did not raise — still re-panic with Run's SPMD failure semantics.
 func (m *Mesh) RunE(fn func(c *Chip)) error {
 	panics := m.runAll(fn)
 	var chipFail *ChipFailedError
 	var stall *RecvStallError
+	var backlog *StreamBacklogError
 	var fallback string
 	for rank, p := range panics {
 		if p == nil {
@@ -139,6 +161,10 @@ func (m *Mesh) RunE(fn func(c *Chip)) error {
 		case *RecvStallError:
 			if stall == nil {
 				stall = v
+			}
+		case *StreamBacklogError:
+			if backlog == nil {
+				backlog = v
 			}
 		default:
 			msg := fmt.Sprintf("mesh: chip %d panicked: %v", rank, p)
@@ -160,6 +186,9 @@ func (m *Mesh) RunE(fn func(c *Chip)) error {
 			stall.Dump = m.forensics(stall.Waits).String()
 		}
 		return stall
+	}
+	if backlog != nil {
+		return backlog
 	}
 	if fallback != "" {
 		panic(fallback) // lint:invariant re-raises chip panic, documented SPMD failure semantics

@@ -125,6 +125,16 @@ func New(t topology.Torus) *Mesh {
 	return &Mesh{Torus: t, ex: newExchanger(), pool: newBufPool()}
 }
 
+// MaxStreamStarts bounds how many ring streams one chip may start without
+// an intervening receive. Starting a stream (BroadcastInto's root,
+// ReduceInto's journey starter) acquires a scratch buffer and hands it to
+// the fabric, which is an unbounded FIFO: a tight same-root loop with no
+// receive would pin one in-flight buffer per call, unboundedly. Any receive
+// proves the chip is draining the ring and resets the count. The cap
+// matches the arena's per-shape retention (maxPooledPerShape), so a
+// compliant program's streams always recycle pooled buffers.
+const MaxStreamStarts = 64
+
 // Chip is the per-goroutine handle an SPMD function receives: its own
 // coordinate plus communicators for its row ring and column ring.
 type Chip struct {
@@ -134,6 +144,9 @@ type Chip struct {
 	// rowRing/colRing, when set, override the torus-derived ring
 	// memberships (see WithRings).
 	rowRing, colRing []int
+	// streamStarts counts ring streams started since the last receive
+	// (see MaxStreamStarts).
+	streamStarts int
 }
 
 // WithRings returns a view of the chip whose row and column communicators
@@ -274,6 +287,7 @@ func (c *Chip) SendOwned(to int, m *tensor.Matrix) {
 // Messages from one sender arrive in the order they were sent. The caller
 // owns the returned matrix exclusively.
 func (c *Chip) Recv(from int) *tensor.Matrix {
+	c.streamStarts = 0 // receiving proves this chip drains the ring
 	m, clock := c.mesh.ex.recv(from, c.Rank)
 	c.mesh.pool.noteDeliver(m)
 	if r := c.mesh.rec; r != nil {
@@ -420,6 +434,20 @@ func (cm *Comm) SendOwnedTo(pos int, m *tensor.Matrix) {
 // RecvFrom receives the next matrix from the ring member at position pos.
 func (cm *Comm) RecvFrom(pos int) *tensor.Matrix {
 	return cm.chip.Recv(cm.rankAt(mod(pos, cm.Size)))
+}
+
+// NoteStreamStart records that this chip is starting a ring stream it will
+// not itself receive from — BroadcastInto's root, ReduceInto's journey
+// starter — and enforces MaxStreamStarts: past the cap it panics with a
+// *StreamBacklogError, which RunE returns as a typed error. rows and cols
+// identify the streamed buffer shape for the error report.
+// lint:hotpath steady-state guard: must not allocate
+func (cm *Comm) NoteStreamStart(rows, cols int) {
+	c := cm.chip
+	c.streamStarts++
+	if c.streamStarts > MaxStreamStarts {
+		panic(&StreamBacklogError{Chip: c.Rank, Starts: c.streamStarts, Rows: rows, Cols: cols}) // lint:invariant stream-backlog guard, returned typed by RunE
+	}
 }
 
 // AcquireBuf returns a scratch buffer from the mesh pool (see

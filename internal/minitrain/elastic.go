@@ -1,0 +1,443 @@
+package minitrain
+
+import (
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"sync"
+
+	"meshslice/internal/ckpt"
+	"meshslice/internal/collective"
+	"meshslice/internal/fault"
+	"meshslice/internal/mesh"
+	"meshslice/internal/obs"
+	"meshslice/internal/obs/recorder"
+	"meshslice/internal/tensor"
+	"meshslice/internal/topology"
+)
+
+// Elastic training: the shape-independent trainer behind the checkpoint/
+// restore subsystem (package ckpt).
+//
+// The MeshSlice trainer (TrainDistributed) matches its serial reference up
+// to floating-point association: ring ReduceScatter sums block partials in
+// ring-dependent groupings, so the exact bit pattern of a weight depends on
+// the mesh shape. That is fine for a fixed-shape run, but elastic resume —
+// fail on N×M, retune, continue on N′×M′ — demands a stronger property: the
+// final weights must not depend on the shape at all, or resuming on a new
+// shape could never be bit-identical to the uninterrupted run.
+//
+// TrainElastic gets that property by construction. Operands move only
+// through allgathers — pure data movement whose ring-position order equals
+// the global order, never a ring reduction — and each chip computes only
+// its own output block with the local tiled kernels, whose per-element
+// reduction runs over k in ascending order regardless of operand shape
+// (package tensor). Every computed element therefore sees exactly the
+// serial reduction order, so TrainElastic on ANY mesh shape is bitwise
+// equal to TrainElasticSerial — the invariant TestElasticBitwiseAcrossShapes
+// pins, and the foundation of the fail→retune→resume guarantee. The cost is
+// replicated weight storage during the step (a ZeRO/FSDP-style gather of
+// the sharded weights), which is the standard trade for exact elasticity.
+
+// Elastic tensor names as stored in checkpoint records.
+const (
+	TensorW1 = "w1"
+	TensorV1 = "v1"
+	TensorW2 = "w2"
+	TensorV2 = "v2"
+)
+
+// ElasticFlow is the dataflow tag elastic snapshots carry in manifests.
+const ElasticFlow = "elastic"
+
+// ElasticConfig describes the elastic two-layer MLP task: the same
+// regression problem as Config, trained with momentum SGD so checkpoints
+// carry real optimizer state.
+type ElasticConfig struct {
+	Batch  int
+	In     int
+	Hidden int
+	Out    int
+	// LR is the SGD learning rate, Momentum the velocity decay (0 is plain
+	// SGD; the elastic tests use 0.9 so the optimizer state is load-bearing).
+	LR       float64
+	Momentum float64
+}
+
+// Validate reports whether the configuration can train under the layout:
+// the mesh must evenly partition every sharded tensor and activation, and
+// the layout slicing must divide the weight blocks (ckpt.Layout.CheckTensor).
+func (c ElasticConfig) Validate(l ckpt.Layout) error {
+	if c.Batch <= 0 || c.In <= 0 || c.Hidden <= 0 || c.Out <= 0 {
+		return fmt.Errorf("minitrain: degenerate elastic dims %+v", c)
+	}
+	if c.LR <= 0 || c.Momentum < 0 || c.Momentum >= 1 {
+		return fmt.Errorf("minitrain: elastic LR %v momentum %v", c.LR, c.Momentum)
+	}
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	if c.Batch%l.Rows != 0 {
+		return fmt.Errorf("minitrain: batch %d not divisible by mesh rows %d", c.Batch, l.Rows)
+	}
+	if err := l.CheckTensor(TensorW1, c.In, c.Hidden); err != nil {
+		return err
+	}
+	return l.CheckTensor(TensorW2, c.Hidden, c.Out)
+}
+
+// DataAt generates the deterministic training batch for one global step.
+// Unlike NewData's fixed batch, the elastic stream draws a fresh batch per
+// step from (seed, step) alone, so a resumed run regenerates the exact
+// batches the interrupted run would have seen — the snapshot only has to
+// carry the seed and the step counter.
+func (c ElasticConfig) DataAt(seed int64, step int) Data {
+	rng := rand.New(rand.NewSource(seed + int64(step)*1000003 + 1))
+	return Data{
+		X: tensor.Random(c.Batch, c.In, rng),
+		T: tensor.Random(c.Batch, c.Out, rng),
+	}
+}
+
+// InitElastic draws the initial elastic state deterministically: the same
+// scaled weight initialisation as InitWeights plus zero velocities.
+func InitElastic(c ElasticConfig, seed int64) (w1, v1, w2, v2 *tensor.Matrix) {
+	w1, w2 = InitWeights(Config{Batch: c.Batch, In: c.In, Hidden: c.Hidden, Out: c.Out}, seed)
+	return w1, tensor.New(c.In, c.Hidden), w2, tensor.New(c.Hidden, c.Out)
+}
+
+// StepSends returns the number of messages each chip sends per elastic
+// training step: five full gathers (w1, w2, hidden activations, outputs,
+// hidden gradients), each an allgather along the row ring then the column
+// ring. Deterministic, so fault injection can target an exact step (see
+// ElasticFailFaults).
+func (c ElasticConfig) StepSends(t topology.Torus) int {
+	return 5 * (t.Rows - 1 + t.Cols - 1)
+}
+
+// ElasticFailFaults arms a fail-stop of the given chip at the start of
+// global step failStep (counting from the run's first step, startStep):
+// the chip dies on its first send of that step.
+func (c ElasticConfig) ElasticFailFaults(t topology.Torus, chip, startStep, failStep int) fault.MeshFaults {
+	return fault.MeshFaults{ChipFails: []fault.MeshChipFail{
+		{Chip: chip, AfterSends: (failStep - startStep) * c.StepSends(t)},
+	}}
+}
+
+// ElasticOpts tunes a TrainElastic run.
+type ElasticOpts struct {
+	// Every takes a snapshot whenever the global step counter reaches a
+	// multiple of it (0 = never). Snapshot epochs are the multiples
+	// themselves divided by Every, so the epoch sequence is monotone across
+	// resumes.
+	Every int
+	// Resume restores training state from a snapshot instead of
+	// initialising from the seed; the run continues from its step counter
+	// and seed. The snapshot's layout must equal the run's layout.
+	Resume *ckpt.Snapshot
+	// Faults, when non-empty, arms the mesh fault interposer for the run.
+	Faults fault.MeshFaults
+	// Recorder, when set, captures snapshot/restore spans and all mesh
+	// events (must cover the layout's chip count).
+	Recorder *recorder.Recorder
+	// Metrics, when set, receives ckpt_snapshot_/ckpt_restore_ counters.
+	Metrics *obs.Registry
+}
+
+// ElasticResult carries the final assembled weights, per-step losses for
+// the steps this run executed, and the snapshots it took (complete epochs
+// only, ascending).
+type ElasticResult struct {
+	W1, W2 *tensor.Matrix
+	Losses []float64
+	// StartStep and Steps delimit the global step range the run covered.
+	StartStep, Steps int
+	Snapshots        []*ckpt.Snapshot
+}
+
+// TrainElastic runs the elastic trainer SPMD on the layout's mesh until the
+// global step counter reaches steps, snapshotting every opts.Every steps.
+// With opts.Resume it continues from the snapshot's step counter instead of
+// step 0. On an injected fault it returns the typed mesh error together
+// with the partial result — crucially including every complete snapshot
+// taken before the failure, which is what the fail→retune→resume flow
+// reshards and resumes from.
+func TrainElastic(c ElasticConfig, lay ckpt.Layout, steps int, seed int64, opts ElasticOpts) (ElasticResult, error) {
+	if err := c.Validate(lay); err != nil {
+		return ElasticResult{}, err
+	}
+	if opts.Every < 0 {
+		return ElasticResult{}, fmt.Errorf("minitrain: negative snapshot interval %d", opts.Every)
+	}
+	tor := lay.Torus()
+	chips := lay.Chips()
+
+	// Resolve the starting state: fresh from the seed, or decoded from the
+	// resume snapshot (which then also dictates seed and start step).
+	start := 0
+	var resumeRecs []*ckpt.RecordData
+	var resumeDigest *tensor.Matrix
+	if opts.Resume != nil {
+		man := opts.Resume.Manifest
+		if man.Layout != lay {
+			return ElasticResult{}, fmt.Errorf("minitrain: resume snapshot layout %+v, run layout %+v", man.Layout, lay)
+		}
+		if man.Flow != ElasticFlow {
+			return ElasticResult{}, fmt.Errorf("minitrain: resume snapshot dataflow %q", man.Flow)
+		}
+		recs, err := opts.Resume.Decode()
+		if err != nil {
+			return ElasticResult{}, err
+		}
+		resumeRecs = recs
+		seed = man.Seed
+		start = man.Step
+		resumeDigest = restoreDigest(opts.Resume)
+	}
+	if steps <= start {
+		return ElasticResult{}, fmt.Errorf("minitrain: target step %d not beyond start step %d", steps, start)
+	}
+
+	// Snapshot slots: one per (epoch, rank), written lock-free by the chip
+	// goroutines (runAll's WaitGroup gives the happens-before edge).
+	firstEpoch := start/max(opts.Every, 1) + 1
+	nEpochs := 0
+	if opts.Every > 0 {
+		nEpochs = steps/opts.Every - start/opts.Every
+	}
+	epochRecs := make([][][]byte, nEpochs)
+	for i := range epochRecs {
+		epochRecs[i] = make([][]byte, chips)
+	}
+
+	pr, pc := lay.Rows, lay.Cols
+	br, ir, hr := c.Batch/pr, c.In/pr, c.Hidden/pr
+	hc, oc := c.Hidden/pc, c.Out/pc
+	w1g, v1g, w2g, v2g := InitElastic(c, seed)
+	w1s := tensor.Partition(w1g, pr, pc)
+	v1s := tensor.Partition(v1g, pr, pc)
+	w2s := tensor.Partition(w2g, pr, pc)
+	v2s := tensor.Partition(v2g, pr, pc)
+
+	m := mesh.New(tor)
+	m.SetFaults(opts.Faults)
+	if opts.Recorder != nil {
+		m.SetRecorder(opts.Recorder)
+	}
+	losses := make([]float64, steps-start)
+	var mu sync.Mutex
+	finalW1 := make([]*tensor.Matrix, chips)
+	finalW2 := make([]*tensor.Matrix, chips)
+	err := m.RunE(func(ch *mesh.Chip) {
+		r, cc := ch.Coord.Row, ch.Coord.Col
+		var w1, v1, w2, v2 *tensor.Matrix
+		if resumeRecs != nil {
+			rd := resumeRecs[ch.Rank]
+			w1 = rd.Tensor(TensorW1).Block.Clone()
+			v1 = rd.Tensor(TensorV1).Block.Clone()
+			w2 = rd.Tensor(TensorW2).Block.Clone()
+			v2 = rd.Tensor(TensorV2).Block.Clone()
+			verifyRestore(ch, resumeDigest, opts.Metrics, len(opts.Resume.Records[ch.Rank]))
+		} else {
+			w1 = w1s[ch.Rank].Clone()
+			v1 = v1s[ch.Rank].Clone()
+			w2 = w2s[ch.Rank].Clone()
+			v2 = v2s[ch.Rank].Clone()
+		}
+		for s := start; s < steps; s++ {
+			data := c.DataAt(seed, s)
+
+			// Gather the full weights (allgather = exact data movement).
+			w1f := gatherFull(ch, w1)
+			w2f := gatherFull(ch, w2)
+
+			// Forward: each chip computes only its own output block with
+			// the flat ascending-k kernels, then the activations are
+			// gathered so the backward contractions see the full batch.
+			xRows := data.X.SubMatrix(r*br, 0, br, c.In)
+			hB := tensor.MatMul(xRows, w1f.SubMatrix(0, cc*hc, c.In, hc))
+			haB := relu(hB)
+			haF := gatherFull(ch, haB)
+			yB := tensor.MatMul(haF.SubMatrix(r*br, 0, br, c.Hidden), w2f.SubMatrix(0, cc*oc, c.Hidden, oc))
+			yF := gatherFull(ch, yB)
+
+			// Loss gradient on the full (replicated) output — every chip
+			// computes the identical scalar, so no reduction is needed.
+			dyF := yF
+			for i := range dyF.Data {
+				dyF.Data[i] -= data.T.Data[i]
+			}
+			if ch.Rank == 0 {
+				mu.Lock()
+				losses[s-start] = sumSquares(dyF) / float64(c.Batch*c.Out)
+				mu.Unlock()
+			}
+			dyF.Scale(2 / float64(c.Batch*c.Out))
+
+			// Backward: own blocks only, full-batch contractions.
+			dW2B := tensor.MatMulTN(haF.SubMatrix(0, r*hr, c.Batch, hr), dyF.SubMatrix(0, cc*oc, c.Batch, oc))
+			dHB := tensor.MatMulNT(dyF.SubMatrix(r*br, 0, br, c.Out), w2f.SubMatrix(cc*hc, 0, hc, c.Out))
+			maskInto(dHB, hB)
+			dHF := gatherFull(ch, dHB)
+			dW1B := tensor.MatMulTN(data.X.SubMatrix(0, r*ir, c.Batch, ir), dHF.SubMatrix(0, cc*hc, c.Batch, hc))
+
+			// Momentum SGD on the local shards — element-wise, so exact on
+			// any shape.
+			momentumStep(w1, v1, dW1B, c.LR, c.Momentum)
+			momentumStep(w2, v2, dW2B, c.LR, c.Momentum)
+
+			if opts.Every > 0 && (s+1)%opts.Every == 0 {
+				epoch := (s + 1) / opts.Every
+				snapshotChip(ch, c, lay, epochRecs[epoch-firstEpoch], s+1, seed, epoch,
+					w1, v1, w2, v2, opts.Metrics)
+			}
+		}
+		mu.Lock()
+		finalW1[ch.Rank] = w1
+		finalW2[ch.Rank] = w2
+		mu.Unlock()
+	})
+
+	res := ElasticResult{Losses: losses, StartStep: start, Steps: steps}
+	for i, recs := range epochRecs {
+		complete := true
+		for _, rec := range recs {
+			if rec == nil {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			continue
+		}
+		snap, berr := ckpt.BuildSnapshot(lay, firstEpoch+i, ElasticFlow, recs)
+		if berr != nil {
+			return res, berr
+		}
+		res.Snapshots = append(res.Snapshots, snap)
+	}
+	if err != nil {
+		return res, err
+	}
+	res.W1 = tensor.Assemble(finalW1, pr, pc)
+	res.W2 = tensor.Assemble(finalW2, pr, pc)
+	return res, nil
+}
+
+// TrainElasticSerial is the single-node ground truth: the identical math in
+// global form. TrainElastic on any layout must match it bitwise.
+func TrainElasticSerial(c ElasticConfig, steps int, seed int64) ElasticResult {
+	w1, v1, w2, v2 := InitElastic(c, seed)
+	res := ElasticResult{Steps: steps}
+	for s := 0; s < steps; s++ {
+		data := c.DataAt(seed, s)
+		h := tensor.MatMul(data.X, w1)
+		hAct := relu(h)
+		y := tensor.MatMul(hAct, w2)
+
+		dy := y
+		for i := range dy.Data {
+			dy.Data[i] -= data.T.Data[i]
+		}
+		res.Losses = append(res.Losses, sumSquares(dy)/float64(c.Batch*c.Out))
+		dy.Scale(2 / float64(c.Batch*c.Out))
+
+		dW2 := tensor.MatMulTN(hAct, dy)
+		dH := tensor.MatMulNT(dy, w2)
+		maskInto(dH, h)
+		dW1 := tensor.MatMulTN(data.X, dH)
+
+		momentumStep(w1, v1, dW1, c.LR, c.Momentum)
+		momentumStep(w2, v2, dW2, c.LR, c.Momentum)
+	}
+	res.W1, res.W2 = w1, w2
+	return res
+}
+
+// gatherFull reassembles the global tensor from per-chip blocks: an
+// allgather along the row ring (ring position = mesh column, so blocks land
+// in global column order) then along the column ring (position = mesh row).
+// Allgathers copy bits, so the result is exactly the global tensor.
+func gatherFull(ch *mesh.Chip, blk *tensor.Matrix) *tensor.Matrix {
+	strip := collective.AllGatherCols(ch.RowComm(), blk)
+	return collective.AllGatherRows(ch.ColComm(), strip)
+}
+
+// momentumStep applies one momentum-SGD update element-wise:
+// v ← µ·v + g, w ← w − lr·v.
+// lint:hotpath per-step optimizer update: must not allocate
+func momentumStep(w, v, g *tensor.Matrix, lr, mu float64) {
+	for i := range v.Data {
+		v.Data[i] = mu*v.Data[i] + g.Data[i]
+		w.Data[i] -= lr * v.Data[i]
+	}
+}
+
+// snapshotChip serializes this chip's state into its epoch slot, stamped as
+// a snapshot span for the flight recorder. Deliberately NOT lint:hotpath:
+// it runs once every k steps, not every step, and encoding a fresh record
+// buffer is the operation — the per-step hot path is momentumStep and the
+// ring collectives, which are annotated.
+func snapshotChip(ch *mesh.Chip, c ElasticConfig, lay ckpt.Layout, slots [][]byte,
+	step int, seed int64, epoch int, w1, v1, w2, v2 *tensor.Matrix, metrics *obs.Registry) {
+	ch.SpanStart(recorder.OpSnapshot, epoch)
+	defer ch.SpanEnd(recorder.OpSnapshot)
+	rec, err := ckpt.EncodeRecord(lay, ch.Rank, step, seed, []ckpt.NamedTensor{
+		{Name: TensorW1, Rows: c.In, Cols: c.Hidden, Block: w1},
+		{Name: TensorV1, Rows: c.In, Cols: c.Hidden, Block: v1},
+		{Name: TensorW2, Rows: c.Hidden, Cols: c.Out, Block: w2},
+		{Name: TensorV2, Rows: c.Hidden, Cols: c.Out, Block: v2},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("minitrain: snapshot encode on chip %d: %v", ch.Rank, err)) // lint:invariant encode cannot fail after Validate
+	}
+	slots[ch.Rank] = rec
+	if metrics != nil {
+		metrics.Counter("ckpt_snapshot_records").Inc()
+		metrics.Counter("ckpt_snapshot_bytes").AddInt(int64(len(rec)))
+	}
+}
+
+// restoreDigest condenses a snapshot's identity into a 1×4 matrix: step,
+// epoch, manifest-bytes checksum, chip count.
+func restoreDigest(s *ckpt.Snapshot) *tensor.Matrix {
+	mb, err := s.Manifest.Encode()
+	if err != nil {
+		panic(fmt.Sprintf("minitrain: manifest re-encode: %v", err)) // lint:invariant verified snapshot always re-encodes
+	}
+	return tensor.FromSlice(1, 4, []float64{
+		float64(s.Manifest.Step),
+		float64(s.Manifest.Epoch),
+		float64(crc32.ChecksumIEEE(mb)),
+		float64(len(s.Records)),
+	})
+}
+
+// verifyRestore is the restore-path consistency handshake: rank 0
+// broadcasts the snapshot digest along its row ring, then every row-0
+// member broadcasts down its column ring, so all chips agree they restored
+// from the same snapshot before training resumes. This is the root-
+// broadcast path the mesh stream-backlog guard protects (two bounded
+// BroadcastInto calls per chip — never a same-root tight loop).
+func verifyRestore(ch *mesh.Chip, digest *tensor.Matrix, metrics *obs.Registry, recBytes int) {
+	ch.SpanStart(recorder.OpRestore, -1)
+	defer ch.SpanEnd(recorder.OpRestore)
+	got := tensor.New(1, 4)
+	if ch.Coord.Row == 0 {
+		var local *tensor.Matrix
+		if ch.Coord.Col == 0 {
+			local = digest
+		}
+		collective.BroadcastInto(ch.RowComm(), 0, local, got)
+		collective.BroadcastInto(ch.ColComm(), 0, got, got)
+	} else {
+		collective.BroadcastInto(ch.ColComm(), 0, nil, got)
+	}
+	if !got.BitEqual(digest) {
+		panic(fmt.Sprintf("minitrain: chip %d restored from a different snapshot: digest %v, want %v", ch.Rank, got.Data, digest.Data)) // lint:invariant restore handshake mismatch
+	}
+	if metrics != nil {
+		metrics.Counter("ckpt_restore_records").Inc()
+		metrics.Counter("ckpt_restore_bytes").AddInt(int64(recBytes))
+	}
+}

@@ -1,0 +1,47 @@
+package netsim
+
+import "meshslice/internal/hw"
+
+// Checkpoint I/O cost model. Writing a snapshot record is not simulated as
+// discrete events — checkpoint traffic leaves the mesh through the
+// HBM→host path, which the ICI fabric model does not carry — but as an
+// analytical cost in two parts with different overlap behaviour:
+//
+//   - a serialization stall: the record's bytes are read out of HBM (the
+//     same bandwidth the compute cores use, the paper's only interference
+//     point) plus the fixed host-side launch overhead. This blocks the
+//     training step.
+//   - a drain: the bytes cross the HBM→host link. Drains overlap the next
+//     step's compute, so they bound checkpoint cadence (a new snapshot
+//     cannot start before the previous drain finishes) without adding to
+//     step time.
+
+// DefaultHostBandwidth is the HBM→host link bandwidth assumed when a
+// profile does not supply one: 32 GB/s, a PCIe 4.0 x16 host interface.
+const DefaultHostBandwidth = 32e9
+
+// CheckpointCost is the modelled cost of writing one chip's checkpoint
+// record, split by overlap behaviour.
+type CheckpointCost struct {
+	// SerializeStall is the time the training step loses: HBM readout of
+	// the record plus the launch overhead of issuing the transfer.
+	SerializeStall float64
+	// DrainTime is the HBM→host transfer time; it overlaps compute but
+	// floors the checkpoint interval.
+	DrainTime float64
+	// Total is their sum — the end-to-end latency until the record is safe
+	// on the host.
+	Total float64
+}
+
+// EstimateCheckpoint models writing one recordBytes-sized checkpoint
+// record from a chip. hostBandwidth is the HBM→host link in bytes/second;
+// pass 0 for DefaultHostBandwidth.
+func EstimateCheckpoint(recordBytes float64, chip hw.Chip, hostBandwidth float64) CheckpointCost {
+	if hostBandwidth <= 0 {
+		hostBandwidth = DefaultHostBandwidth
+	}
+	stall := recordBytes/chip.HBMBandwidth + chip.LaunchOverhead
+	drain := recordBytes / hostBandwidth
+	return CheckpointCost{SerializeStall: stall, DrainTime: drain, Total: stall + drain}
+}

@@ -1,0 +1,32 @@
+package netsim
+
+import (
+	"testing"
+
+	"meshslice/internal/hw"
+)
+
+func TestEstimateCheckpoint(t *testing.T) {
+	chip := hw.TPUv4()
+	const bytes = 1e9
+	c := EstimateCheckpoint(bytes, chip, 0)
+	wantStall := bytes/chip.HBMBandwidth + chip.LaunchOverhead
+	if c.SerializeStall != wantStall {
+		t.Errorf("SerializeStall = %v, want %v", c.SerializeStall, wantStall)
+	}
+	if c.DrainTime != bytes/DefaultHostBandwidth {
+		t.Errorf("DrainTime = %v, want %v", c.DrainTime, bytes/DefaultHostBandwidth)
+	}
+	if c.Total != c.SerializeStall+c.DrainTime {
+		t.Errorf("Total = %v, want stall+drain = %v", c.Total, c.SerializeStall+c.DrainTime)
+	}
+	// The drain dominates: the host link is ~40x slower than HBM.
+	if c.DrainTime <= c.SerializeStall {
+		t.Errorf("drain (%v) should dominate the HBM stall (%v)", c.DrainTime, c.SerializeStall)
+	}
+	// An explicit host bandwidth overrides the default.
+	fast := EstimateCheckpoint(bytes, chip, 2*DefaultHostBandwidth)
+	if fast.DrainTime != c.DrainTime/2 {
+		t.Errorf("doubled host bandwidth: drain %v, want %v", fast.DrainTime, c.DrainTime/2)
+	}
+}

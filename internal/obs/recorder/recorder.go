@@ -49,6 +49,12 @@ const (
 	// slice, a SUMMA panel, a Cannon or Wang shift iteration, or the single
 	// step of Collective 2D. The span's Step field carries the index.
 	OpGemmStep
+	// OpSnapshot covers the encoding of one chip's checkpoint record. The
+	// span's Step field carries the checkpoint epoch.
+	OpSnapshot
+	// OpRestore covers checkpoint restore on a chip, including the restore
+	// digest broadcast that fences all chips on the same snapshot.
+	OpRestore
 	numOps
 )
 
@@ -63,6 +69,8 @@ var opNames = [numOps]string{
 	"allgather-bidir",
 	"reducescatter-bidir",
 	"gemm-step",
+	"snapshot",
+	"restore",
 }
 
 func (o Op) String() string {

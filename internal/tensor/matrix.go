@@ -179,6 +179,23 @@ func (m *Matrix) Equal(other *Matrix, tol float64) bool {
 	return true
 }
 
+// BitEqual reports whether m and other have the same shape and every pair
+// of elements has the identical float64 bit pattern — the comparison the
+// elastic checkpoint/resume guarantees are stated in, stricter than
+// Equal(other, 0): it distinguishes +0 from -0 and treats equal NaN
+// payloads as equal.
+func (m *Matrix) BitEqual(other *Matrix) bool {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Float64bits(v) != math.Float64bits(other.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // MaxAbsDiff returns the largest absolute element-wise difference between m
 // and other. Shapes must match.
 func (m *Matrix) MaxAbsDiff(other *Matrix) float64 {
