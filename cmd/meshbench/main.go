@@ -48,6 +48,7 @@ func main() {
 	kernelsOut := flag.String("kernels-out", "", "also run the hot-path suite (GeMM kernels, ring collectives, autotuner search, each paired with its pre-optimisation baseline) and write its summary to this JSON path")
 	recordOut := flag.String("record-out", "", "also run the flight-recorder overhead suite (one collective and one functional GeMM, each recorder-off vs recorder-on) and write its summary to this JSON path")
 	ckptOut := flag.String("ckpt-out", "", "also run the checkpoint suite (snapshot encode, verify, and reshard at 16- and 64-chip shapes) and write its summary to this JSON path")
+	overlapOut := flag.String("overlap-out", "", "also run the comm/compute overlap suite (serial vs pipelined MeshSlice and Wang on the functional runtime at 2x2 and 4x4 meshes, GOMAXPROCS 2 and 8) and write its summary to this JSON path")
 	flag.Parse()
 
 	chip := hw.TPUv4()
@@ -131,6 +132,12 @@ func main() {
 	}
 	if *ckptOut != "" {
 		if err := runSuite(ckptBenches(), *ckptOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *overlapOut != "" {
+		if err := runOverlapSuite(*overlapOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

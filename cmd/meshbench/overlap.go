@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"meshslice/internal/gemm"
+	"meshslice/internal/mesh"
+	"meshslice/internal/obs/recorder"
+	"meshslice/internal/tensor"
+	"meshslice/internal/topology"
+)
+
+// The overlap suite measures what the functional overlap engine actually
+// buys: serial vs pipelined MeshSlice and Wang on real multi-core
+// wall-clock, at 2×2 and 4×4 meshes and GOMAXPROCS 2 and 8, alongside the
+// achieved overlap fraction from the flight recorder's async-issue/wait
+// attribution. The pipelined rows carry speedup = serial ns/op ÷ pipelined
+// ns/op for the same configuration.
+
+// overlapResult is one configuration's summary row.
+type overlapResult struct {
+	Name            string  `json:"name"`
+	Algorithm       string  `json:"algorithm"`
+	Mesh            string  `json:"mesh"`
+	Gomaxprocs      int     `json:"gomaxprocs"`
+	Pipelined       bool    `json:"pipelined"`
+	Iterations      int     `json:"iterations"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	OverlapFraction float64 `json:"overlap_fraction"`
+	// Speedup is serial ns/op over this row's ns/op; 1.0 on serial rows.
+	Speedup float64 `json:"speedup"`
+}
+
+// overlapProblem is a skinny contraction (small M×N output, deep K) sliced
+// finely, so one slice's partial collective and one slice's MatMulAdd are
+// comparable — the regime where the serial schedule spends real wall-clock
+// parked in ring receives and the pipelined schedule hides them. A
+// compute-dominated shape would show parity for both modes and measure
+// nothing.
+var overlapProblem = gemm.Problem{M: 64, N: 64, K: 8192, Dataflow: gemm.OS}
+
+func overlapOpts() gemm.AlgOptions { return gemm.AlgOptions{S: 32, Block: 8} }
+
+// runOverlapSuite writes the serial-vs-pipelined comparison to path.
+func runOverlapSuite(path string) error {
+	type config struct {
+		alg   string
+		tor   topology.Torus
+		procs int
+	}
+	var configs []config
+	for _, alg := range []string{"MeshSlice", "Wang"} {
+		for _, tor := range []topology.Torus{topology.NewTorus(2, 2), topology.NewTorus(4, 4)} {
+			for _, procs := range []int{2, 8} {
+				configs = append(configs, config{alg, tor, procs})
+			}
+		}
+	}
+
+	var results []overlapResult
+	for _, cfg := range configs {
+		alg, ok := gemm.AlgorithmByName(cfg.alg)
+		if !ok {
+			return fmt.Errorf("meshbench: algorithm %s missing from registry", cfg.alg)
+		}
+		var serialNs float64
+		for _, pipelined := range []bool{false, true} {
+			opts := overlapOpts()
+			opts.Pipelined = pipelined
+			if err := alg.Validate(overlapProblem, cfg.tor, opts); err != nil {
+				return fmt.Errorf("meshbench: %s on %v: %v", cfg.alg, cfg.tor, err)
+			}
+			fn := alg.Build(overlapProblem.Dataflow, opts)
+
+			r, frac := benchChipFunc(cfg.tor, cfg.procs, fn)
+			mode := "Serial"
+			if pipelined {
+				mode = "Pipelined"
+			}
+			row := overlapResult{
+				Name:            fmt.Sprintf("%s%s%dx%d/procs=%d", cfg.alg, mode, cfg.tor.Rows, cfg.tor.Cols, cfg.procs),
+				Algorithm:       cfg.alg,
+				Mesh:            fmt.Sprintf("%dx%d", cfg.tor.Rows, cfg.tor.Cols),
+				Gomaxprocs:      cfg.procs,
+				Pipelined:       pipelined,
+				Iterations:      r.N,
+				NsPerOp:         float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp:     r.AllocsPerOp(),
+				OverlapFraction: frac,
+				Speedup:         1,
+			}
+			if pipelined {
+				row.Speedup = serialNs / row.NsPerOp
+			} else {
+				serialNs = row.NsPerOp
+			}
+			results = append(results, row)
+			fmt.Fprintf(os.Stderr, "%-34s %8d iters  %14.0f ns/op  overlap=%.2f  speedup=%.2fx\n",
+				row.Name, row.Iterations, row.NsPerOp, row.OverlapFraction, row.Speedup)
+		}
+	}
+
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// benchChipFunc times one full mesh Run of fn over pre-partitioned shards
+// (partition/assemble excluded: both modes share that cost, and the suite
+// is about the SPMD schedule), then replays one recorded run for the
+// overlap fraction.
+func benchChipFunc(tor topology.Torus, procs int, fn gemm.ChipFunc) (testing.BenchmarkResult, float64) {
+	p := overlapProblem
+	aR, aC, bR, bC := p.OperandShapes()
+	rng := rand.New(rand.NewSource(42))
+	a := tensor.Random(aR, aC, rng)
+	b := tensor.Random(bR, bC, rng)
+	as := tensor.Partition(a, tor.Rows, tor.Cols)
+	bs := tensor.Partition(b, tor.Rows, tor.Cols)
+
+	prev := runtime.GOMAXPROCS(procs)
+	m := mesh.New(tor)
+	r := testing.Benchmark(func(bb *testing.B) {
+		for i := 0; i < bb.N; i++ {
+			gemm.Run(m, fn, as, bs)
+		}
+	})
+
+	rec := recorder.New(tor.Size(), 0)
+	m.SetRecorder(rec)
+	gemm.Run(m, fn, as, bs)
+	frac := rec.Overlap().Fraction
+	m.SetRecorder(nil)
+	runtime.GOMAXPROCS(prev)
+	return r, frac
+}

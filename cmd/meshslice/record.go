@@ -34,6 +34,7 @@ func cmdRecord(args []string) {
 	dataflow := fs.String("dataflow", "os", "dataflow: os, ls, or rs")
 	s := fs.Int("s", 2, "MeshSlice slice count")
 	block := fs.Int("block", 2, "MeshSlice block size")
+	pipelined := fs.Bool("pipelined", false, "run the double-buffered overlapped schedule (MeshSlice, Wang); the trace then shows comm lanes under compute spans")
 	seed := fs.Int64("seed", 1, "input seed")
 	capacity := fs.Int("cap", 0, "per-chip event-ring capacity (0 = default)")
 	out := fs.String("o", "", "write canonical recorder JSON here")
@@ -58,7 +59,7 @@ func cmdRecord(args []string) {
 	}
 	p := gemm.Problem{M: *m, N: *n, K: *k, Dataflow: df}
 	tor := topology.NewTorus(*rows, *cols)
-	opts := gemm.AlgOptions{S: *s, Block: *block}
+	opts := gemm.AlgOptions{S: *s, Block: *block, Pipelined: *pipelined}
 	if err := alg.Validate(p, tor, opts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -127,8 +128,9 @@ func cmdRecord(args []string) {
 	for _, l := range snap.Logs {
 		events += l.Recorded
 	}
-	fmt.Printf("%s %v on %v: %s (max |Δ| %.2e), %d events across %d chips\n",
-		alg.Name, df, tor, status, diff, events, tor.Size())
+	ov := rec.Overlap()
+	fmt.Printf("%s %v on %v: %s (max |Δ| %.2e), %d events across %d chips, overlap %d/%d async ops (%.2f)\n",
+		alg.Name, df, tor, status, diff, events, tor.Size(), ov.Overlapped, ov.AsyncOps, ov.Fraction)
 	writeExports(rec, *out, *chrome, alg.Name, df)
 	if status != "ok" {
 		os.Exit(1)

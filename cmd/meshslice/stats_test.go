@@ -1,0 +1,66 @@
+package main
+
+import (
+	"testing"
+
+	"meshslice/internal/obs"
+	"meshslice/internal/topology"
+)
+
+// TestStatsExposesFunctionalOverlap pins the obs surface of the overlap
+// engine: `meshslice stats` publishes the flight recorder's structural
+// comm/compute overlap as gauges, with the serial run scoring exactly zero
+// async ops and the pipelined run scoring a strictly positive fraction.
+func TestStatsExposesFunctionalOverlap(t *testing.T) {
+	reg := obs.NewRegistry()
+	publishFunctionalOverlap(reg, topology.NewTorus(2, 2))
+
+	got := map[string]map[string]float64{}
+	for _, g := range reg.Snapshot().Gauges {
+		if got[g.Name] == nil {
+			got[g.Name] = map[string]float64{}
+		}
+		got[g.Name][g.Labels["mode"]] = g.Value
+	}
+
+	for _, name := range []string{"functional_overlap_fraction", "functional_overlap_async_ops", "functional_overlap_overlapped"} {
+		modes, ok := got[name]
+		if !ok {
+			t.Fatalf("gauge %s missing from stats snapshot", name)
+		}
+		if _, ok := modes["serial"]; !ok {
+			t.Fatalf("gauge %s missing mode=serial point", name)
+		}
+		if _, ok := modes["pipelined"]; !ok {
+			t.Fatalf("gauge %s missing mode=pipelined point", name)
+		}
+	}
+	if v := got["functional_overlap_async_ops"]["serial"]; v != 0 {
+		t.Errorf("serial run reported %v async ops, want 0", v)
+	}
+	if v := got["functional_overlap_fraction"]["pipelined"]; v <= 0 {
+		t.Errorf("pipelined overlap fraction = %v, want > 0", v)
+	}
+	if v := got["functional_overlap_async_ops"]["pipelined"]; v <= 0 {
+		t.Errorf("pipelined run reported %v async ops, want > 0", v)
+	}
+}
+
+// TestStatsOverlapDeterministic pins byte-stability of the published
+// values: two independent probes on the same torus must agree exactly.
+func TestStatsOverlapDeterministic(t *testing.T) {
+	snap := func() []obs.GaugePoint {
+		reg := obs.NewRegistry()
+		publishFunctionalOverlap(reg, topology.NewTorus(2, 2))
+		return reg.Snapshot().Gauges
+	}
+	a, b := snap(), snap()
+	if len(a) != len(b) {
+		t.Fatalf("gauge count differs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Value != b[i].Value || a[i].Labels["mode"] != b[i].Labels["mode"] {
+			t.Errorf("gauge %d differs across runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -59,6 +59,15 @@ func AllGatherRowsInto(cm *mesh.Comm, local, dst *tensor.Matrix) {
 	cm.CountCollective("allgather")
 	cm.SpanStart(recorder.OpAllGather, -1)
 	defer cm.SpanEnd(recorder.OpAllGather)
+	allGatherRowsLoop(cm, local, dst)
+}
+
+// allGatherRowsLoop is the raw ring schedule of AllGatherRowsInto, shared
+// with the asynchronous StartAllGatherRowsInto (whose span the background
+// lane's op log records instead).
+// lint:hotpath steady-state: must not allocate
+func allGatherRowsLoop(cm *mesh.Comm, local, dst *tensor.Matrix) {
+	p := cm.Size
 	dst.SetSubMatrix(cm.Pos*local.Rows, 0, local)
 	if p == 1 {
 		return
@@ -84,6 +93,14 @@ func AllGatherColsInto(cm *mesh.Comm, local, dst *tensor.Matrix) {
 	cm.CountCollective("allgather")
 	cm.SpanStart(recorder.OpAllGather, -1)
 	defer cm.SpanEnd(recorder.OpAllGather)
+	allGatherColsLoop(cm, local, dst)
+}
+
+// allGatherColsLoop is the raw ring schedule of AllGatherColsInto, shared
+// with StartAllGatherColsInto.
+// lint:hotpath steady-state: must not allocate
+func allGatherColsLoop(cm *mesh.Comm, local, dst *tensor.Matrix) {
+	p := cm.Size
 	dst.SetSubMatrix(0, cm.Pos*local.Cols, local)
 	if p == 1 {
 		return
@@ -143,6 +160,14 @@ func ReduceScatterRowsInto(cm *mesh.Comm, m, dst *tensor.Matrix) {
 	cm.CountCollective("reducescatter")
 	cm.SpanStart(recorder.OpReduceScatter, -1)
 	defer cm.SpanEnd(recorder.OpReduceScatter)
+	reduceScatterRowsLoop(cm, m, dst)
+}
+
+// reduceScatterRowsLoop is the raw ring schedule of ReduceScatterRowsInto,
+// shared with StartReduceScatterRowsInto.
+// lint:hotpath steady-state: must not allocate
+func reduceScatterRowsLoop(cm *mesh.Comm, m, dst *tensor.Matrix) {
+	p := cm.Size
 	h := m.Rows / p
 	if p == 1 {
 		dst.CopyFrom(m)
@@ -170,6 +195,14 @@ func ReduceScatterColsInto(cm *mesh.Comm, m, dst *tensor.Matrix) {
 	cm.CountCollective("reducescatter")
 	cm.SpanStart(recorder.OpReduceScatter, -1)
 	defer cm.SpanEnd(recorder.OpReduceScatter)
+	reduceScatterColsLoop(cm, m, dst)
+}
+
+// reduceScatterColsLoop is the raw ring schedule of ReduceScatterColsInto,
+// shared with StartReduceScatterColsInto.
+// lint:hotpath steady-state: must not allocate
+func reduceScatterColsLoop(cm *mesh.Comm, m, dst *tensor.Matrix) {
+	p := cm.Size
 	w := m.Cols / p
 	if p == 1 {
 		dst.CopyFrom(m)

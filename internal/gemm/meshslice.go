@@ -32,6 +32,11 @@ type MeshSliceConfig struct {
 	// algorithm (paper Algorithm 2); 8 on TPUs. Use 1 for the strided
 	// slicing of the mathematical description (§3.1.1).
 	Block int
+	// Pipelined selects the double-buffered software-pipelined schedule
+	// (pipeline.go): partial collectives run on background comm lanes
+	// underneath the MatMuls. Results are bit-identical to the serial
+	// schedule, which remains the reference.
+	Pipelined bool
 }
 
 // Validate reports whether cfg can run the given problem on the torus:
@@ -63,6 +68,18 @@ func (cfg MeshSliceConfig) Validate(p Problem, t topology.Torus) error {
 // MeshSlice returns the ChipFunc for the MeshSlice algorithm in the given
 // dataflow.
 func MeshSlice(df Dataflow, cfg MeshSliceConfig) ChipFunc {
+	if cfg.Pipelined {
+		switch df {
+		case OS:
+			return meshSliceOSPipelined(cfg)
+		case LS:
+			return meshSliceLSPipelined(cfg)
+		case RS:
+			return meshSliceRSPipelined(cfg)
+		default:
+			panic(fmt.Sprintf("gemm: unknown dataflow %d", int(df))) // lint:invariant exhaustive switch guard
+		}
+	}
 	switch df {
 	case OS:
 		return meshSliceOS(cfg)

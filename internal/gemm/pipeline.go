@@ -1,0 +1,288 @@
+package gemm
+
+import (
+	"fmt"
+
+	"meshslice/internal/collective"
+	"meshslice/internal/mesh"
+	"meshslice/internal/obs/recorder"
+	"meshslice/internal/tensor"
+)
+
+// This file implements the software-pipelined (double-buffered) variants of
+// MeshSlice and Wang: the partial collectives of slice s+1 are issued on the
+// background comm lanes (collective.Start*Into) before the MatMul of slice s
+// runs, and the ReduceScatter of slice s−1 drains underneath it — the real
+// comm/compute overlap that the serial ChipFuncs only model structurally.
+//
+// Bitwise identity with the serial schedules is a hard invariant, relied on
+// by tests and by the determinism story: every MatMul runs on the chip's own
+// goroutine in ascending slice order, accumulating into the same cij in the
+// same order; the async collectives execute the exact ring loops of the
+// synchronous *Into forms, so each gathered operand is bit-identical to its
+// serial counterpart. The only difference is WHEN the messages move, never
+// what they contain.
+//
+// Double-buffer protocol (two buffers per stream, two ops in flight per
+// ring): buffer k%2 is written by the op issued at slice k and read by the
+// compute (or unslice) of slice k, which always happens before slice k+2
+// re-issues into the same buffer — Wait(k) is ordered before Issue(k+2) on
+// the chip goroutine, so the worker never writes a buffer the chip still
+// reads. Compute spans (recorder.OpCompute) bracket each MatMul so the
+// flight recorder can attribute overlap: an async op whose issue→wait
+// window contains a compute span start ran underneath compute.
+//
+// The loops peel the final slice into an epilogue so that every Start has
+// an unconditional matching Wait — the shape meshlint's buf-ownership rule
+// can prove handle-leak-free (a conditional prefetch inside the loop is
+// beyond a path-insensitive analyzer; see the bufown fixtures).
+
+// meshSliceOSPipelined is meshSliceOS with both partial AllGathers of slice
+// s+1 prefetched under the MatMul of slice s (paper Fig. 6: the overlap the
+// serial functional schedule only implies).
+func meshSliceOSPipelined(cfg MeshSliceConfig) ChipFunc {
+	return func(c *mesh.Chip, aij, bij *tensor.Matrix) *tensor.Matrix {
+		row, col := c.RowComm(), c.ColComm()
+		S := cfg.S
+		cij := tensor.New(aij.Rows, bij.Cols)
+		// Double buffers for the gathered operands: slice s lands in
+		// buffer s%2 while slice s−1 is still being consumed from the
+		// other one.
+		var aBuf, bBuf [2]*tensor.Matrix
+		for i := range aBuf {
+			aBuf[i] = tensor.New(aij.Rows, row.Size*(aij.Cols/S))
+			bBuf[i] = tensor.New(col.Size*(bij.Rows/S), bij.Cols)
+		}
+		compute := func(s int) {
+			c.SpanStart(recorder.OpCompute, s)
+			tensor.MatMulAdd(cij, aBuf[s%2], bBuf[s%2])
+			c.SpanEnd(recorder.OpCompute)
+		}
+		// Prolog: issue slice 0's gathers before entering the loop.
+		as := tensor.SliceCol(aij, cfg.S, 0, cfg.Block)
+		bs := tensor.SliceRow(bij, cfg.S, 0, cfg.Block)
+		ha := collective.StartAllGatherColsInto(row, as, aBuf[0])
+		hb := collective.StartAllGatherRowsInto(col, bs, bBuf[0])
+		for s := 0; s < S-1; s++ {
+			// Prefetch: slice s+1's gathers run underneath slice s's
+			// MatMul.
+			asN := tensor.SliceCol(aij, cfg.S, s+1, cfg.Block)
+			bsN := tensor.SliceRow(bij, cfg.S, s+1, cfg.Block)
+			haN := collective.StartAllGatherColsInto(row, asN, aBuf[(s+1)%2])
+			hbN := collective.StartAllGatherRowsInto(col, bsN, bBuf[(s+1)%2])
+			ha.Wait()
+			hb.Wait()
+			compute(s)
+			ha, hb = haN, hbN
+		}
+		// Epilogue: the last slice has nothing left to prefetch.
+		ha.Wait()
+		hb.Wait()
+		compute(S - 1)
+		return cij
+	}
+}
+
+// meshSliceLSPipelined is meshSliceLS as a three-stage pipeline: slice s+1's
+// AllGather prefetches and slice s−1's ReduceScatter drains underneath
+// slice s's MatMul. The partial product accumulates into a reused buffer
+// (Zero + MatMulAddNT ≡ MatMulNT bitwise: tensor.New zeroes and 0+x == x).
+func meshSliceLSPipelined(cfg MeshSliceConfig) ChipFunc {
+	return func(c *mesh.Chip, aij, bij *tensor.Matrix) *tensor.Matrix {
+		row, col := c.RowComm(), c.ColComm()
+		S := cfg.S
+		n := bij.Rows * col.Size // global N
+		cij := tensor.New(aij.Rows, n/row.Size)
+		nSlice := col.Size * (bij.Rows / S) // N/S
+		var bBuf, cpBuf, csBuf [2]*tensor.Matrix
+		for i := range bBuf {
+			bBuf[i] = tensor.New(nSlice, bij.Cols)           // (N/S) × K/Pc gathered B
+			cpBuf[i] = tensor.New(aij.Rows, nSlice)          // M/Pr × N/S partial
+			csBuf[i] = tensor.New(aij.Rows, nSlice/row.Size) // M/Pr × N/(S·Pc) scattered
+		}
+		compute := func(s int) {
+			c.SpanStart(recorder.OpCompute, s)
+			cpBuf[s%2].Zero()
+			tensor.MatMulAddNT(cpBuf[s%2], aij, bBuf[s%2])
+			c.SpanEnd(recorder.OpCompute)
+		}
+		var hr [2]*collective.Handle // in-flight ReduceScatters, indexed s%2
+		bs := tensor.SliceRow(bij, cfg.S, 0, cfg.Block)
+		hb := collective.StartAllGatherRowsInto(col, bs, bBuf[0])
+		for s := 0; s < S-1; s++ {
+			bsN := tensor.SliceRow(bij, cfg.S, s+1, cfg.Block)
+			hbN := collective.StartAllGatherRowsInto(col, bsN, bBuf[(s+1)%2])
+			hb.Wait()
+			compute(s)
+			if s > 0 {
+				// Drain slice s−1's ReduceScatter, which ran underneath
+				// this slice's MatMul.
+				hr[(s-1)%2].Wait()
+				tensor.UnsliceColInto(cij, csBuf[(s-1)%2], cfg.S, s-1, cfg.Block)
+			}
+			hr[s%2] = collective.StartReduceScatterColsInto(row, cpBuf[s%2], csBuf[s%2])
+			hb = hbN
+		}
+		// Epilogue: last slice's compute, then drain the two outstanding
+		// ReduceScatters in order.
+		hb.Wait()
+		compute(S - 1)
+		if S > 1 {
+			hr[(S-2)%2].Wait()
+			tensor.UnsliceColInto(cij, csBuf[(S-2)%2], cfg.S, S-2, cfg.Block)
+		}
+		hr[(S-1)%2] = collective.StartReduceScatterColsInto(row, cpBuf[(S-1)%2], csBuf[(S-1)%2])
+		hr[(S-1)%2].Wait()
+		tensor.UnsliceColInto(cij, csBuf[(S-1)%2], cfg.S, S-1, cfg.Block)
+		return cij
+	}
+}
+
+// meshSliceRSPipelined is the RS mirror of meshSliceLSPipelined: A's slices
+// prefetch along the row, the partial Aᵀ·B products drain down the column.
+func meshSliceRSPipelined(cfg MeshSliceConfig) ChipFunc {
+	return func(c *mesh.Chip, aij, bij *tensor.Matrix) *tensor.Matrix {
+		row, col := c.RowComm(), c.ColComm()
+		S := cfg.S
+		m := aij.Cols * row.Size // global M
+		cij := tensor.New(m/col.Size, bij.Cols)
+		mSlice := row.Size * (aij.Cols / S) // M/S
+		var aBuf, cpBuf, csBuf [2]*tensor.Matrix
+		for i := range aBuf {
+			aBuf[i] = tensor.New(aij.Rows, mSlice)           // K/Pr × M/S gathered A
+			cpBuf[i] = tensor.New(mSlice, bij.Cols)          // M/S × N/Pc partial
+			csBuf[i] = tensor.New(mSlice/col.Size, bij.Cols) // M/(S·Pr) × N/Pc scattered
+		}
+		compute := func(s int) {
+			c.SpanStart(recorder.OpCompute, s)
+			cpBuf[s%2].Zero()
+			tensor.MatMulAddTN(cpBuf[s%2], aBuf[s%2], bij)
+			c.SpanEnd(recorder.OpCompute)
+		}
+		var hr [2]*collective.Handle
+		as := tensor.SliceCol(aij, cfg.S, 0, cfg.Block)
+		ha := collective.StartAllGatherColsInto(row, as, aBuf[0])
+		for s := 0; s < S-1; s++ {
+			asN := tensor.SliceCol(aij, cfg.S, s+1, cfg.Block)
+			haN := collective.StartAllGatherColsInto(row, asN, aBuf[(s+1)%2])
+			ha.Wait()
+			compute(s)
+			if s > 0 {
+				hr[(s-1)%2].Wait()
+				tensor.UnsliceRowInto(cij, csBuf[(s-1)%2], cfg.S, s-1, cfg.Block)
+			}
+			hr[s%2] = collective.StartReduceScatterRowsInto(col, cpBuf[s%2], csBuf[s%2])
+			ha = haN
+		}
+		ha.Wait()
+		compute(S - 1)
+		if S > 1 {
+			hr[(S-2)%2].Wait()
+			tensor.UnsliceRowInto(cij, csBuf[(S-2)%2], cfg.S, S-2, cfg.Block)
+		}
+		hr[(S-1)%2] = collective.StartReduceScatterRowsInto(col, cpBuf[(S-1)%2], csBuf[(S-1)%2])
+		hr[(S-1)%2].Wait()
+		tensor.UnsliceRowInto(cij, csBuf[(S-1)%2], cfg.S, S-1, cfg.Block)
+		return cij
+	}
+}
+
+// WangPipelined returns Wang's algorithm with the decomposed direction's
+// SendRecv genuinely overlapped: the shift of shard t+1 is issued before the
+// partial GeMM on shard t and waited after it. StartShiftInto's send clones,
+// so the chip may keep reading the current shard while it circulates.
+func WangPipelined(df Dataflow) ChipFunc {
+	switch df {
+	case OS:
+		return wangOSPipelined
+	case LS:
+		return wangLSPipelined
+	case RS:
+		return wangRSPipelined
+	default:
+		panic(fmt.Sprintf("gemm: unknown dataflow %d", int(df))) // lint:invariant exhaustive switch guard
+	}
+}
+
+func wangOSPipelined(c *mesh.Chip, aij, bij *tensor.Matrix) *tensor.Matrix {
+	row, col := c.RowComm(), c.ColComm()
+	bFull := collective.AllGatherRows(col, bij) // non-overlapped direction
+
+	pc := row.Size
+	kLocal := aij.Cols
+	cij := tensor.New(aij.Rows, bij.Cols)
+	var bufs [2]*tensor.Matrix
+	for i := range bufs {
+		bufs[i] = tensor.New(aij.Rows, aij.Cols)
+	}
+	compute := func(t int, a *tensor.Matrix) {
+		src := (row.Pos + t) % pc // column whose A shard we now hold
+		bPanel := bFull.SubMatrix(src*kLocal, 0, kLocal, bFull.Cols)
+		c.SpanStart(recorder.OpCompute, t)
+		tensor.MatMulAdd(cij, a, bPanel)
+		c.SpanEnd(recorder.OpCompute)
+	}
+	a := aij
+	for t := 0; t < pc-1; t++ {
+		h := collective.StartShiftInto(row, -1, a, bufs[t%2])
+		compute(t, a)
+		h.Wait()
+		a = bufs[t%2]
+	}
+	compute(pc-1, a) // final shard: nothing left to circulate
+	return cij
+}
+
+func wangLSPipelined(c *mesh.Chip, aij, bij *tensor.Matrix) *tensor.Matrix {
+	row, col := c.RowComm(), c.ColComm()
+	pr := col.Size
+	n := bij.Rows * pr
+	cPrime := tensor.New(aij.Rows, n)
+	var bufs [2]*tensor.Matrix
+	for i := range bufs {
+		bufs[i] = tensor.New(bij.Rows, bij.Cols)
+	}
+	compute := func(t int, b *tensor.Matrix) {
+		src := (col.Pos + t) % pr
+		c.SpanStart(recorder.OpCompute, t)
+		block := tensor.MatMulNT(aij, b)
+		cPrime.SetSubMatrix(0, src*bij.Rows, block)
+		c.SpanEnd(recorder.OpCompute)
+	}
+	b := bij
+	for t := 0; t < pr-1; t++ {
+		h := collective.StartShiftInto(col, -1, b, bufs[t%2])
+		compute(t, b)
+		h.Wait()
+		b = bufs[t%2]
+	}
+	compute(pr-1, b)
+	return collective.ReduceScatterCols(row, cPrime)
+}
+
+func wangRSPipelined(c *mesh.Chip, aij, bij *tensor.Matrix) *tensor.Matrix {
+	row, col := c.RowComm(), c.ColComm()
+	pc := row.Size
+	m := aij.Cols * pc
+	cPrime := tensor.New(m, bij.Cols)
+	var bufs [2]*tensor.Matrix
+	for i := range bufs {
+		bufs[i] = tensor.New(aij.Rows, aij.Cols)
+	}
+	compute := func(t int, a *tensor.Matrix) {
+		src := (row.Pos + t) % pc
+		c.SpanStart(recorder.OpCompute, t)
+		block := tensor.MatMulTN(a, bij)
+		cPrime.SetSubMatrix(src*aij.Cols, 0, block)
+		c.SpanEnd(recorder.OpCompute)
+	}
+	a := aij
+	for t := 0; t < pc-1; t++ {
+		h := collective.StartShiftInto(row, -1, a, bufs[t%2])
+		compute(t, a)
+		h.Wait()
+		a = bufs[t%2]
+	}
+	compute(pc-1, a)
+	return collective.ReduceScatterRows(col, cPrime)
+}

@@ -1,0 +1,239 @@
+package gemm
+
+import (
+	"bytes"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+
+	"meshslice/internal/fault"
+	"meshslice/internal/mesh"
+	"meshslice/internal/obs/recorder"
+	"meshslice/internal/tensor"
+	"meshslice/internal/topology"
+)
+
+// TestPipelinedBitwiseIdenticalToSerial is the acceptance regression for the
+// overlap engine: for EVERY registry algorithm × dataflow, the pipelined
+// schedule must produce a bit-identical result to the serial reference, at
+// every GOMAXPROCS. Algorithms without an overlapped variant run serially
+// under Pipelined and pass trivially — that is part of the contract (the
+// flag is safe to set globally).
+func TestPipelinedBitwiseIdenticalToSerial(t *testing.T) {
+	tor := topology.NewTorus(2, 2)
+	serialOpts := AlgOptions{S: 2, Block: 2}
+	pipeOpts := AlgOptions{S: 2, Block: 2, Pipelined: true}
+	for _, alg := range Algorithms() {
+		for _, df := range alg.Dataflows {
+			p := Problem{M: 256, N: 256, K: 256, Dataflow: df}
+			if err := alg.Validate(p, tor, serialOpts); err != nil {
+				t.Fatalf("%s/%v: unexpected invalid config: %v", alg.Name, df, err)
+			}
+			a, b, _ := makeProblem(p, int64(42))
+			want := Multiply(tor, alg.Build(df, serialOpts), a, b)
+			for _, procs := range []int{1, 2, 8} {
+				prev := runtime.GOMAXPROCS(procs)
+				got := Multiply(tor, alg.Build(df, pipeOpts), a, b)
+				runtime.GOMAXPROCS(prev)
+				if !got.BitEqual(want) {
+					t.Errorf("%s/%v: pipelined result at GOMAXPROCS=%d not bit-identical to serial (max diff %g)",
+						alg.Name, df, procs, got.MaxAbsDiff(want))
+				}
+			}
+		}
+	}
+}
+
+// TestPipelinedDeepPipelineIdentical runs the overlapped algorithms on a 4×4
+// mesh with S=4 — a deeper pipeline with two collectives in flight per ring
+// and longer rings — and requires bit-identity with serial.
+func TestPipelinedDeepPipelineIdentical(t *testing.T) {
+	tor := topology.NewTorus(4, 4)
+	serialOpts := AlgOptions{S: 4, Block: 2}
+	pipeOpts := AlgOptions{S: 4, Block: 2, Pipelined: true}
+	for _, name := range []string{"MeshSlice", "Wang"} {
+		alg, ok := AlgorithmByName(name)
+		if !ok {
+			t.Fatalf("algorithm %s missing from registry", name)
+		}
+		for _, df := range alg.Dataflows {
+			p := Problem{M: 256, N: 256, K: 256, Dataflow: df}
+			if err := alg.Validate(p, tor, serialOpts); err != nil {
+				t.Fatalf("%s/%v: unexpected invalid config: %v", name, df, err)
+			}
+			a, b, _ := makeProblem(p, int64(7))
+			want := Multiply(tor, alg.Build(df, serialOpts), a, b)
+			got := Multiply(tor, alg.Build(df, pipeOpts), a, b)
+			if !got.BitEqual(want) {
+				t.Errorf("%s/%v: deep pipelined result not bit-identical to serial (max diff %g)",
+					name, df, got.MaxAbsDiff(want))
+			}
+		}
+	}
+}
+
+// TestPipelinedOverlapFraction pins the recorder's overlap attribution: a
+// pipelined MeshSlice run must show a positive overlap fraction (async ops
+// in flight while compute spans open), a serial run must show no async ops
+// at all.
+func TestPipelinedOverlapFraction(t *testing.T) {
+	tor := topology.NewTorus(2, 2)
+	p := Problem{M: 32, N: 32, K: 32, Dataflow: OS}
+	a, b, _ := makeProblem(p, int64(3))
+
+	run := func(pipelined bool) recorder.OverlapStats {
+		m := mesh.New(tor)
+		rec := recorder.New(tor.Size(), 0)
+		m.SetRecorder(rec)
+		cfg := MeshSliceConfig{S: 4, Block: 1, Pipelined: pipelined}
+		MultiplyOn(m, MeshSlice(OS, cfg), a, b)
+		return rec.Overlap()
+	}
+
+	serial := run(false)
+	if serial.AsyncOps != 0 {
+		t.Errorf("serial run recorded %d async ops, want 0", serial.AsyncOps)
+	}
+	pipe := run(true)
+	if pipe.AsyncOps == 0 {
+		t.Fatal("pipelined run recorded no async ops")
+	}
+	if pipe.Fraction <= 0 {
+		t.Errorf("pipelined overlap fraction %v, want > 0", pipe.Fraction)
+	}
+	// With S=4 every chip prefetches 3 of its 8 gathers under compute on
+	// each ring; the prolog pair is the only non-overlapped issue.
+	if pipe.Overlapped == 0 {
+		t.Error("pipelined run attributed no op as overlapped")
+	}
+}
+
+// TestPipelinedDelayFaultsPreserveNumerics: delay interposers perturb the
+// interleaving of the background comm lanes without touching payloads — the
+// pipelined result must stay bit-identical to the healthy pipelined (and
+// hence serial) result.
+func TestPipelinedDelayFaultsPreserveNumerics(t *testing.T) {
+	tor := topology.NewTorus(2, 2)
+	p := Problem{M: 64, N: 64, K: 64, Dataflow: LS}
+	a, b, _ := makeProblem(p, int64(11))
+	cfg := MeshSliceConfig{S: 2, Block: 2, Pipelined: true}
+
+	want := Multiply(tor, MeshSlice(LS, cfg), a, b)
+
+	m := mesh.New(tor)
+	m.SetFaults(fault.MeshFaults{Delays: []fault.EdgeDelay{
+		{From: 0, To: 1, Yields: 4},
+		{From: 1, To: 0, Yields: 4},
+		{From: 2, To: 0, Yields: 2},
+	}})
+	got := MultiplyOn(m, MeshSlice(LS, cfg), a, b)
+	if !got.BitEqual(want) {
+		t.Errorf("delayed pipelined result not bit-identical to healthy (max diff %g)", got.MaxAbsDiff(want))
+	}
+}
+
+// TestPipelinedDropStallNamesOverlappedOp: when a message of an OVERLAPPED
+// collective is lost, the stall must still surface as a typed error whose
+// wait attribution names the async op the background lane was executing —
+// the forensics path reads the worker's op log, not the chip's span stack.
+func TestPipelinedDropStallNamesOverlappedOp(t *testing.T) {
+	tor := topology.NewTorus(2, 2)
+	p := Problem{M: 32, N: 32, K: 32, Dataflow: OS}
+	a, b, _ := makeProblem(p, int64(5))
+	cfg := MeshSliceConfig{S: 2, Block: 1, Pipelined: true}
+
+	m := mesh.New(tor)
+	rec := recorder.New(tor.Size(), 0)
+	m.SetRecorder(rec)
+	// Chip 0's first row-ring message vanishes: chip 1's row comm lane
+	// starves inside the slice-0 AllGather it runs underneath compute.
+	m.SetFaults(fault.MeshFaults{Drops: []fault.EdgeDrop{{From: 0, To: 1, Nth: 0}}})
+	as := tensor.Partition(a, tor.Rows, tor.Cols)
+	bs := tensor.Partition(b, tor.Rows, tor.Cols)
+	fn := MeshSlice(OS, cfg)
+	err := m.RunE(func(c *mesh.Chip) { fn(c, as[c.Rank], bs[c.Rank]) })
+	if err == nil {
+		t.Fatal("dropped message under pipelining went undetected")
+	}
+	var stall *mesh.RecvStallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("got %T (%v), want *RecvStallError", err, err)
+	}
+	found := false
+	for _, w := range stall.Waits {
+		if w.From == 0 && w.To == 1 && w.Op == "allgather" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stall waits %+v do not attribute edge 0→1 to the overlapped allgather", stall.Waits)
+	}
+	if !strings.Contains(err.Error(), "allgather") {
+		t.Errorf("stall error does not name the overlapped op:\n%v", err)
+	}
+}
+
+// TestPipelinedChipFailSurfacesTyped: a chip that fail-stops while its
+// background lanes have collectives in flight must still surface as a
+// ChipFailedError, not a hang or an untyped panic.
+func TestPipelinedChipFailSurfacesTyped(t *testing.T) {
+	tor := topology.NewTorus(2, 2)
+	p := Problem{M: 32, N: 32, K: 32, Dataflow: OS}
+	a, b, _ := makeProblem(p, int64(5))
+	cfg := MeshSliceConfig{S: 2, Block: 1, Pipelined: true}
+
+	m := mesh.New(tor)
+	m.SetFaults(fault.MeshFaults{ChipFails: []fault.MeshChipFail{{Chip: 1, AfterSends: 0}}})
+	as := tensor.Partition(a, tor.Rows, tor.Cols)
+	bs := tensor.Partition(b, tor.Rows, tor.Cols)
+	fn := MeshSlice(OS, cfg)
+	err := m.RunE(func(c *mesh.Chip) { fn(c, as[c.Rank], bs[c.Rank]) })
+	if err == nil {
+		t.Fatal("failed chip under pipelining went undetected")
+	}
+	var cf *mesh.ChipFailedError
+	if !errors.As(err, &cf) {
+		t.Fatalf("got %T (%v), want *ChipFailedError", err, err)
+	}
+	if cf.Chip != 1 {
+		t.Errorf("diagnosis %+v, want chip 1", cf)
+	}
+}
+
+// TestPipelinedSnapshotDeterministicAcrossGOMAXPROCS: the flight recorder's
+// canonical export of a pipelined run must be byte-identical across
+// GOMAXPROCS — op logs merge at Wait (a deterministic program point), so
+// worker scheduling must not leak into the event stream.
+func TestPipelinedSnapshotDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	tor := topology.NewTorus(2, 2)
+	p := Problem{M: 32, N: 32, K: 32, Dataflow: LS}
+	a, b, _ := makeProblem(p, int64(9))
+	cfg := MeshSliceConfig{S: 2, Block: 1, Pipelined: true}
+
+	snapshot := func() []byte {
+		m := mesh.New(tor)
+		rec := recorder.New(tor.Size(), 0)
+		m.SetRecorder(rec)
+		MultiplyOn(m, MeshSlice(LS, cfg), a, b)
+		var buf bytes.Buffer
+		if err := rec.Snapshot().WriteJSON(&buf); err != nil {
+			t.Fatalf("snapshot: %v", err)
+		}
+		return buf.Bytes()
+	}
+
+	var want []byte
+	for _, procs := range []int{1, 2, 8} {
+		prev := runtime.GOMAXPROCS(procs)
+		got := snapshot()
+		runtime.GOMAXPROCS(prev)
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("pipelined snapshot at GOMAXPROCS=%d differs from GOMAXPROCS=1", procs)
+		}
+	}
+}

@@ -41,6 +41,11 @@ type AlgOptions struct {
 	Block int
 	// Iterations overrides SUMMA's panel count.
 	Iterations int
+	// Pipelined selects the double-buffered overlapped schedules where
+	// the algorithm has one (MeshSlice, Wang); algorithms without an
+	// overlapped variant ignore it and run serially. Results are
+	// bit-identical either way.
+	Pipelined bool
 }
 
 func (o AlgOptions) withDefaults() AlgOptions {
@@ -62,7 +67,7 @@ func Algorithms() []Algorithm {
 			Dataflows: all,
 			Build: func(df Dataflow, o AlgOptions) ChipFunc {
 				o = o.withDefaults()
-				return MeshSlice(df, MeshSliceConfig{S: o.S, Block: o.Block})
+				return MeshSlice(df, MeshSliceConfig{S: o.S, Block: o.Block, Pipelined: o.Pipelined})
 			},
 			Validate: func(p Problem, t topology.Torus, o AlgOptions) error {
 				o = o.withDefaults()
@@ -103,6 +108,9 @@ func Algorithms() []Algorithm {
 			Name:      "Wang",
 			Dataflows: all,
 			Build: func(df Dataflow, o AlgOptions) ChipFunc {
+				if o.Pipelined {
+					return WangPipelined(df)
+				}
 				return WangDataflow(df)
 			},
 			Validate: func(p Problem, t topology.Torus, o AlgOptions) error {

@@ -37,13 +37,19 @@ const (
 	ownOwned ownFlags = 1 << iota
 	ownSent
 	ownReleased
+	ownWaited
 )
 
 // ownState is one tracked variable's abstract state.
 type ownState struct {
 	flags    ownFlags
-	acquired token.Pos // AcquireBuf call position; NoPos for recv/sent-only origins
+	acquired token.Pos // AcquireBuf/Start* call position; NoPos for recv/sent-only origins
 	deadPos  token.Pos // most recent kill site, for messages
+	// handle marks the variable as an async collective Handle (from a
+	// Start* call) rather than an arena buffer: it must be discharged by
+	// exactly one Wait on every path, and the diagnostics speak in handle
+	// vocabulary.
+	handle bool
 }
 
 // ownVars maps a variable object to its state. It is the dataflow lattice
@@ -59,8 +65,9 @@ func analyzeBufOwnership() *Analyzer {
 	return &Analyzer{
 		Name: "buf-ownership",
 		Doc: "flow-sensitive ownership checking for the arena buffer API: a buffer is dead after " +
-			"SendOwned/ReleaseBuf (no later use, re-send, or double release on any path), and an " +
-			"AcquireBuf result must be released, sent, or returned on every path",
+			"SendOwned/ReleaseBuf (no later use, re-send, or double release on any path), an " +
+			"AcquireBuf result must be released, sent, or returned on every path, and an async " +
+			"collective Handle from a Start* call must be discharged by exactly one Wait on every path",
 		Run: runBufOwnership,
 	}
 }
@@ -138,6 +145,10 @@ func checkOwnershipBody(fset *token.FileSet, p *Package, body *ast.BlockStmt, re
 			if dv.deadPos == token.NoPos && sv.deadPos != token.NoPos {
 				dv.deadPos = sv.deadPos
 			}
+			if sv.handle && !dv.handle {
+				dv.handle = true
+				changed = true
+			}
 		}
 		return changed
 	}
@@ -163,7 +174,12 @@ func checkOwnershipBody(fset *token.FileSet, p *Package, body *ast.BlockStmt, re
 	// from AcquireBuf were neither released, sent, nor returned on some path.
 	if exit, ok := in[cfg.exit]; ok {
 		for _, st := range exit {
-			if st.flags&ownOwned != 0 && st.acquired != token.NoPos {
+			if st.flags&ownOwned == 0 || st.acquired == token.NoPos {
+				continue
+			}
+			if st.handle {
+				oc.record(st.acquired, "async handle may leak: some path reaches the end of the function without Wait — the collective's completion (and any panic it carries) goes unobserved until teardown")
+			} else {
 				oc.record(st.acquired, "buffer from AcquireBuf may leak: some path reaches the end of the function without ReleaseBuf, SendOwned, or returning it")
 			}
 		}
@@ -197,8 +213,12 @@ func mentionsArena(p *Package, body *ast.BlockStmt) bool {
 		}
 		if sel, ok := n.(*ast.SelectorExpr); ok {
 			switch sel.Sel.Name {
-			case "AcquireBuf", "ReleaseBuf", "SendOwned", "SendOwnedTo":
+			case "AcquireBuf", "ReleaseBuf", "SendOwned", "SendOwnedTo", "Wait":
 				found = true
+			default:
+				if len(sel.Sel.Name) > 5 && sel.Sel.Name[:5] == "Start" {
+					found = true
+				}
 			}
 		}
 		return !found
@@ -307,6 +327,8 @@ func (oc *ownChecker) assign(lhs, rhs ast.Expr, s ownVars) {
 	switch kind, pos := oc.classifyOrigin(rhs); kind {
 	case "acquire":
 		s[obj] = &ownState{flags: ownOwned, acquired: pos}
+	case "handle":
+		s[obj] = &ownState{flags: ownOwned, acquired: pos, handle: true}
 	case "recv":
 		s[obj] = &ownState{flags: ownOwned}
 	case "copy":
@@ -314,6 +336,12 @@ func (oc *ownChecker) assign(lhs, rhs ast.Expr, s ownVars) {
 		if st, ok := s[src]; ok {
 			cp := *st
 			s[obj] = &cp
+			// A handle assignment is a MOVE: the Wait obligation travels
+			// with the value (the pipelined rotation h = hNext), it is not
+			// duplicated.
+			if st.handle {
+				delete(s, src)
+			}
 			return
 		}
 		delete(s, obj)
@@ -334,10 +362,65 @@ func (oc *ownChecker) classifyOrigin(rhs ast.Expr) (string, token.Pos) {
 				return "recv", rhs.Pos()
 			}
 		}
+		if oc.handleCall(rhs) {
+			return "handle", rhs.Pos()
+		}
 	case *ast.Ident:
 		return "copy", token.NoPos
 	}
 	return "", token.NoPos
+}
+
+// handleCall reports whether call is a Start* constructor returning an
+// async collective *Handle (mesh.Comm.StartAsync, collective.Start*Into,
+// or a fixture with the same shape). Classification is by result type, so
+// unrelated Start-prefixed functions stay out of scope.
+func (oc *ownChecker) handleCall(call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return false
+	}
+	if len(name) < 5 || name[:5] != "Start" {
+		return false
+	}
+	t := oc.pkg.Info.TypeOf(call)
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Handle"
+}
+
+// waitCall returns the receiver identifier when call is Handle.Wait().
+func (oc *ownChecker) waitCall(call *ast.CallExpr) (*ast.Ident, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return nil, false
+	}
+	fn, ok := oc.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Handle" {
+		return nil, false
+	}
+	id, _ := sel.X.(*ast.Ident)
+	return id, true
 }
 
 // arenaCall reports the method name when call is an arena-API method call
@@ -380,6 +463,14 @@ func (oc *ownChecker) stepExpr(e ast.Expr, s ownVars, rep ownReport) {
 	}
 	switch e := e.(type) {
 	case *ast.CallExpr:
+		if id, ok := oc.waitCall(e); ok {
+			if id != nil {
+				oc.waitKill(id, s, rep)
+			} else {
+				oc.stepExpr(e.Fun.(*ast.SelectorExpr).X, s, rep)
+			}
+			return
+		}
 		if name, ok := oc.arenaCall(e); ok {
 			sel := e.Fun.(*ast.SelectorExpr)
 			oc.stepExpr(sel.X, s, rep) // receiver is a plain read
@@ -494,6 +585,26 @@ func (oc *ownChecker) kill(arg ast.Expr, dead ownFlags, method string, s ownVars
 		st.deadPos = id.Pos()
 	} else {
 		s[obj] = &ownState{flags: dead, deadPos: id.Pos()}
+	}
+}
+
+// waitKill processes Handle.Wait(): it reports a double Wait, then marks
+// the handle discharged.
+func (oc *ownChecker) waitKill(id *ast.Ident, s ownVars, rep ownReport) {
+	obj := oc.pkg.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	st, ok := s[obj]
+	if ok && rep != nil && st.flags&ownWaited != 0 {
+		rep(id.Pos(), "%q waited twice: the handle was already discharged on some path (waited at %s)", id.Name, oc.posString(st.deadPos))
+	}
+	if ok {
+		st.flags = (st.flags &^ ownOwned) | ownWaited
+		st.deadPos = id.Pos()
+		st.handle = true
+	} else {
+		s[obj] = &ownState{flags: ownWaited, deadPos: id.Pos(), handle: true}
 	}
 }
 

@@ -1,0 +1,75 @@
+package arena
+
+// Handle mimics the mesh runtime's async collective handle: the analyzer
+// recognises Start*-named constructors by their *Handle result type and
+// Wait() as the discharge, so the fixture needs no module imports.
+type Handle struct{ done bool }
+
+func (h *Handle) Wait() {}
+
+// StartAllGatherRowsInto mimics collective.StartAllGatherRowsInto.
+func (cm *Comm) StartAllGatherRowsInto(local, dst *Matrix) *Handle { return &Handle{} }
+
+// StartReduceScatterColsInto mimics collective.StartReduceScatterColsInto.
+func (cm *Comm) StartReduceScatterColsInto(m, dst *Matrix) *Handle { return &Handle{} }
+
+// PipelinedIdiom is the blessed double-buffered shape (the peeled-epilogue
+// form the gemm pipelines use): every Start has an unconditional matching
+// Wait, and the rotation h = hN MOVES the obligation. No findings.
+func PipelinedIdiom(cm *Comm, local *Matrix, dst [2]*Matrix, iters int) {
+	h := cm.StartAllGatherRowsInto(local, dst[0])
+	for i := 0; i < iters-1; i++ {
+		hN := cm.StartAllGatherRowsInto(local, dst[(i+1)%2])
+		h.Wait()
+		h = hN
+	}
+	h.Wait()
+}
+
+// ConditionalPrefetch guards the issue and the wait by conditions the
+// path-insensitive analyzer cannot correlate, so it reports a maybe-leak
+// (the rotation moves the branch-issued handle's obligation into h, which
+// is never discharged after the final rotation on the analyzer's exit
+// paths) — the reason the real pipelines use the peeled-epilogue shape.
+func ConditionalPrefetch(cm *Comm, local *Matrix, dst [2]*Matrix, iters int) {
+	h := cm.StartAllGatherRowsInto(local, dst[0]) // want "async handle may leak"
+	for i := 0; i < iters; i++ {
+		var hN *Handle
+		if i+1 < iters {
+			hN = cm.StartAllGatherRowsInto(local, dst[(i+1)%2])
+		}
+		h.Wait()
+		h = hN
+	}
+}
+
+// LeakedHandleOnSomePath forgets to Wait on the early-return branch: the
+// collective's completion (and any panic it carries) goes unobserved.
+func LeakedHandleOnSomePath(cm *Comm, local, dst *Matrix, n int) {
+	h := cm.StartAllGatherRowsInto(local, dst) // want "async handle may leak"
+	if n > 4 {
+		return
+	}
+	h.Wait()
+}
+
+// DoubleWait discharges the same handle twice.
+func DoubleWait(cm *Comm, wide, dst *Matrix) {
+	h := cm.StartReduceScatterColsInto(wide, dst)
+	h.Wait()
+	h.Wait() // want "\"h\" waited twice"
+}
+
+// TwoInFlight is the overlap discipline: two ops outstanding on one ring,
+// waited in issue order. No findings.
+func TwoInFlight(cm *Comm, local, wide, rows, dst *Matrix) {
+	h1 := cm.StartAllGatherRowsInto(local, rows)
+	h2 := cm.StartReduceScatterColsInto(wide, dst)
+	h1.Wait()
+	h2.Wait()
+}
+
+// ReturnedHandleTransfers hands the obligation to the caller. No findings.
+func ReturnedHandleTransfers(cm *Comm, local, dst *Matrix) *Handle {
+	return cm.StartAllGatherRowsInto(local, dst)
+}

@@ -48,16 +48,32 @@ type exchanger struct {
 	chipSends map[int]int
 
 	// Quiescence detection: alive counts chip goroutines still running,
-	// waiting counts those blocked in recv, waitEdges the edges they are
-	// blocked on. stalled flips once waiting == alive; stallEdges snapshots
-	// the blocked edges for the typed error, stallWaits the same edges
-	// enriched with each receiver's open collective span (recorder only).
+	// waiting counts those blocked in recv, awaiting those parked in
+	// Handle.Wait, waitEdges the edges blocked receives (chip or worker)
+	// are parked on. stalled flips once every alive chip and every live
+	// background comm worker is provably parked; stallEdges snapshots the
+	// blocked edges for the typed error, stallWaits the same edges enriched
+	// with each blocked receiver's open span (recorder only), captured at
+	// park time so an overlapped op names itself rather than whatever span
+	// its issuing chip has open.
 	alive      int
 	waiting    int
+	awaiting   int
 	waitEdges  map[pair]int
+	waitSpans  map[pair]recorder.SpanState
 	stalled    bool
 	stallEdges []Edge
 	stallWaits []EdgeWait
+
+	// Background comm workers (see async.go): wlive counts spawned workers,
+	// widle those parked on an empty queue, wblocked those parked inside
+	// recv. awaitList chains the handles chips are currently parked on, so
+	// a completed-but-not-yet-resumed Wait never reads as a stall.
+	wlive, widle, wblocked int
+	workersClosing         bool
+	awaitList              *Handle
+	workers                []*asyncWorker
+	workersWG              sync.WaitGroup
 
 	// rec, when set (SetRecorder, never mid-run), receives fault-interposer
 	// events and answers span queries at stall/failure time. Message
@@ -159,8 +175,14 @@ func (e *exchanger) beginRun(n int) {
 	defer e.mu.Unlock()
 	e.alive = n
 	e.waiting = 0
+	e.awaiting = 0
+	e.wlive, e.widle, e.wblocked = 0, 0, 0
+	e.workersClosing = false
+	e.awaitList = nil
+	e.workers = nil
 	e.stalled = false
 	e.stallEdges = nil
+	e.waitSpans = make(map[pair]recorder.SpanState)
 	e.edgeSends = make(map[pair]int)
 	e.chipSends = make(map[int]int)
 }
@@ -175,11 +197,15 @@ func (e *exchanger) chipDone() {
 }
 
 // maybeStall declares a permanent stall when every alive chip goroutine is
-// blocked in recv: nothing outside chip goroutines ever sends, so no
-// blocked receive can complete. Callers hold e.mu.
+// blocked (in recv or in Handle.Wait) and every live background comm
+// worker is parked (idle or blocked in recv): only those contexts ever
+// send, so no blocked receive can complete. Callers hold e.mu.
 // lint:allow hotpath-alloc stall declaration is terminal fault handling, not steady state
 func (e *exchanger) maybeStall() {
-	if e.stalled || e.poisoned || e.alive <= 0 || e.waiting < e.alive {
+	if e.stalled || e.poisoned || e.alive <= 0 || e.waiting+e.awaiting < e.alive {
+		return
+	}
+	if e.wblocked+e.widle < e.wlive {
 		return
 	}
 	// A receiver woken by a send stays counted in waiting until it
@@ -187,6 +213,13 @@ func (e *exchanger) maybeStall() {
 	// is in flight and the system is not quiescent.
 	for k, n := range e.waitEdges {
 		if n > 0 && e.queues[k].pending() > 0 {
+			return
+		}
+	}
+	// Likewise a completed handle whose chip has not resumed yet: the
+	// chip's wake-up is in flight, not lost.
+	for h := e.awaitList; h != nil; h = h.nextAwait {
+		if h.state == hDone {
 			return
 		}
 	}
@@ -205,15 +238,14 @@ func (e *exchanger) maybeStall() {
 		return a.To < b.To
 	})
 	if e.rec != nil {
-		// Attribute each blocked edge to the receiver's open collective
-		// span. Safe to read the blocked chips' logs here: every receiver
-		// counted in waitEdges is parked in cond.Wait, and its last log
-		// writes happened before it took e.mu on the way in — which
-		// happens-before this critical section.
+		// Attribute each blocked edge to its receiver's open span, captured
+		// into waitSpans when the receiver parked — a chip receiver's
+		// innermost collective span, or the overlapped op's own span when a
+		// background comm worker is the one blocked.
 		e.stallWaits = make([]EdgeWait, 0, len(e.stallEdges))
 		for _, ed := range e.stallEdges {
 			w := EdgeWait{Edge: ed, Step: -1}
-			if s := e.rec.CurrentSpan(ed.To); s.Open && s.Op != recorder.OpNone {
+			if s, ok := e.waitSpans[pair{ed.From, ed.To}]; ok && s.Open && s.Op != recorder.OpNone {
 				w.Op = s.Op.String()
 				w.Step = int(s.Recvs)
 			}
@@ -223,7 +255,8 @@ func (e *exchanger) maybeStall() {
 	e.cond.Broadcast()
 }
 
-func (e *exchanger) send(from, to int, m *tensor.Matrix, clock uint64) {
+func (e *exchanger) send(c *Chip, to int, m *tensor.Matrix, clock uint64) {
+	from := c.Rank
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	k := pair{from, to}
@@ -232,10 +265,21 @@ func (e *exchanger) send(from, to int, m *tensor.Matrix, clock uint64) {
 			sends := e.chipSends[from]
 			op, step := "", -1
 			if e.rec != nil {
-				e.rec.ChipFail(from, sends)
-				// The fatal send was already recorded by the Chip method, so
-				// the span's send count is one past it.
-				if s := e.rec.CurrentSpan(from); s.Open && s.Op != recorder.OpNone {
+				// Record through the caller's context: a background comm
+				// worker's fail-stop lands in its op's private log (the
+				// issuing chip goroutine owns the chip ring exclusively),
+				// and its own span names the overlapped op. The fatal send
+				// was already recorded by the Chip method, so the span's
+				// send count is one past it.
+				var s recorder.SpanState
+				if c.olog != nil {
+					c.olog.ChipFail(sends)
+					s = c.olog.Span()
+				} else {
+					e.rec.ChipFail(from, sends)
+					s = e.rec.CurrentSpan(from)
+				}
+				if s.Open && s.Op != recorder.OpNone {
 					op, step = s.Op.String(), int(s.Sends)-1
 				}
 			}
@@ -251,7 +295,11 @@ func (e *exchanger) send(from, to int, m *tensor.Matrix, clock uint64) {
 			// traffic accounting — the receiver must detect the loss via
 			// the quiescence stall, not here.
 			if e.rec != nil {
-				e.rec.FaultDrop(from, to)
+				if c.olog != nil {
+					c.olog.FaultDrop(to)
+				} else {
+					e.rec.FaultDrop(from, to)
+				}
 			}
 			return
 		}
@@ -267,14 +315,19 @@ func (e *exchanger) send(from, to int, m *tensor.Matrix, clock uint64) {
 	e.cond.Broadcast()
 }
 
-func (e *exchanger) recv(from, to int) (*tensor.Matrix, uint64) {
+func (e *exchanger) recv(c *Chip, from int) (*tensor.Matrix, uint64) {
+	to := c.Rank
 	// A degraded edge yields the receiver to the scheduler: arrival order
 	// across chips shifts exactly as behind a slow link, while payloads
 	// and per-edge FIFO order — hence all numerics — stay untouched.
 	if e.delays != nil {
 		if n := e.delays[pair{from, to}]; n > 0 {
 			if e.rec != nil {
-				e.rec.FaultDelay(to, from, n)
+				if c.olog != nil {
+					c.olog.FaultDelay(from, n)
+				} else {
+					e.rec.FaultDelay(to, from, n)
+				}
 			}
 			for i := 0; i < n; i++ {
 				runtime.Gosched()
@@ -292,13 +345,31 @@ func (e *exchanger) recv(from, to int) (*tensor.Matrix, uint64) {
 		if e.stalled {
 			panic(&RecvStallError{Edges: e.stallEdges, Waits: e.stallWaits}) // lint:invariant quiescence-proved stall, recovered and typed by RunE
 		}
-		e.waiting++
+		if e.rec != nil {
+			// Capture the parked receiver's open span now, while its own
+			// context is provably at this park: stall forensics read it
+			// later from whichever goroutine declares the stall.
+			if c.olog != nil {
+				e.waitSpans[k] = c.olog.Span()
+			} else {
+				e.waitSpans[k] = e.rec.CurrentSpan(to)
+			}
+		}
+		if c.isWorker {
+			e.wblocked++
+		} else {
+			e.waiting++
+		}
 		e.waitEdges[k]++
 		e.maybeStall()
 		if !e.stalled {
 			e.cond.Wait()
 		}
-		e.waiting--
+		if c.isWorker {
+			e.wblocked--
+		} else {
+			e.waiting--
+		}
 		e.waitEdges[k]--
 		if e.waitEdges[k] == 0 {
 			delete(e.waitEdges, k)
@@ -328,7 +399,13 @@ func (e *exchanger) reset() {
 	e.stallEdges = nil
 	e.stallWaits = nil
 	e.waitEdges = make(map[pair]int)
+	e.waitSpans = nil
 	e.waiting = 0
+	e.awaiting = 0
+	e.awaitList = nil
+	e.wlive, e.widle, e.wblocked = 0, 0, 0
+	e.workersClosing = false
+	e.workers = nil
 }
 
 // stats snapshots the traffic counters.

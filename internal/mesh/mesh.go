@@ -147,6 +147,17 @@ type Chip struct {
 	// streamStarts counts ring streams started since the last receive
 	// (see MaxStreamStarts).
 	streamStarts int
+	// isWorker marks the chip view a background comm worker executes
+	// asynchronous collectives through (see async.go); olog, when set on
+	// such a view, is the private flight record of the op in flight —
+	// workers must never write the chip's own event ring, which the chip
+	// goroutine owns exclusively.
+	isWorker bool
+	olog     *recorder.OpLog
+	// async holds the chip's asynchronous-collective state, shared by
+	// every view of the chip (WithRings copies the pointer, worker views
+	// drop it).
+	async *asyncState
 }
 
 // WithRings returns a view of the chip whose row and column communicators
@@ -215,11 +226,31 @@ func (m *Mesh) runAll(fn func(c *Chip)) []any {
 			// samples to the chip they ran for (veScale-style per-rank
 			// debugging of eager SPMD code).
 			pprof.Do(context.Background(), pprof.Labels("chip", strconv.Itoa(rank)), func(context.Context) {
-				fn(&Chip{Coord: m.Torus.Coord(rank), Rank: rank, mesh: m})
+				c := &Chip{Coord: m.Torus.Coord(rank), Rank: rank, mesh: m, async: &asyncState{}}
+				completed := false
+				// Retire any asynchronous collectives the body issued but
+				// never waited — on the normal AND the panicking path — so
+				// background workers always quiesce before this chip counts
+				// as done. This defer runs before chipDone/poison above.
+				defer func() {
+					if len(c.async.outstanding) == 0 {
+						return
+					}
+					if !completed {
+						// The body is already panicking: poison first so
+						// workers blocked in receives abort instead of
+						// stalling the drain on a half-run collective.
+						m.ex.poison()
+					}
+					c.drainAsync(completed)
+				}()
+				fn(c)
+				completed = true
 			})
 		}(r)
 	}
 	wg.Wait()
+	m.ex.closeWorkers()
 	m.ex.reset()
 	return panics
 }
@@ -262,10 +293,12 @@ func (c *Chip) comm(d topology.Direction) *Comm {
 // the semantics of a DMA send out of HBM.
 func (c *Chip) Send(to int, m *tensor.Matrix) {
 	var clock uint64
-	if r := c.mesh.rec; r != nil {
+	if c.olog != nil {
+		clock = c.olog.Send(to, m.Rows, m.Cols)
+	} else if r := c.mesh.rec; r != nil {
 		clock = r.Send(c.Rank, to, m.Rows, m.Cols)
 	}
-	c.mesh.ex.send(c.Rank, to, m.Clone(), clock)
+	c.mesh.ex.send(c, to, m.Clone(), clock)
 }
 
 // SendOwned delivers m to the chip with the given rank, transferring
@@ -276,11 +309,13 @@ func (c *Chip) Send(to int, m *tensor.Matrix) {
 // lint:hotpath ownership-transfer send: zero-copy, zero-allocation
 func (c *Chip) SendOwned(to int, m *tensor.Matrix) {
 	var clock uint64
-	if r := c.mesh.rec; r != nil {
+	if c.olog != nil {
+		clock = c.olog.Send(to, m.Rows, m.Cols)
+	} else if r := c.mesh.rec; r != nil {
 		clock = r.Send(c.Rank, to, m.Rows, m.Cols)
 	}
 	c.mesh.pool.noteSend(m)
-	c.mesh.ex.send(c.Rank, to, m, clock)
+	c.mesh.ex.send(c, to, m, clock)
 }
 
 // Recv blocks until a matrix from the given rank arrives and returns it.
@@ -288,9 +323,11 @@ func (c *Chip) SendOwned(to int, m *tensor.Matrix) {
 // owns the returned matrix exclusively.
 func (c *Chip) Recv(from int) *tensor.Matrix {
 	c.streamStarts = 0 // receiving proves this chip drains the ring
-	m, clock := c.mesh.ex.recv(from, c.Rank)
+	m, clock := c.mesh.ex.recv(c, from)
 	c.mesh.pool.noteDeliver(m)
-	if r := c.mesh.rec; r != nil {
+	if c.olog != nil {
+		c.olog.Recv(from, m.Rows, m.Cols, clock)
+	} else if r := c.mesh.rec; r != nil {
 		r.Recv(c.Rank, from, m.Rows, m.Cols, clock)
 	}
 	return m
@@ -302,7 +339,9 @@ func (c *Chip) Recv(from int) *tensor.Matrix {
 // without a recorder — one pointer comparison.
 // lint:hotpath steady-state record: must not allocate
 func (c *Chip) SpanStart(op recorder.Op, step int) {
-	if r := c.mesh.rec; r != nil {
+	if c.olog != nil {
+		c.olog.SpanStart(op, step)
+	} else if r := c.mesh.rec; r != nil {
 		r.SpanStart(c.Rank, op, step)
 	}
 }
@@ -311,7 +350,9 @@ func (c *Chip) SpanStart(op recorder.Op, step int) {
 // without a recorder.
 // lint:hotpath steady-state record: must not allocate
 func (c *Chip) SpanEnd(op recorder.Op) {
-	if r := c.mesh.rec; r != nil {
+	if c.olog != nil {
+		c.olog.SpanEnd(op)
+	} else if r := c.mesh.rec; r != nil {
 		r.SpanEnd(c.Rank, op)
 	}
 }
@@ -322,7 +363,9 @@ func (c *Chip) SpanEnd(op recorder.Op) {
 // ReleaseBuf — on whichever chip holds it last, not necessarily the one
 // that acquired it — or be handed off for good via SendOwned.
 func (c *Chip) AcquireBuf(rows, cols int) *tensor.Matrix {
-	if r := c.mesh.rec; r != nil {
+	if c.olog != nil {
+		c.olog.BufAcquire(rows, cols)
+	} else if r := c.mesh.rec; r != nil {
 		r.BufAcquire(c.Rank, rows, cols)
 	}
 	return c.mesh.pool.acquire(rows, cols)
@@ -332,7 +375,9 @@ func (c *Chip) AcquireBuf(rows, cols int) *tensor.Matrix {
 // only live reference; the buffer may be handed to any chip by a later
 // AcquireBuf and overwritten.
 func (c *Chip) ReleaseBuf(m *tensor.Matrix) {
-	if r := c.mesh.rec; r != nil {
+	if c.olog != nil {
+		c.olog.BufRelease(m.Rows, m.Cols)
+	} else if r := c.mesh.rec; r != nil {
 		r.BufRelease(c.Rank, m.Rows, m.Cols)
 	}
 	c.mesh.pool.release(m)

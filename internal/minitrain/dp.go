@@ -44,7 +44,7 @@ func TrainDistributedDP(c Config, t topology.Torus, depth int, data Data, steps 
 		ts[l] = tensor.Partition(tChunks[l], t.Rows, t.Cols)
 	}
 
-	cfg := gemm.MeshSliceConfig{S: c.S, Block: c.Block}
+	cfg := gemm.MeshSliceConfig{S: c.S, Block: c.Block, Pipelined: c.Pipelined}
 	fwd := gemm.MeshSlice(gemm.OS, cfg)
 	bwdData := gemm.MeshSlice(gemm.LS, cfg)
 	bwdWeight := gemm.MeshSlice(gemm.RS, cfg)

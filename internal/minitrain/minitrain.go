@@ -33,6 +33,12 @@ type Config struct {
 	// S and Block parameterise the MeshSlice GeMMs of the distributed run.
 	S     int
 	Block int
+	// Pipelined runs every MeshSlice GeMM of the step on the overlapped
+	// double-buffered schedule. Training results are bit-identical either
+	// way (the pipelined schedules are bitwise equal to serial), so this
+	// is purely a wall-clock knob — the elastic trainer keeps it across
+	// retune-resume cycles.
+	Pipelined bool
 }
 
 // Validate reports whether the configuration can shard onto the torus.
@@ -44,7 +50,7 @@ func (c Config) Validate(t topology.Torus) error {
 		return fmt.Errorf("minitrain: learning rate %v", c.LR)
 	}
 	for _, pass := range c.problems() {
-		cfg := gemm.MeshSliceConfig{S: c.S, Block: c.Block}
+		cfg := gemm.MeshSliceConfig{S: c.S, Block: c.Block, Pipelined: c.Pipelined}
 		if err := cfg.Validate(pass, t); err != nil {
 			return err
 		}
@@ -149,7 +155,7 @@ func TrainDistributed(c Config, t topology.Torus, data Data, steps int, seed int
 	w1s := tensor.Partition(w1g, t.Rows, t.Cols)
 	w2s := tensor.Partition(w2g, t.Rows, t.Cols)
 
-	cfg := gemm.MeshSliceConfig{S: c.S, Block: c.Block}
+	cfg := gemm.MeshSliceConfig{S: c.S, Block: c.Block, Pipelined: c.Pipelined}
 	fwd := gemm.MeshSlice(gemm.OS, cfg)
 	bwdData := gemm.MeshSlice(gemm.LS, cfg)
 	bwdWeight := gemm.MeshSlice(gemm.RS, cfg)

@@ -126,3 +126,30 @@ func TestProblemsCoverTableOne(t *testing.T) {
 		}
 	}
 }
+
+// TestPipelinedTrainingBitIdentical pins the trainer's overlap opt-in: a
+// full training run with every MeshSlice GeMM on the pipelined schedule must
+// produce bit-identical weights and losses to the serial-schedule run.
+func TestPipelinedTrainingBitIdentical(t *testing.T) {
+	tor := topology.NewTorus(2, 2)
+	c := testConfig()
+	data := NewData(c, 7)
+	want, err := TrainDistributed(c, tor, data, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := c
+	cp.Pipelined = true
+	got, err := TrainDistributed(cp, tor, data, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.W1.BitEqual(want.W1) || !got.W2.BitEqual(want.W2) {
+		t.Error("pipelined training weights differ from serial-schedule weights")
+	}
+	for i := range want.Losses {
+		if got.Losses[i] != want.Losses[i] { // lint:float-exact acceptance criterion: schedules are bitwise identical
+			t.Errorf("step %d: pipelined loss %v != serial %v", i, got.Losses[i], want.Losses[i])
+		}
+	}
+}

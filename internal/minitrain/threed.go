@@ -60,7 +60,7 @@ func TrainDistributed3D(c Config, t topology.Torus, dp, micro int, data Data, st
 		}
 	}
 
-	cfg := gemm.MeshSliceConfig{S: c.S, Block: c.Block}
+	cfg := gemm.MeshSliceConfig{S: c.S, Block: c.Block, Pipelined: c.Pipelined}
 	fwd := gemm.MeshSlice(gemm.OS, cfg)
 	bwdData := gemm.MeshSlice(gemm.LS, cfg)
 	bwdWeight := gemm.MeshSlice(gemm.RS, cfg)

@@ -85,6 +85,22 @@ func WriteMeshChromeTrace(w io.Writer, s *Snapshot, label string) error {
 			Name: "thread_name", Ph: "M", PID: cs.Chip, TID: 0,
 			Args: map[string]any{"name": "mesh runtime"},
 		})
+		// Async collective events carry a lane (1 + mesh direction); give
+		// each lane present its own named track so the overlapped comm spans
+		// render under the chip's compute track with sound B/E nesting per
+		// tid. Ascending-lane scan keeps the meta order deterministic.
+		maxLane := 0
+		for _, e := range cs.Events {
+			if e.Lane > maxLane {
+				maxLane = e.Lane
+			}
+		}
+		for lane := 1; lane <= maxLane; lane++ {
+			out = append(out, meshChromeMeta{
+				Name: "thread_name", Ph: "M", PID: cs.Chip, TID: lane,
+				Args: map[string]any{"name": "comm lane " + laneName(lane)},
+			})
+		}
 		for _, e := range cs.Events {
 			ts := float64(e.Clock)
 			switch e.Kind {
@@ -94,11 +110,11 @@ func WriteMeshChromeTrace(w io.Writer, s *Snapshot, label string) error {
 					name = fmt.Sprintf("%s #%d", e.Op, e.Step)
 				}
 				out = append(out, meshChromeEvent{
-					Name: name, Cat: "span", Ph: "B", TS: ts, PID: cs.Chip, TID: 0,
+					Name: name, Cat: "span", Ph: "B", TS: ts, PID: cs.Chip, TID: e.Lane,
 				})
 			case "span-end":
 				out = append(out, meshChromeEvent{
-					Name: e.Op, Cat: "span", Ph: "E", TS: ts, PID: cs.Chip, TID: 0,
+					Name: e.Op, Cat: "span", Ph: "E", TS: ts, PID: cs.Chip, TID: e.Lane,
 				})
 			case "send":
 				args := map[string]string{
@@ -108,13 +124,13 @@ func WriteMeshChromeTrace(w io.Writer, s *Snapshot, label string) error {
 				}
 				out = append(out, meshChromeEvent{
 					Name: fmt.Sprintf("send→%d", e.Peer), Cat: "msg", Ph: "i",
-					TS: ts, PID: cs.Chip, TID: 0, S: "t", Args: args,
+					TS: ts, PID: cs.Chip, TID: e.Lane, S: "t", Args: args,
 				})
 				k := flowKey{from: cs.Chip, to: e.Peer, clock: e.Clock}
 				if matched[k] {
 					out = append(out, meshChromeEvent{
 						Name: "msg", Cat: "flow", Ph: "s", TS: ts,
-						PID: cs.Chip, TID: 0, ID: flows[k],
+						PID: cs.Chip, TID: e.Lane, ID: flows[k],
 					})
 				}
 			case "recv":
@@ -125,23 +141,41 @@ func WriteMeshChromeTrace(w io.Writer, s *Snapshot, label string) error {
 				}
 				out = append(out, meshChromeEvent{
 					Name: fmt.Sprintf("recv←%d", e.Peer), Cat: "msg", Ph: "i",
-					TS: ts, PID: cs.Chip, TID: 0, S: "t", Args: args,
+					TS: ts, PID: cs.Chip, TID: e.Lane, S: "t", Args: args,
 				})
 				k := flowKey{from: e.Peer, to: cs.Chip, clock: e.MsgClock}
 				if matched[k] {
 					out = append(out, meshChromeEvent{
 						Name: "msg", Cat: "flow", Ph: "f", TS: ts,
-						PID: cs.Chip, TID: 0, ID: flows[k], BP: "e",
+						PID: cs.Chip, TID: e.Lane, ID: flows[k], BP: "e",
 					})
 				}
+			case "async-issue", "async-wait":
+				out = append(out, meshChromeEvent{
+					Name: fmt.Sprintf("%s %s#%d", e.Kind, e.Op, e.Step), Cat: "async", Ph: "i",
+					TS: ts, PID: cs.Chip, TID: e.Lane, S: "t",
+				})
 			case "fault-delay", "fault-drop", "chip-fail":
 				out = append(out, meshChromeEvent{
 					Name: e.Kind, Cat: "fault", Ph: "i", TS: ts,
-					PID: cs.Chip, TID: 0, S: "t",
+					PID: cs.Chip, TID: e.Lane, S: "t",
 					Args: map[string]string{"peer": fmt.Sprint(e.Peer)},
 				})
 			}
 		}
 	}
 	return json.NewEncoder(w).Encode(out)
+}
+
+// laneName maps a comm lane (1 + topology direction) to its track label.
+func laneName(lane int) string {
+	switch lane {
+	case 1:
+		return "row"
+	case 2:
+		return "col"
+	case 3:
+		return "depth"
+	}
+	return fmt.Sprint(lane)
 }

@@ -1,0 +1,169 @@
+package recorder
+
+// OpLog is the private flight record of one asynchronous collective: the
+// background comm worker executing the op records its sends, receives and
+// buffer transitions here — never into the issuing chip's ring, which the
+// chip goroutine owns exclusively — and Handle.Wait merges the whole log
+// into the chip's ring in one go (Recorder.MergeOpLog). Wait is a
+// deterministic program point, so the merged per-chip event stream, and
+// with it every canonical export, stays byte-identical across runs and
+// GOMAXPROCS settings even though the worker raced the chip in real time.
+//
+// Clock discipline: Begin seeds the op's Lamport clock with
+// max(issue clock, worker clock) — the issue stamp makes every op event
+// happen-after its KindAsyncIssue, and the worker clock keeps the ops of
+// one lane monotone even when a chip issues op s+1 before waiting on op s.
+// Receives merge message stamps exactly like the chip-level recorder, so
+// the recv-exceeds-send invariant holds across lanes.
+//
+// An OpLog belongs to exactly one in-flight op at a time; handles pool and
+// reuse them, so the steady state allocates nothing.
+type OpLog struct {
+	op   Op
+	ord  int32
+	lane uint8
+
+	clock        uint64
+	ev           []Event
+	sends, recvs int32
+	open         bool
+
+	// Per-peer totals, folded into the chip's wrap-proof counters at merge.
+	sendsTo   []uint64
+	dropsTo   []uint64
+	recvsFrom []uint64
+}
+
+// NewOpLog returns an empty op log sized for this recorder's chip count.
+// lint:allow hotpath-alloc pool-miss constructor: one op log per pooled handle, first use only
+func (r *Recorder) NewOpLog() *OpLog {
+	n := len(r.chips)
+	return &OpLog{
+		sendsTo:   make([]uint64, n),
+		dropsTo:   make([]uint64, n),
+		recvsFrom: make([]uint64, n),
+	}
+}
+
+// record stamps and stores one event with the op's lane.
+// lint:hotpath steady-state record: must not allocate
+func (ol *OpLog) record(e Event) {
+	e.Lane = ol.lane
+	ol.ev = append(ol.ev, e) // lint:allow hotpath-alloc op-log growth: capacity is reused across ops via the handle pool
+}
+
+// Begin opens the op's span. issueClock is the stamp AsyncIssue returned on
+// the issuing chip; workerClock is the executing lane's clock after its
+// previous op (zero for the first). lane is the Event.Lane value (1 + mesh
+// direction).
+// lint:hotpath steady-state record: must not allocate
+func (ol *OpLog) Begin(op Op, ord, lane int, issueClock, workerClock uint64) {
+	ol.op, ol.ord, ol.lane = op, int32(ord), uint8(lane)
+	ol.clock = issueClock
+	if workerClock > ol.clock {
+		ol.clock = workerClock
+	}
+	ol.sends, ol.recvs = 0, 0
+	ol.ev = ol.ev[:0]
+	ol.open = true
+	ol.clock++
+	ol.record(Event{Clock: ol.clock, Kind: KindSpanStart, Op: ol.op, Peer: -1, Step: ol.ord})
+}
+
+// End closes the op's span. The executing lane reads Clock() afterwards to
+// carry into its next op.
+// lint:hotpath steady-state record: must not allocate
+func (ol *OpLog) End() {
+	ol.clock++
+	ol.record(Event{Clock: ol.clock, Kind: KindSpanEnd, Op: ol.op, Peer: -1, Step: ol.ord})
+	ol.open = false
+}
+
+// Clock returns the op's Lamport clock after its last event.
+func (ol *OpLog) Clock() uint64 { return ol.clock }
+
+// Send records a message leaving the op for peer to and returns the Lamport
+// stamp the message carries.
+// lint:hotpath steady-state record: must not allocate
+func (ol *OpLog) Send(to, rows, cols int) uint64 {
+	ol.clock++
+	step := ol.sends
+	ol.sends++
+	ol.sendsTo[to]++
+	ol.record(Event{Clock: ol.clock, Kind: KindSend, Op: ol.op, Peer: int32(to), Step: step, Rows: int32(rows), Cols: int32(cols)})
+	return ol.clock
+}
+
+// Recv records a message from from delivered to the op, merging its stamp.
+// lint:hotpath steady-state record: must not allocate
+func (ol *OpLog) Recv(from, rows, cols int, msgClock uint64) {
+	if msgClock > ol.clock {
+		ol.clock = msgClock
+	}
+	ol.clock++
+	step := ol.recvs
+	ol.recvs++
+	ol.recvsFrom[from]++
+	ol.record(Event{Clock: ol.clock, MsgClock: msgClock, Kind: KindRecv, Op: ol.op, Peer: int32(from), Step: step, Rows: int32(rows), Cols: int32(cols)})
+}
+
+// BufAcquire records a scratch-buffer checkout by the op.
+// lint:hotpath steady-state record: must not allocate
+func (ol *OpLog) BufAcquire(rows, cols int) {
+	ol.clock++
+	ol.record(Event{Clock: ol.clock, Kind: KindBufAcquire, Op: ol.op, Peer: -1, Step: -1, Rows: int32(rows), Cols: int32(cols)})
+}
+
+// BufRelease records a scratch-buffer return by the op.
+// lint:hotpath steady-state record: must not allocate
+func (ol *OpLog) BufRelease(rows, cols int) {
+	ol.clock++
+	ol.record(Event{Clock: ol.clock, Kind: KindBufRelease, Op: ol.op, Peer: -1, Step: -1, Rows: int32(rows), Cols: int32(cols)})
+}
+
+// SpanStart records a nested span event inside the op. The op's own
+// send/recv step attribution is unaffected (OpLogs track one op, not a
+// stack).
+// lint:hotpath steady-state record: must not allocate
+func (ol *OpLog) SpanStart(op Op, step int) {
+	ol.clock++
+	ol.record(Event{Clock: ol.clock, Kind: KindSpanStart, Op: op, Peer: -1, Step: int32(step)})
+}
+
+// SpanEnd records a nested span-end event inside the op.
+// lint:hotpath steady-state record: must not allocate
+func (ol *OpLog) SpanEnd(op Op) {
+	ol.clock++
+	ol.record(Event{Clock: ol.clock, Kind: KindSpanEnd, Op: op, Peer: -1, Step: -1})
+}
+
+// FaultDelay records the fault interposer stalling the op's receive.
+func (ol *OpLog) FaultDelay(from, yields int) {
+	ol.clock++
+	ol.record(Event{Clock: ol.clock, Kind: KindFaultDelay, Op: ol.op, Peer: int32(from), Step: int32(yields)})
+}
+
+// FaultDrop records the fault interposer discarding the op's latest send.
+func (ol *OpLog) FaultDrop(to int) {
+	ol.clock++
+	ol.dropsTo[to]++
+	ol.record(Event{Clock: ol.clock, Kind: KindFaultDrop, Op: ol.op, Peer: int32(to), Step: -1})
+}
+
+// ChipFail records the fault interposer fail-stopping the issuing chip
+// while this op was sending on its behalf.
+func (ol *OpLog) ChipFail(sends int) {
+	ol.clock++
+	ol.record(Event{Clock: ol.clock, Kind: KindChipFail, Op: ol.op, Peer: -1, Step: int32(sends)})
+}
+
+// Span reports the op's identity and ring progress — the exchanger queries
+// it when the executing worker parks in a blocked receive, so stall
+// forensics name the overlapped op rather than whatever span the issuing
+// chip happens to have open.
+func (ol *OpLog) Span() SpanState {
+	if !ol.open {
+		return SpanState{Step: -1}
+	}
+	return SpanState{Op: ol.op, Step: ol.ord, Sends: ol.sends, Recvs: ol.recvs, Open: true}
+}

@@ -55,6 +55,14 @@ const (
 	// OpRestore covers checkpoint restore on a chip, including the restore
 	// digest broadcast that fences all chips on the same snapshot.
 	OpRestore
+	// OpCompute is a kernel-only span: the pipelined GeMM paths wrap each
+	// MatMul call in one, so the overlap metric (and the Chrome trace) can
+	// tell compute apart from the async collectives draining underneath it.
+	// The span's Step field carries the slice index.
+	OpCompute
+	// OpShift is an asynchronous SendRecv shift (Wang's overlapped
+	// direction, run on a background comm lane).
+	OpShift
 	numOps
 )
 
@@ -71,6 +79,8 @@ var opNames = [numOps]string{
 	"gemm-step",
 	"snapshot",
 	"restore",
+	"compute",
+	"shift",
 }
 
 func (o Op) String() string {
@@ -108,6 +118,13 @@ const (
 	// KindChipFail is the fault interposer fail-stopping this chip at a
 	// configured send count (Step = sends completed when it died).
 	KindChipFail
+	// KindAsyncIssue marks a chip handing an asynchronous collective to a
+	// background comm lane (Op names it; Step is the per-chip async ordinal).
+	KindAsyncIssue
+	// KindAsyncWait marks the chip's Handle.Wait completing: the async op's
+	// privately recorded events were merged into this chip's log immediately
+	// before this event (Op/Step mirror the matching KindAsyncIssue).
+	KindAsyncWait
 	numKinds
 )
 
@@ -122,6 +139,8 @@ var kindNames = [numKinds + 1]string{
 	"fault-delay",
 	"fault-drop",
 	"chip-fail",
+	"async-issue",
+	"async-wait",
 }
 
 func (k Kind) String() string {
@@ -158,6 +177,11 @@ type Event struct {
 	// Rows, Cols carry the payload or buffer shape for send/recv and
 	// buf-acquire/release events; zero otherwise.
 	Rows, Cols int32
+	// Lane separates execution contexts on one chip: 0 is the chip
+	// goroutine itself, 1+d is the background comm worker for mesh
+	// direction d. Events recorded through an OpLog carry the worker's
+	// lane; everything recorded directly on the chip stays on lane 0.
+	Lane uint8
 }
 
 // maxSpanDepth bounds the tracked span stack. Deeper nesting still records
@@ -379,6 +403,45 @@ func (r *Recorder) ChipFail(chip, sends int) {
 		op = t.op
 	}
 	l.record(Event{Clock: l.clock, Kind: KindChipFail, Op: op, Peer: -1, Step: int32(sends)})
+}
+
+// AsyncIssue records chip handing an asynchronous collective to a
+// background comm lane and returns the chip's clock after the event — the
+// seed the op's private OpLog starts from, so every event the lane records
+// happens-after the issue.
+// lint:hotpath steady-state record: must not allocate
+func (r *Recorder) AsyncIssue(chip int, op Op, ord int) uint64 {
+	l := r.chips[chip]
+	l.clock++
+	l.record(Event{Clock: l.clock, Kind: KindAsyncIssue, Op: op, Peer: -1, Step: int32(ord)})
+	return l.clock
+}
+
+// MergeOpLog appends ol's privately recorded events into chip's log —
+// Handle.Wait calls it at a deterministic program point, so the merged log
+// stays byte-identical across runs and GOMAXPROCS — then merges ol's clock
+// (clock = max(own, op) + 1) and records the closing KindAsyncWait. The
+// op's per-peer send/recv/drop totals fold into the chip's wrap-proof
+// counters. ol is reset for reuse.
+// lint:hotpath steady-state record: must not allocate
+func (r *Recorder) MergeOpLog(chip int, ol *OpLog) {
+	l := r.chips[chip]
+	for i := range ol.ev {
+		l.record(ol.ev[i])
+	}
+	for p := range ol.sendsTo {
+		l.sendsTo[p] += ol.sendsTo[p]
+		l.dropsTo[p] += ol.dropsTo[p]
+		l.recvsFrom[p] += ol.recvsFrom[p]
+		ol.sendsTo[p], ol.dropsTo[p], ol.recvsFrom[p] = 0, 0, 0
+	}
+	if ol.clock > l.clock {
+		l.clock = ol.clock
+	}
+	l.clock++
+	l.record(Event{Clock: l.clock, Kind: KindAsyncWait, Op: ol.op, Peer: -1, Step: int32(ol.ord)})
+	ol.ev = ol.ev[:0]
+	ol.open = false
 }
 
 // SpanState describes a chip's innermost open span at query time, plus its

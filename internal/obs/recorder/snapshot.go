@@ -21,6 +21,10 @@ type EventJSON struct {
 	Rows     int    `json:"rows,omitempty"`
 	Cols     int    `json:"cols,omitempty"`
 	MsgClock uint64 `json:"msg_clock,omitempty"`
+	// Lane is the execution context on the chip (0 = chip goroutine,
+	// 1+d = background comm worker for direction d); omitted when 0, so
+	// exports of purely synchronous runs are unchanged.
+	Lane int `json:"lane,omitempty"`
 }
 
 // ChipSnapshot is one chip's portion of a snapshot: the surviving window of
@@ -76,6 +80,7 @@ func (r *Recorder) Snapshot() *Snapshot {
 				Rows:     int(e.Rows),
 				Cols:     int(e.Cols),
 				MsgClock: e.MsgClock,
+				Lane:     int(e.Lane),
 			})
 		}
 		s.Logs[i] = cs
@@ -161,6 +166,9 @@ func (r *Recorder) Tail(chip, n int) []Event {
 // forensics dumps.
 func FormatEvent(chip int, e Event) string {
 	base := fmt.Sprintf("chip %d seq %d clk %d %s", chip, e.Seq, e.Clock, e.Kind)
+	if e.Lane > 0 {
+		base += fmt.Sprintf(" lane=%d", e.Lane)
+	}
 	if e.Op != OpNone {
 		base += " [" + e.Op.String() + "]"
 	}
@@ -182,6 +190,8 @@ func FormatEvent(chip int, e Event) string {
 		return fmt.Sprintf("%s to=%d", base, e.Peer)
 	case KindChipFail:
 		return fmt.Sprintf("%s after %d sends", base, e.Step)
+	case KindAsyncIssue, KindAsyncWait:
+		return fmt.Sprintf("%s op#%d", base, e.Step)
 	}
 	return base
 }
