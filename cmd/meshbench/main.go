@@ -49,6 +49,7 @@ func main() {
 	recordOut := flag.String("record-out", "", "also run the flight-recorder overhead suite (one collective and one functional GeMM, each recorder-off vs recorder-on) and write its summary to this JSON path")
 	ckptOut := flag.String("ckpt-out", "", "also run the checkpoint suite (snapshot encode, verify, and reshard at 16- and 64-chip shapes) and write its summary to this JSON path")
 	overlapOut := flag.String("overlap-out", "", "also run the comm/compute overlap suite (serial vs pipelined MeshSlice and Wang on the functional runtime at 2x2 and 4x4 meshes, GOMAXPROCS 2 and 8) and write its summary to this JSON path")
+	serveOut := flag.String("serve-out", "", "also run the inference-serving suite (continuous-batching scheduler over a seeded trace, arrival-rate sweep at 4x4 and 8x8, healthy and col-degraded fabric) and write its summary to this JSON path")
 	flag.Parse()
 
 	chip := hw.TPUv4()
@@ -138,6 +139,12 @@ func main() {
 	}
 	if *overlapOut != "" {
 		if err := runOverlapSuite(*overlapOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *serveOut != "" {
+		if err := runSuite(serveBenches(), *serveOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

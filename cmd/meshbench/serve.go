@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"meshslice/internal/fault"
+	"meshslice/internal/hw"
+	"meshslice/internal/model"
+	"meshslice/internal/serve"
+	"meshslice/internal/topology"
+)
+
+// serveBenches is the inference-serving suite: the continuous-batching
+// scheduler simulating a fixed seeded trace, swept over arrival rate and
+// mesh shape, each on a healthy fabric and under an all-chip column-link
+// degrade. It tracks the cost of one full serving simulation — the unit the
+// serving autotuner runs once per (shape × policy) candidate — so grid
+// sweeps stay affordable as the scheduler grows.
+func serveBenches() []bench {
+	chip := hw.TPUv4()
+	cfg := model.GPT3()
+	shapes := []topology.Torus{{Rows: 4, Cols: 4}, {Rows: 8, Cols: 8}}
+	rates := []float64{5, 20, 50}
+
+	colDegrade := func(chips int) *fault.Plan {
+		p := &fault.Plan{}
+		for c := 0; c < chips; c++ {
+			p.Degrades = append(p.Degrades, fault.LinkDegrade{
+				Link: fault.Link{Chip: c, Dir: topology.InterCol}, Factor: 6,
+			})
+		}
+		return p
+	}
+
+	var benches []bench
+	for _, shape := range shapes {
+		for _, rate := range rates {
+			for _, faulty := range []bool{false, true} {
+				shape, rate, faulty := shape, rate, faulty
+				name := fmt.Sprintf("Serve%dx%dRate%g", shape.Rows, shape.Cols, rate)
+				var plan *fault.Plan
+				if faulty {
+					name += "ColDegrade"
+					plan = colDegrade(shape.Size())
+				}
+				benches = append(benches, bench{name, func(b *testing.B) {
+					wl := serve.WorkloadSpec{Seed: 42, Rate: rate, Requests: 32}.Generate()
+					sc := serve.Config{
+						Model: cfg, Chip: chip, Mesh: shape,
+						SLO:      serve.SLO{TTFT: 1.0, PerToken: 0.05},
+						HBMBytes: 64 * 1 << 30,
+						Faults:   plan,
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := serve.Run(sc, wl); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}})
+			}
+		}
+	}
+	return benches
+}

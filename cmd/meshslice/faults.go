@@ -106,8 +106,22 @@ func faultScenario(name string, chips int, seed int64, factor float64) (*fault.P
 		return fault.Generate(seed, chips, fault.ScenarioOptions{
 			Degrades: 3, Stragglers: 2, MaxFactor: factor, Horizon: 0.01,
 		}), nil
+	case "chip-fail":
+		// Fail the top-numbered chips down to the largest square strictly
+		// smaller than the cluster: no full-size mesh survives, but a square
+		// mesh of the survivors does — the scenario that makes fault-aware
+		// serving retunes strictly improve goodput.
+		side := 1
+		for (side+1)*(side+1) < chips {
+			side++
+		}
+		p := &fault.Plan{}
+		for c := side * side; c < chips; c++ {
+			p.ChipFails = append(p.ChipFails, fault.ChipFail{Chip: c, At: 0})
+		}
+		return p, nil
 	}
-	return nil, fmt.Errorf("unknown scenario %q (want col-degrade, stragglers, or seeded)", name)
+	return nil, fmt.Errorf("unknown scenario %q (want col-degrade, stragglers, seeded, or chip-fail)", name)
 }
 
 func simTimeString(t float64, failed *netsim.Failure) string {

@@ -40,6 +40,13 @@
 //	    optionally fail-stop a chip mid-run, reshard the last complete
 //	    snapshot onto a new mesh shape, resume there, and verify the final
 //	    weights are bit-identical to an uninterrupted run.
+//
+//	meshslice serve -model gpt3 -chips 16 [-rows R -cols C] [-rate 10] [-slo 1.0] [-seed 42] [-faults chip-fail] [-o out.json]
+//	    Simulate deterministic LLM inference serving: a seeded Poisson
+//	    workload through the continuous-batching scheduler, with the mesh
+//	    shape and batching policy fixed by flags or chosen by the SLO-driven
+//	    serving autotuner; -faults additionally compares the stale
+//	    healthy-fabric deployment against a fault-aware retune.
 package main
 
 import (
@@ -85,6 +92,8 @@ func main() {
 		cmdFaults(os.Args[2:])
 	case "record":
 		cmdRecord(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
 	case "ckpt":
 		cmdCkpt(os.Args[2:])
 	default:
@@ -93,7 +102,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: meshslice {tune|sim|gemm|timeline|stats|plan|calibrate|verify|faults|record|ckpt} [flags]  (run a subcommand with -h for its flags)")
+	fmt.Fprintln(os.Stderr, "usage: meshslice {tune|sim|gemm|timeline|stats|plan|calibrate|verify|faults|record|ckpt|serve} [flags]  (run a subcommand with -h for its flags)")
 	os.Exit(2)
 }
 

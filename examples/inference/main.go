@@ -1,9 +1,11 @@
-// Inference decode step: the memory-bound regime of paper §6. Each decode
-// step multiplies a tiny batch×hidden activation against the full weight
+// Inference on a 2D mesh, in two acts. Act one is the per-GeMM view: decode
+// steps multiply a tiny batch×hidden activation against the full weight
 // matrices, so arithmetic intensity collapses and the roofline — not the
-// FLOPS throughput — governs the compute time. The autotuner's cost model
-// handles this via hw.Chip.RooflineTime; this example contrasts the two
-// regimes and shows the slice counts the autotuner picks for each.
+// FLOPS throughput — governs compute time (paper §6), which is why the
+// autotuner stops slicing aggressively for decode. Act two is the serving
+// view: the same memory-bound steps, scheduled continuously over a seeded
+// request trace, where mesh shape and batching policy turn into user-visible
+// latency quantiles and goodput — the objective autotune.TuneServing ranks.
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"meshslice/internal/gemm"
 	"meshslice/internal/hw"
 	"meshslice/internal/model"
+	"meshslice/internal/serve"
 	"meshslice/internal/tensor"
 	"meshslice/internal/topology"
 )
@@ -60,4 +63,41 @@ func main() {
 	}
 	fmt.Println("\ndecode GeMMs hit the HBM roof: weights stream once per token, so the")
 	fmt.Println("autotuner stops slicing aggressively — there is no compute to hide under.")
+
+	// Act two: serve a seeded Poisson trace through the continuous-batching
+	// scheduler on two 16-chip shapes and compare what the shape choice does
+	// to the latency tail and goodput.
+	slo := serve.SLO{TTFT: 1.0, PerToken: 0.05}
+	wl := serve.WorkloadSpec{Seed: 7, Rate: 12, Requests: 32}.Generate()
+	const hbm = 64 * 1 << 30
+
+	fmt.Printf("\nserving the same model: %d requests at 12 req/s, SLO TTFT %.1fs / %.0fms per token\n\n",
+		len(wl), slo.TTFT, slo.PerToken*1e3)
+	fmt.Printf("%-8s  %-10s  %-10s  %-12s  %-12s  %s\n",
+		"shape", "TTFT p50", "TTFT p99", "tok p50", "tok p99", "goodput")
+	for _, mesh := range []topology.Torus{{Rows: 4, Cols: 4}, {Rows: 2, Cols: 8}} {
+		rep, err := serve.Run(serve.Config{
+			Model: cfg, Chip: chip, Mesh: mesh, SLO: slo, HBMBytes: hbm,
+		}, wl)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%-8s  %-10s  %-10s  %-12s  %-12s  %.2f req/s (%d/%d in SLO)\n",
+			fmt.Sprintf("%dx%d", mesh.Rows, mesh.Cols),
+			fmt.Sprintf("%.3fs", rep.TTFT.P50), fmt.Sprintf("%.3fs", rep.TTFT.P99),
+			fmt.Sprintf("%.1fms", rep.PerToken.P50*1e3), fmt.Sprintf("%.1fms", rep.PerToken.P99*1e3),
+			rep.Goodput, rep.SLOMet, rep.Completed)
+	}
+
+	choice, err := autotune.TuneServing(cfg, 16, chip, slo, wl, autotune.ServingOptions{HBMBytes: hbm})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("\nTuneServing picks %dx%d (S=%d, max-batch %d, chunk %d): %.2f req/s goodput\n",
+		choice.Shape.Rows, choice.Shape.Cols, choice.Policy.SliceCount,
+		choice.Policy.MaxBatch, choice.Policy.ChunkTokens, choice.Report.Goodput)
+	fmt.Println("the tuner trades the decode batch's per-step latency against prefill")
+	fmt.Println("chunking: big chunks cut TTFT but stretch every co-scheduled decode step.")
 }

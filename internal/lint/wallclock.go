@@ -16,6 +16,7 @@ var simPackages = map[string]bool{
 	"costmodel": true,
 	"autotune":  true,
 	"obs":       true,
+	"serve":     true,
 }
 
 // wallclockFuncs are the package time functions that observe or depend on
@@ -31,7 +32,7 @@ func analyzeWallclock() *Analyzer {
 	return &Analyzer{
 		Name: "no-wallclock",
 		Doc: "forbid wall-clock reads (time.Now, time.Sleep, time.Since, ...) in the " +
-			"simulator packages (des, netsim, chipsim, costmodel, autotune, obs); simulated time only",
+			"simulator packages (des, netsim, chipsim, costmodel, autotune, obs, serve); simulated time only",
 		Run: runWallclock,
 	}
 }

@@ -182,3 +182,75 @@ func TestRecomputeModeString(t *testing.T) {
 		t.Errorf("unknown mode must render")
 	}
 }
+
+func TestInferenceModeDropsTrainingState(t *testing.T) {
+	cfg := model.GPT3()
+	p := Params{
+		TPDegree: 64, PPDegree: 1, TokensPerReplica: 2048,
+		BytesPerParam: 2, SliceCount: 8,
+		Inference: true, KVTokens: 100_000,
+	}
+	f, err := Estimate(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Gradients != 0 || f.OptimizerState != 0 {
+		t.Errorf("inference footprint keeps training state: grads=%v opt=%v", f.Gradients, f.OptimizerState)
+	}
+	// KV cache: 100k tokens × KVCacheBytesPerToken(2) sharded over 64 chips.
+	wantKV := 100_000 * cfg.KVCacheBytesPerToken(2) / 64
+	if f.KVCache != wantKV {
+		t.Errorf("KVCache = %v, want %v", f.KVCache, wantKV)
+	}
+	if f.KVCache <= 0 || f.Weights <= 0 || f.Activations <= 0 || f.CommBuffers <= 0 {
+		t.Errorf("inference components must be positive: %+v", f)
+	}
+	// Total includes the KV component.
+	if got := f.Total(); got != f.Weights+f.Activations+f.CommBuffers+f.KVCache {
+		t.Errorf("Total() = %v does not sum the inference components", got)
+	}
+
+	// The training estimate of the same configuration is strictly larger:
+	// gradients + optimizer state dwarf a 100k-token cache shard.
+	p.Inference = false
+	p.KVTokens = 0
+	tr, err := Estimate(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total() <= f.Total() {
+		t.Errorf("training footprint %v should exceed inference footprint %v", tr.Total(), f.Total())
+	}
+	if tr.KVCache != 0 {
+		t.Errorf("training footprint grew a KV cache: %v", tr.KVCache)
+	}
+}
+
+func TestInferenceKVScalesWithTokensAndShardsOverMesh(t *testing.T) {
+	cfg := model.Llama3_70B()
+	base := Params{
+		TPDegree: 16, PPDegree: 1, TokensPerReplica: 64,
+		BytesPerParam: 2, SliceCount: 1, Inference: true, KVTokens: 4096,
+	}
+	f1, err := Estimate(cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbl := base
+	dbl.KVTokens *= 2
+	f2, _ := Estimate(cfg, dbl)
+	if f2.KVCache != 2*f1.KVCache {
+		t.Errorf("KV cache not linear in tokens: %v vs %v", f1.KVCache, f2.KVCache)
+	}
+	wide := base
+	wide.TPDegree = 32
+	f3, _ := Estimate(cfg, wide)
+	if f3.KVCache != f1.KVCache/2 {
+		t.Errorf("KV cache not sharded over TP: %v vs %v", f1.KVCache, f3.KVCache)
+	}
+	bad := base
+	bad.KVTokens = -1
+	if _, err := Estimate(cfg, bad); err == nil {
+		t.Errorf("negative KV tokens must fail validation")
+	}
+}

@@ -245,6 +245,47 @@ func (c Config) InferenceGeMMs(batch int) []GeMMShape {
 	return out
 }
 
+// HeadDim returns the per-head attention dimension Hidden/Heads.
+func (c Config) HeadDim() int { return c.Hidden / c.Heads }
+
+// KVCacheBytesPerToken returns the KV-cache bytes one resident token
+// occupies across the whole model: every transformer block stores one key
+// and one value vector of Heads×HeadDim elements, so
+//
+//	layers × 2 × heads × headDim × bytesPerElement.
+//
+// Both evaluated models use full multi-head attention; a grouped-query
+// variant would shrink this by the KV-head ratio.
+func (c Config) KVCacheBytesPerToken(bytesPerElement float64) float64 {
+	return float64(c.Layers) * 2 * float64(c.Heads) * float64(c.HeadDim()) * bytesPerElement
+}
+
+// PrefillGeMMs returns the four FC-layer GeMMs of the prompt-processing
+// (prefill) phase for a batch of sequences of promptLen tokens each: the
+// flattened outer dimension is batch×promptLen, exactly like one training
+// forward pass, so prefill stays compute-bound.
+func (c Config) PrefillGeMMs(batch, promptLen int) []GeMMShape {
+	return c.InferenceGeMMs(batch * promptLen)
+}
+
+// DecodeGeMMs returns the GeMMs of one autoregressive decode step at the
+// given batch size and per-sequence KV context length. Unlike the prefill
+// shapes (M = batch×seq tokens), each sequence contributes exactly one
+// token here, so the four FC GeMMs collapse to M = batch — the strongly
+// memory-bound regime of paper §6 — and the two batched attention GeMMs
+// pick up contextLen as the dimension the KV cache streams through
+// (per sequence and layer: a 1×headDim query against headDim×contextLen
+// keys, then 1×contextLen scores against contextLen×headDim values,
+// summed over heads).
+func (c Config) DecodeGeMMs(batch, contextLen int) []GeMMShape {
+	out := c.InferenceGeMMs(batch)
+	out = append(out,
+		GeMMShape{Layer: "AttnScore", Pass: Forward, M: batch, N: contextLen, K: c.Hidden},
+		GeMMShape{Layer: "AttnCtx", Pass: Forward, M: batch, N: c.Hidden, K: contextLen},
+	)
+	return out
+}
+
 // DistinctGeMMs deduplicates TrainingGeMMs by shape, treating an M×N×K
 // GeMM and its N×M×K transpose as the same operation — computing Cᵀ instead
 // of C only flips to the transposed dataflow (§3.2.1), e.g. the FF1 and FF2

@@ -229,3 +229,85 @@ func TestByName(t *testing.T) {
 		t.Errorf("alias resolved to %q", c.Name)
 	}
 }
+
+func TestKVCacheBytesPerToken(t *testing.T) {
+	// Hand-computed: layers × 2 × heads × headDim × bytes/elem.
+	// GPT-3: 96 × 2 × 96 × 128 × 2 = 96 × 2 × 12288 × 2 = 4,718,592.
+	if got := GPT3().KVCacheBytesPerToken(2); got != 4718592 {
+		t.Errorf("GPT-3 KV bytes/token = %v, want 4718592", got)
+	}
+	// Llama-3-70B: 80 × 2 × 64 × 128 × 2 = 80 × 2 × 8192 × 2 = 2,621,440.
+	if got := Llama3_70B().KVCacheBytesPerToken(2); got != 2621440 {
+		t.Errorf("Llama-3-70B KV bytes/token = %v, want 2621440", got)
+	}
+	// fp16 vs fp32 scales linearly.
+	if got := GPT3().KVCacheBytesPerToken(4); got != 2*4718592 {
+		t.Errorf("fp32 KV bytes/token = %v, want %v", got, 2*4718592)
+	}
+}
+
+func TestDecodeGeMMsDistinguishPrefillFromDecode(t *testing.T) {
+	cfg := GPT3()
+	const batch, ctx, prompt = 8, 1024, 256
+
+	dec := cfg.DecodeGeMMs(batch, ctx)
+	if len(dec) != 6 {
+		t.Fatalf("DecodeGeMMs returned %d shapes, want 6 (4 FC + 2 attention)", len(dec))
+	}
+	// The four FC GeMMs collapse to M = batch.
+	wantFC := []GeMMShape{
+		{Layer: "QKV", Pass: Forward, M: 8, N: 36864, K: 12288},
+		{Layer: "AttnOut", Pass: Forward, M: 8, N: 12288, K: 12288},
+		{Layer: "FF1", Pass: Forward, M: 8, N: 49152, K: 12288},
+		{Layer: "FF2", Pass: Forward, M: 8, N: 12288, K: 49152},
+	}
+	for i, want := range wantFC {
+		if dec[i] != want {
+			t.Errorf("decode FC[%d] = %+v, want %+v", i, dec[i], want)
+		}
+	}
+	// The attention GeMMs stream the context dimension.
+	if dec[4] != (GeMMShape{Layer: "AttnScore", Pass: Forward, M: 8, N: 1024, K: 12288}) {
+		t.Errorf("AttnScore = %+v", dec[4])
+	}
+	if dec[5] != (GeMMShape{Layer: "AttnCtx", Pass: Forward, M: 8, N: 12288, K: 1024}) {
+		t.Errorf("AttnCtx = %+v", dec[5])
+	}
+	// Hand-computed FLOPs: QKV decode = 2 × 8 × 36864 × 12288 = 7,247,757,312.
+	if got := dec[0].FLOPs(); got != 7247757312 {
+		t.Errorf("QKV decode FLOPs = %v, want 7247757312", got)
+	}
+
+	// Prefill keeps the training-style flattened outer dimension.
+	pre := cfg.PrefillGeMMs(batch, prompt)
+	if len(pre) != 4 {
+		t.Fatalf("PrefillGeMMs returned %d shapes, want 4", len(pre))
+	}
+	for i, g := range pre {
+		if g.M != batch*prompt {
+			t.Errorf("prefill FC[%d].M = %d, want %d", i, g.M, batch*prompt)
+		}
+		if g.N != wantFC[i].N || g.K != wantFC[i].K {
+			t.Errorf("prefill FC[%d] dims = (%d,%d), want (%d,%d)", i, g.N, g.K, wantFC[i].N, wantFC[i].K)
+		}
+	}
+}
+
+func TestDecodeGeMMsLlama70B(t *testing.T) {
+	dec := Llama3_70B().DecodeGeMMs(4, 2048)
+	// QKV: M=4, N=3×8192=24576, K=8192; FLOPs = 2×4×24576×8192 = 1,610,612,736.
+	if dec[0] != (GeMMShape{Layer: "QKV", Pass: Forward, M: 4, N: 24576, K: 8192}) {
+		t.Errorf("Llama QKV decode = %+v", dec[0])
+	}
+	if got := dec[0].FLOPs(); got != 1610612736 {
+		t.Errorf("Llama QKV decode FLOPs = %v, want 1610612736", got)
+	}
+	// FF1 uses the 3.5×hidden SwiGLU inner dimension: N = 28672.
+	if dec[2].N != 28672 {
+		t.Errorf("Llama FF1 N = %d, want 28672", dec[2].N)
+	}
+	// AttnScore streams the 2048-token context.
+	if dec[4].N != 2048 || dec[4].K != 8192 {
+		t.Errorf("Llama AttnScore = %+v", dec[4])
+	}
+}

@@ -295,6 +295,40 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// distribution by linear interpolation inside the bucket containing the
+// target rank. Bucket i spans (bounds[i-1], bounds[i]], with the first
+// bucket anchored at 0 (the registry's histograms hold non-negative
+// latencies and sizes); observations in the overflow bucket clamp to the
+// last bound, so the estimate is a lower bound there. Returns 0 for an
+// empty histogram. Deterministic: the estimate depends only on the fixed
+// bounds and the counts.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.n)
+	cum := 0.0
+	lo := 0.0
+	for i, bound := range h.bounds {
+		c := float64(h.counts[i])
+		if c > 0 && cum+c >= target {
+			return lo + (target-cum)/c*(bound-lo)
+		}
+		cum += c
+		lo = bound
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Series is an append-only ordered list of (x, y) points: a trajectory over
 // some deterministic progress coordinate (candidate index, simulated time).
 type Series struct {

@@ -210,3 +210,40 @@ func TestSnapshotIsACopy(t *testing.T) {
 		t.Errorf("snapshot aliased live histogram data")
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_test", []float64{1, 2, 4, 8})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	// 100 observations uniformly into the (1,2] bucket midpoint.
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+	}
+	// All mass in bucket (1,2]: p50 interpolates halfway through it.
+	if got := h.Quantile(0.5); got != 1.5 {
+		t.Errorf("p50 = %v, want 1.5", got)
+	}
+	if got := h.Quantile(1); got != 2 {
+		t.Errorf("p100 = %v, want 2 (bucket upper bound)", got)
+	}
+	// Overflow observations clamp to the last bound.
+	for i := 0; i < 900; i++ {
+		h.Observe(100)
+	}
+	if got := h.Quantile(0.99); got != 8 {
+		t.Errorf("overflow p99 = %v, want clamp to last bound 8", got)
+	}
+	// The low tail still resolves to the populated bucket.
+	if got := h.Quantile(0.05); got <= 1 || got > 2 {
+		t.Errorf("p5 = %v, want inside (1, 2]", got)
+	}
+	// Out-of-range q clamps rather than panicking.
+	if got := h.Quantile(-1); got < 0 {
+		t.Errorf("q<0 returned %v", got)
+	}
+	if got, want := h.Quantile(2), h.Quantile(1); got != want {
+		t.Errorf("q>1 = %v, want %v", got, want)
+	}
+}

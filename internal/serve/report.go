@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+
+	"meshslice/internal/obs"
+)
+
+// Quantiles summarises one latency distribution with exact nearest-rank
+// order statistics (see quantiles); times are simulated seconds.
+type Quantiles struct {
+	P50  float64 `json:"p50_s"`
+	P95  float64 `json:"p95_s"`
+	P99  float64 `json:"p99_s"`
+	Mean float64 `json:"mean_s"`
+	Max  float64 `json:"max_s"`
+}
+
+// Report is the canonical serving-run result. Identical (config, workload)
+// pairs produce byte-identical WriteJSON output — the property the CI
+// determinism gate enforces by diffing two runs and three GOMAXPROCS
+// settings.
+type Report struct {
+	// Deployment identity.
+	Model       string  `json:"model"`
+	Rows        int     `json:"rows"`
+	Cols        int     `json:"cols"`
+	SliceCount  int     `json:"slice_count"`
+	MaxBatch    int     `json:"max_batch"`
+	ChunkTokens int     `json:"chunk_tokens"`
+	HBMBytes    float64 `json:"hbm_bytes"`
+	SLO         SLO     `json:"slo"`
+
+	// Feasibility: false when the fault plan leaves too few chips for the
+	// mesh or the base footprint already exceeds HBM; every request is
+	// then rejected and goodput is zero.
+	Feasible bool   `json:"feasible"`
+	Reason   string `json:"reason,omitempty"`
+
+	// Request accounting. Completed + Rejected == Requests on return.
+	Requests        int `json:"requests"`
+	Completed       int `json:"completed"`
+	Rejected        int `json:"rejected"`
+	SLOMet          int `json:"slo_met"`
+	Admissions      int `json:"admissions"`
+	Preemptions     int `json:"preemptions"`
+	Steps           int `json:"steps"`
+	TokensGenerated int `json:"tokens_generated"`
+	KVBudgetTokens  int `json:"kv_budget_tokens"`
+	PeakKVTokens    int `json:"peak_kv_tokens"`
+	PeakBatch       int `json:"peak_batch"`
+
+	// Latency and throughput. Goodput is SLO-meeting completions per
+	// simulated second of makespan — the objective TuneServing maximises.
+	MakespanS float64   `json:"makespan_s"`
+	Goodput   float64   `json:"goodput_rps"`
+	TTFT      Quantiles `json:"ttft"`
+	PerToken  Quantiles `json:"per_token"`
+	E2E       Quantiles `json:"e2e"`
+
+	// Metrics is the obs registry snapshot (sorted, deterministic).
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// WriteJSON renders the report as indented JSON with a trailing newline —
+// the canonical byte form committed reports and determinism checks use.
+func (r *Report) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

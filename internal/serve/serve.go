@@ -1,0 +1,483 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"meshslice/internal/fault"
+	"meshslice/internal/hw"
+	"meshslice/internal/memory"
+	"meshslice/internal/model"
+	"meshslice/internal/obs"
+	"meshslice/internal/topology"
+)
+
+// Policy is the continuous-batching knob set the serving autotuner sweeps
+// alongside mesh shape.
+type Policy struct {
+	// MaxBatch caps the number of concurrently running requests (default 32).
+	MaxBatch int `json:"max_batch"`
+	// ChunkTokens is the prefill chunk processed per scheduler step
+	// (chunked prefill: one request prefills per step, interleaved with
+	// the decode batch; default 512).
+	ChunkTokens int `json:"chunk_tokens"`
+	// SliceCount is MeshSlice's S for the FC GeMMs (default 4).
+	SliceCount int `json:"slice_count"`
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxBatch <= 0 {
+		p.MaxBatch = 32
+	}
+	if p.ChunkTokens <= 0 {
+		p.ChunkTokens = 512
+	}
+	if p.SliceCount <= 0 {
+		p.SliceCount = 4
+	}
+	return p
+}
+
+// SLO is the latency objective a request must meet to count toward
+// goodput: time-to-first-token and mean per-output-token latency, both in
+// simulated seconds.
+type SLO struct {
+	TTFT     float64 `json:"ttft_s"`
+	PerToken float64 `json:"per_token_s"`
+}
+
+func (s SLO) withDefaults() SLO {
+	if s.TTFT <= 0 {
+		s.TTFT = 0.5
+	}
+	if s.PerToken <= 0 {
+		s.PerToken = 0.05
+	}
+	return s
+}
+
+// Config describes one serving deployment: a model on a mesh shape with a
+// batching policy, an SLO, and an optional fault plan degrading the fabric.
+type Config struct {
+	Model  model.Config
+	Chip   hw.Chip
+	Mesh   topology.Torus
+	Policy Policy
+	SLO    SLO
+	// HBMBytes is the per-chip HBM capacity the KV cache competes for
+	// (default 32 GiB, TPUv4).
+	HBMBytes float64
+	// ClusterChips is the physical cluster size the fault plan's chip IDs
+	// refer to; the mesh may be smaller (a post-failure retune maps onto
+	// the survivors). Zero means the mesh size.
+	ClusterChips int
+	// Faults optionally degrades the fabric (per-direction link
+	// degradation, stragglers, failures — chip IDs in cluster
+	// coordinates). Link factors apply direction-wide, the conservative
+	// worst case: a retuned mesh cannot dodge a sick column by placement,
+	// only by shape. Nil means healthy.
+	Faults *fault.Plan
+	// Registry optionally receives the run's metrics; a private registry
+	// is created when nil.
+	Registry *obs.Registry
+}
+
+// Validate reports the first invalid configuration field.
+func (c Config) Validate() error {
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if err := c.Chip.Validate(); err != nil {
+		return err
+	}
+	if c.Mesh.Rows <= 0 || c.Mesh.Cols <= 0 {
+		return fmt.Errorf("serve: mesh %dx%d", c.Mesh.Rows, c.Mesh.Cols)
+	}
+	if c.ClusterChips != 0 && c.ClusterChips < c.Mesh.Size() {
+		return fmt.Errorf("serve: mesh %dx%d needs %d chips, cluster has %d",
+			c.Mesh.Rows, c.Mesh.Cols, c.Mesh.Size(), c.ClusterChips)
+	}
+	if c.Faults != nil {
+		chips := c.ClusterChips
+		if chips == 0 {
+			chips = c.Mesh.Size()
+		}
+		if err := c.Faults.Validate(chips); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reqState is one request's in-flight scheduler state.
+type reqState struct {
+	req Request
+	// prefillLen is the token count this admission must prefill before
+	// decoding: the prompt, plus — after a recompute-mode preemption —
+	// the tokens already generated.
+	prefillLen int
+	prefilled  int
+	// generated counts emitted output tokens; it survives preemption
+	// (recompute preemption re-builds the KV cache, not the tokens).
+	generated int
+	// kv is the request's resident KV-cache token count.
+	kv         int
+	ttft       float64
+	hasTTFT    bool
+	finishTime float64
+	admitSeq   int
+	preempts   int
+}
+
+// Run simulates serving the workload under the configuration and returns
+// the canonical report. The scheduler is single-threaded and reads only
+// simulated time, so the same (config, workload) pair produces a
+// byte-identical report on every run and every GOMAXPROCS setting.
+//
+// Per-step loop shape (continuous batching):
+//
+//  1. arrivals with Arrival ≤ now join the FIFO queue;
+//  2. admission pops the queue head while the decode batch has a slot and
+//     the head's prefill fits the KV budget (a request whose prompt+output
+//     can never fit alone is rejected outright);
+//  3. one step runs: every decoding request advances one token, plus at
+//     most one prefill chunk (chunked prefill); its duration comes from
+//     the costModel's FC-stack + attention pricing on the degraded fabric;
+//  4. decode growth that overflows the KV budget preempts the
+//     youngest-admitted requests (recompute mode: KV freed, re-queued at
+//     the queue front, prompt+generated re-prefilled on re-admission).
+//
+// The admission guarantee (prompt+output ≤ budget or rejected) plus
+// oldest-never-preempted means the oldest running request always finishes,
+// so the loop terminates. The loop body allocates (batch assembly, queue
+// reshuffling) and is deliberately NOT a lint:hotpath root: it runs once
+// per simulated step, thousands of times per run, not per-microsecond —
+// the per-step pricing kernels it calls (costModel.fcStack, costModel.attn)
+// carry the hotpath contract instead.
+func Run(cfg Config, workload []Request) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ValidateTrace(workload); err != nil {
+		return nil, err
+	}
+	cfg.Policy = cfg.Policy.withDefaults()
+	cfg.SLO = cfg.SLO.withDefaults()
+	if cfg.HBMBytes <= 0 {
+		cfg.HBMBytes = 32 * 1 << 30
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+
+	rep := &Report{
+		Model:       cfg.Model.Name,
+		Rows:        cfg.Mesh.Rows,
+		Cols:        cfg.Mesh.Cols,
+		SliceCount:  cfg.Policy.SliceCount,
+		MaxBatch:    cfg.Policy.MaxBatch,
+		ChunkTokens: cfg.Policy.ChunkTokens,
+		HBMBytes:    cfg.HBMBytes,
+		SLO:         cfg.SLO,
+		Requests:    len(workload),
+		Feasible:    true,
+	}
+
+	if cfg.ClusterChips <= 0 {
+		cfg.ClusterChips = cfg.Mesh.Size()
+	}
+	fab := newFabric(cfg.Chip, cfg.ClusterChips, cfg.Faults)
+	if cfg.Mesh.Size() > fab.survivors {
+		rep.Feasible = false
+		rep.Reason = fmt.Sprintf("mesh needs %d chips, only %d survive the fault plan", cfg.Mesh.Size(), fab.survivors)
+		rep.Rejected = len(workload)
+		rep.finish(reg, nil)
+		return rep, nil
+	}
+
+	// KV budget: per-chip HBM left after weights, live activations and
+	// staging buffers, divided by the per-token sharded KV footprint.
+	bpe := cfg.Chip.BytesPerElement
+	base, err := memory.Estimate(cfg.Model, memory.Params{
+		TPDegree:         cfg.Mesh.Size(),
+		PPDegree:         1,
+		TokensPerReplica: cfg.Policy.MaxBatch + cfg.Policy.ChunkTokens,
+		BytesPerParam:    bpe,
+		SliceCount:       cfg.Policy.SliceCount,
+		Inference:        true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	kvPerTok := cfg.Model.KVCacheBytesPerToken(bpe) / float64(cfg.Mesh.Size())
+	maxKV := int((cfg.HBMBytes - base.Total()) / kvPerTok)
+	rep.KVBudgetTokens = maxKV
+	if maxKV <= 0 {
+		rep.Feasible = false
+		rep.Reason = fmt.Sprintf("model base footprint %.1f GiB leaves no KV budget in %.1f GiB HBM", base.Total()/(1<<30), cfg.HBMBytes/(1<<30))
+		rep.Rejected = len(workload)
+		rep.finish(reg, nil)
+		return rep, nil
+	}
+
+	cm := newCostModel(cfg.Model, fab, cfg.Mesh, cfg.Policy.SliceCount)
+
+	admitted := reg.Counter("serve_admissions_total")
+	preempted := reg.Counter("serve_preemptions_total")
+	rejectedC := reg.Counter("serve_rejected_total")
+	completedC := reg.Counter("serve_completed_total")
+	tokensC := reg.Counter("serve_tokens_generated_total")
+	stepsC := reg.Counter("serve_steps_total")
+	kvPeak := reg.Gauge("serve_kv_tokens_peak")
+	batchPeak := reg.Gauge("serve_batch_peak")
+	ttftH := reg.Histogram("serve_ttft_seconds", []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5, 10})
+	perTokH := reg.Histogram("serve_per_token_seconds", []float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5})
+	e2eH := reg.Histogram("serve_e2e_seconds", []float64{0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100})
+
+	states := make([]reqState, len(workload))
+	for i, r := range workload {
+		states[i] = reqState{req: r, prefillLen: r.PromptTokens}
+	}
+
+	var (
+		queue    []*reqState
+		running  []*reqState
+		done     []*reqState
+		now      float64
+		resident int
+		next     int // index of the next un-arrived request
+		admitSeq int
+	)
+
+	for rep.Completed+rep.Rejected < len(workload) {
+		// 1. Arrivals up to the current instant join the queue.
+		for next < len(workload) && states[next].req.Arrival <= now {
+			queue = append(queue, &states[next])
+			next++
+		}
+
+		// 2. Admission control against the KV-token budget.
+		for len(queue) > 0 && len(running) < cfg.Policy.MaxBatch {
+			h := queue[0]
+			if h.prefillLen+(h.req.OutputTokens-h.generated) > maxKV {
+				// Can never fit even alone: reject.
+				queue = queue[1:]
+				rep.Rejected++
+				rejectedC.Inc()
+				done = append(done, h)
+				continue
+			}
+			if resident+h.prefillLen > maxKV {
+				break // wait for running requests to retire
+			}
+			queue = queue[1:]
+			h.admitSeq = admitSeq
+			admitSeq++
+			h.prefilled = 0
+			h.kv = 0
+			running = append(running, h)
+			rep.Admissions++
+			admitted.Inc()
+		}
+
+		if len(running) == 0 {
+			if len(queue) == 0 {
+				if next >= len(workload) {
+					break // everything accounted for
+				}
+				// Idle: jump to the next arrival.
+				if a := states[next].req.Arrival; a > now {
+					now = a
+				}
+				continue
+			}
+			// A queued head with an empty mesh is always admitted or
+			// rejected above (resident == 0), so reaching here means the
+			// admission loop made progress; re-run it.
+			continue
+		}
+
+		// 3. Assemble and price one step: the whole decode batch plus at
+		// most one prefill chunk.
+		var (
+			stepTime     float64
+			decodeCount  int
+			prefillReq   *reqState
+			prefillChunk int
+		)
+		for _, r := range running {
+			if r.prefilled < r.prefillLen {
+				if prefillReq == nil {
+					prefillReq = r
+				}
+			} else {
+				decodeCount++
+				stepTime += cm.attn(1, float64(r.kv))
+			}
+		}
+		if prefillReq != nil {
+			prefillChunk = cfg.Policy.ChunkTokens
+			if rem := prefillReq.prefillLen - prefillReq.prefilled; rem < prefillChunk {
+				prefillChunk = rem
+			}
+			stepTime += cm.attn(float64(prefillChunk), float64(prefillReq.kv+prefillChunk))
+		}
+		stepTime += cm.fcStack(float64(decodeCount + prefillChunk))
+		if !(stepTime > 0) {
+			return nil, fmt.Errorf("serve: step with %d decode + %d prefill tokens priced at %v — scheduler would not advance", decodeCount, prefillChunk, stepTime)
+		}
+		now += stepTime
+		rep.Steps++
+		stepsC.Inc()
+
+		// 4. Apply progress; collect completions.
+		keep := running[:0]
+		for _, r := range running {
+			finished := false
+			if r.prefilled < r.prefillLen {
+				if r == prefillReq {
+					r.prefilled += prefillChunk
+					r.kv += prefillChunk
+					resident += prefillChunk
+					if r.prefilled >= r.prefillLen && !r.hasTTFT {
+						// Prefill's last forward emits the first token.
+						r.ttft = now - r.req.Arrival
+						r.hasTTFT = true
+						r.generated++
+						rep.TokensGenerated++
+						tokensC.Inc()
+						ttftH.Observe(r.ttft)
+						finished = r.generated >= r.req.OutputTokens
+					}
+				}
+			} else {
+				r.generated++
+				r.kv++
+				resident++
+				rep.TokensGenerated++
+				tokensC.Inc()
+				perTokH.Observe(stepTime)
+				finished = r.generated >= r.req.OutputTokens
+			}
+			if finished {
+				resident -= r.kv
+				r.kv = 0
+				r.finishTime = now
+				rep.Completed++
+				completedC.Inc()
+				e2eH.Observe(now - r.req.Arrival)
+				done = append(done, r)
+			} else {
+				keep = append(keep, r)
+			}
+		}
+		running = keep
+
+		// 5. KV overflow → preempt the youngest-admitted requests
+		// (recompute mode). The oldest is never preempted: its admission
+		// guaranteed prompt+output fits alone, so it always finishes.
+		for resident > maxKV && len(running) > 1 {
+			vi := 0
+			for i, r := range running {
+				if r.admitSeq > running[vi].admitSeq {
+					vi = i
+				}
+			}
+			v := running[vi]
+			running = append(running[:vi], running[vi+1:]...)
+			resident -= v.kv
+			v.kv = 0
+			v.prefilled = 0
+			v.prefillLen = v.req.PromptTokens + v.generated
+			v.preempts++
+			rep.Preemptions++
+			preempted.Inc()
+			queue = append([]*reqState{v}, queue...)
+		}
+
+		if resident > rep.PeakKVTokens {
+			rep.PeakKVTokens = resident
+			kvPeak.SetMax(float64(resident))
+		}
+		batch := decodeCount
+		if prefillReq != nil {
+			batch++
+		}
+		if batch > rep.PeakBatch {
+			rep.PeakBatch = batch
+			batchPeak.SetMax(float64(batch))
+		}
+	}
+
+	rep.MakespanS = now
+	rep.finish(reg, done)
+	return rep, nil
+}
+
+// finish computes the latency quantiles, goodput and metric snapshot from
+// the terminal per-request states.
+func (rep *Report) finish(reg *obs.Registry, done []*reqState) {
+	var ttfts, perToks, e2es []float64
+	for _, r := range done {
+		if r.generated < r.req.OutputTokens {
+			continue // rejected
+		}
+		ttfts = append(ttfts, r.ttft)
+		perTok := 0.0
+		if r.req.OutputTokens > 1 {
+			perTok = (r.e2e() - r.ttft) / float64(r.req.OutputTokens-1)
+		}
+		perToks = append(perToks, perTok)
+		e2es = append(e2es, r.e2e())
+		if r.ttft <= rep.SLO.TTFT && perTok <= rep.SLO.PerToken {
+			rep.SLOMet++
+		}
+	}
+	rep.TTFT = quantiles(ttfts)
+	rep.PerToken = quantiles(perToks)
+	rep.E2E = quantiles(e2es)
+	if rep.MakespanS > 0 {
+		rep.Goodput = float64(rep.SLOMet) / rep.MakespanS
+	}
+	if reg != nil {
+		rep.Metrics = reg.Snapshot()
+	}
+}
+
+// e2e returns the request's end-to-end latency; valid once completed.
+func (r *reqState) e2e() float64 { return r.finishTime - r.req.Arrival }
+
+// quantiles computes exact nearest-rank quantiles over the sample set:
+// the k-th order statistic with k = ⌈p·n⌉. Deterministic (sorted copy) and
+// exact, unlike the obs.Histogram bucket interpolation that feeds the
+// metric snapshot.
+func quantiles(xs []float64) Quantiles {
+	if len(xs) == 0 {
+		return Quantiles{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	rank := func(p float64) float64 {
+		k := int(math.Ceil(p*float64(len(s)))) - 1
+		if k < 0 {
+			k = 0
+		}
+		if k >= len(s) {
+			k = len(s) - 1
+		}
+		return s[k]
+	}
+	sum := 0.0
+	for _, x := range s {
+		sum += x
+	}
+	return Quantiles{
+		P50:  rank(0.50),
+		P95:  rank(0.95),
+		P99:  rank(0.99),
+		Mean: sum / float64(len(s)),
+		Max:  s[len(s)-1],
+	}
+}

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"testing"
+)
+
+func TestGenerateDeterministicAndSeedSensitive(t *testing.T) {
+	spec := WorkloadSpec{Seed: 7, Rate: 20, Requests: 100}
+	a, b := spec.Generate(), spec.Generate()
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("got %d and %d requests, want 100", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs across identical specs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	spec.Seed = 8
+	c := spec.Generate()
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 generated identical workloads")
+	}
+}
+
+func TestGenerateRespectsBoundsAndOrder(t *testing.T) {
+	wl := WorkloadSpec{Seed: 3, Requests: 500}.Generate()
+	if err := ValidateTrace(wl); err != nil {
+		t.Fatalf("generated workload invalid: %v", err)
+	}
+	spec := WorkloadSpec{}.withDefaults()
+	for _, r := range wl {
+		if r.PromptTokens < spec.Prompt.Min || r.PromptTokens > spec.Prompt.Max {
+			t.Fatalf("request %d prompt %d outside [%d,%d]", r.ID, r.PromptTokens, spec.Prompt.Min, spec.Prompt.Max)
+		}
+		if r.OutputTokens < spec.Output.Min || r.OutputTokens > spec.Output.Max {
+			t.Fatalf("request %d output %d outside [%d,%d]", r.ID, r.OutputTokens, spec.Output.Min, spec.Output.Max)
+		}
+	}
+}
+
+func TestValidateTraceRejectsMalformed(t *testing.T) {
+	cases := [][]Request{
+		{{Arrival: 1, PromptTokens: 10, OutputTokens: 5}, {Arrival: 0.5, PromptTokens: 10, OutputTokens: 5}},
+		{{Arrival: 0, PromptTokens: 0, OutputTokens: 5}},
+		{{Arrival: 0, PromptTokens: 10, OutputTokens: 0}},
+	}
+	for i, tr := range cases {
+		if err := ValidateTrace(tr); err == nil {
+			t.Errorf("case %d: malformed trace accepted", i)
+		}
+	}
+	if err := ValidateTrace(nil); err != nil {
+		t.Errorf("empty trace rejected: %v", err)
+	}
+}
+
+func TestParetoMeanArrivalRate(t *testing.T) {
+	// The empirical arrival rate over many requests should land near the
+	// configured Poisson rate (law of large numbers; generous tolerance).
+	wl := WorkloadSpec{Seed: 11, Rate: 50, Requests: 2000}.Generate()
+	span := wl[len(wl)-1].Arrival
+	rate := float64(len(wl)) / span
+	if rate < 40 || rate > 60 {
+		t.Fatalf("empirical rate %.1f rps far from configured 50", rate)
+	}
+}
